@@ -1,0 +1,419 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the dissertation's evaluation, plus ablation
+// benches for the design choices DESIGN.md calls out. Custom metrics
+// report the simulated machine's behaviour (ticks, speedups, energy),
+// which is what the paper's artifacts show — wall-clock ns/op only
+// measures the simulator itself.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+// run executes one workload/mode pair once and fails the benchmark on
+// any verification error.
+func run(b *testing.B, name string, mode experiments.Mode) *experiments.Result {
+	b.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := experiments.Run(w, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// benchRows runs a set of workloads under a mode once per b.N and
+// reports per-workload speedups as custom metrics.
+func benchRows(b *testing.B, names []string, modes []experiments.Mode) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range names {
+			s := run(b, name, experiments.ModeScalar)
+			for _, mode := range modes {
+				r := run(b, name, mode)
+				if i == b.N-1 {
+					b.ReportMetric(float64(s.Ticks)/float64(r.Ticks),
+						fmt.Sprintf("%s/%s-speedup", name, shortMode(mode)))
+				}
+			}
+		}
+	}
+}
+
+func shortMode(m experiments.Mode) string {
+	switch m {
+	case experiments.ModeAutoVec:
+		return "autovec"
+	case experiments.ModeHand:
+		return "hand"
+	case experiments.ModeDSAOrig:
+		return "dsa-orig"
+	case experiments.ModeDSAExt:
+		return "dsa-ext"
+	default:
+		return string(m)
+	}
+}
+
+// --- Article 1 ------------------------------------------------------
+
+// BenchmarkArticle1Fig12 regenerates Fig. 12 of Article 1: NEON
+// auto-vectorization vs original DSA over the ARM original execution.
+func BenchmarkArticle1Fig12(b *testing.B) {
+	benchRows(b, experiments.Article1Workloads,
+		[]experiments.Mode{experiments.ModeAutoVec, experiments.ModeDSAOrig})
+}
+
+// BenchmarkArticle1Table3 reports the published DSA area overheads as
+// metrics (measured by RTL synthesis in the paper; carried through).
+func BenchmarkArticle1Table3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+	}
+	b.ReportMetric(2.18, "dsa-logic-area-%")
+	b.ReportMetric(10.37, "dsa-total-area-%")
+}
+
+// --- Article 2 ------------------------------------------------------
+
+// BenchmarkArticle2Fig16 regenerates Fig. 16 of Article 2: autovec vs
+// original DSA vs extended DSA.
+func BenchmarkArticle2Fig16(b *testing.B) {
+	benchRows(b, experiments.Article2Workloads,
+		[]experiments.Mode{experiments.ModeAutoVec, experiments.ModeDSAOrig, experiments.ModeDSAExt})
+}
+
+// BenchmarkArticle2Table3 regenerates the DSA detection-latency table:
+// analysis time as a share of execution (hidden behind the core).
+func BenchmarkArticle2Table3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range experiments.Article2Workloads {
+			r := run(b, name, experiments.ModeDSAExt)
+			if i == b.N-1 && r.DSA != nil {
+				b.ReportMetric(r.DSA.DetectionShare(r.Ticks)*100, name+"/detect-%")
+			}
+		}
+	}
+}
+
+// --- Article 3 (DATE) -----------------------------------------------
+
+// BenchmarkArticle3Fig7 regenerates the loop-type census.
+func BenchmarkArticle3Fig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range workloads.Names() {
+			r := run(b, name, experiments.ModeDSAExt)
+			if i == b.N-1 && r.DSA != nil {
+				var total uint64
+				for _, n := range r.DSA.ByKind {
+					total += n
+				}
+				if total == 0 {
+					continue
+				}
+				for kind, n := range r.DSA.ByKind {
+					b.ReportMetric(float64(n)/float64(total)*100,
+						fmt.Sprintf("%s/%s-%%", name, kind))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkArticle3Fig8 regenerates the DATE headline: autovec vs
+// hand-coded vs extended DSA speedups.
+func BenchmarkArticle3Fig8(b *testing.B) {
+	benchRows(b, workloads.Names(),
+		[]experiments.Mode{experiments.ModeAutoVec, experiments.ModeHand, experiments.ModeDSAExt})
+}
+
+// BenchmarkArticle3Fig9 regenerates the energy-savings figure.
+func BenchmarkArticle3Fig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range workloads.Names() {
+			s := run(b, name, experiments.ModeScalar)
+			r := run(b, name, experiments.ModeDSAExt)
+			if i == b.N-1 {
+				b.ReportMetric((1-r.Energy.Total()/s.Energy.Total())*100, name+"/energy-savings-%")
+			}
+		}
+	}
+}
+
+// BenchmarkArticle3Table2 is the detection-latency table over the full
+// DATE suite.
+func BenchmarkArticle3Table2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range workloads.Names() {
+			r := run(b, name, experiments.ModeDSAExt)
+			if i == b.N-1 && r.DSA != nil {
+				b.ReportMetric(r.DSA.DetectionShare(r.Ticks)*100, name+"/detect-%")
+			}
+		}
+	}
+}
+
+// BenchmarkArticle3Table3 reports the DSA logic's share of total
+// energy per benchmark.
+func BenchmarkArticle3Table3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range workloads.Names() {
+			r := run(b, name, experiments.ModeDSAExt)
+			if i == b.N-1 && r.Energy.Total() > 0 {
+				b.ReportMetric(r.Energy.DSA/r.Energy.Total()*100, name+"/dsa-energy-%")
+			}
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md §5) -----------
+
+// partialBench runs a loop with an 8-iteration dependency distance
+// (the Fig. 14 shape) under the given DSA configuration.
+func partialBench(b *testing.B, cfg dsa.Config) int64 {
+	b.Helper()
+	const src = `
+        mov   r5, #0x1000     ; read cursor v[i]
+        mov   r2, #0x1020     ; write cursor v[i+8]
+        mov   r0, #0
+        mov   r4, #2000
+loop:   ldr   r3, [r5], #4
+        add   r3, r3, #1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt
+`
+	prog, err := asm.Assemble("partial", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := dsa.NewSystem(prog, cpu.DefaultConfig(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]int32, 2100)
+	for i := range vals {
+		vals[i] = int32(i)
+	}
+	s.M.Mem.WriteWords(0x1000, vals)
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	return s.M.Ticks
+}
+
+// leftoverSystem runs a vector sum whose trip count (21, Fig. 26) is
+// not a lane multiple, repeated across many entries so the leftover
+// strategy dominates. Arrays are padded so Larger Arrays stays safe.
+func leftoverSystem(b *testing.B, policy dsa.LeftoverPolicy) int64 {
+	b.Helper()
+	const src = `
+        mov   r8, #0
+outer:  mov   r5, #0x1000
+        mov   r10, #0x2000
+        mov   r2, #0x3000
+        mov   r0, #0
+loop:   ldr   r3, [r5], #4
+        ldr   r1, [r10], #4
+        add   r3, r3, r1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #21
+        blt   loop
+        add   r8, r8, #1
+        cmp   r8, #200
+        blt   outer
+        halt
+`
+	prog, err := asm.Assemble("leftover", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dsa.DefaultConfig()
+	cfg.Leftover = policy
+	s, err := dsa.NewSystem(prog, cpu.DefaultConfig(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	vals := make([]int32, 32) // padded past 21 for LeftoverLarger
+	for i := range vals {
+		vals[i] = int32(i)
+	}
+	s.M.Mem.WriteWords(0x1000, vals)
+	s.M.Mem.WriteWords(0x2000, vals)
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	got, err := s.M.Mem.ReadWords(0x3000, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != int32(2*i) {
+			b.Fatalf("policy %v: word %d = %d, want %d", policy, i, got[i], 2*i)
+		}
+	}
+	return s.M.Ticks
+}
+
+// BenchmarkAblationLeftover compares the §4.8 leftover strategies on a
+// loop with a non-multiple trip count.
+func BenchmarkAblationLeftover(b *testing.B) {
+	policies := []dsa.LeftoverPolicy{
+		dsa.LeftoverSingle, dsa.LeftoverOverlap, dsa.LeftoverLarger, dsa.LeftoverScalar,
+	}
+	for i := 0; i < b.N; i++ {
+		for _, p := range policies {
+			t := leftoverSystem(b, p)
+			if i == b.N-1 {
+				b.ReportMetric(float64(t), p.String()+"-ticks")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPartialVec measures partial vectorization on/off on
+// the dependency-window microbenchmark from the DSA test suite.
+func BenchmarkAblationPartialVec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, on := range []bool{false, true} {
+			cfg := dsa.DefaultConfig()
+			cfg.EnablePartial = on
+			ticks := partialBench(b, cfg)
+			if i == b.N-1 {
+				label := "off"
+				if on {
+					label = "on"
+				}
+				b.ReportMetric(float64(ticks), "partial-"+label+"-ticks")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationDSACacheSize sweeps the DSA cache capacity over a
+// synthetic program with 32 distinct hot loops: at 1 kB (16 entries)
+// the cache thrashes and every re-entry pays a full analysis; at 8 kB
+// every loop hits.
+func BenchmarkAblationDSACacheSize(b *testing.B) {
+	var src string
+	src += "        mov   r8, #0\nouter:\n"
+	for l := 0; l < 32; l++ {
+		src += fmt.Sprintf(`
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #0
+loop%d:  ldr   r3, [r5], #4
+        add   r3, r3, #1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #32
+        blt   loop%d
+`, l, l)
+	}
+	src += `
+        add   r8, r8, #1
+        cmp   r8, #4
+        blt   outer
+        halt
+`
+	prog, err := asm.Assemble("manyloops", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, kb := range []int{1, 4, 8, 16} {
+			cfg := dsa.DefaultConfig()
+			cfg.DSACacheBytes = kb << 10
+			s, err := dsa.NewSystem(prog, cpu.DefaultConfig(), cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			vals := make([]int32, 64)
+			s.M.Mem.WriteWords(0x1000, vals)
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(float64(s.M.Ticks), fmt.Sprintf("cache-%dkb-ticks", kb))
+				b.ReportMetric(float64(s.Stats().DSACacheHits), fmt.Sprintf("cache-%dkb-hits", kb))
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSentinelRange compares first-entry speculation
+// against the learned-range policy on the sentinel workload.
+func BenchmarkAblationSentinelRange(b *testing.B) {
+	w, err := workloads.ByName("str_prep")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), dsa.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		w.Setup(s.M)
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Check(s.M); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(s.M.Ticks), "learned-range-ticks")
+			b.ReportMetric(float64(s.Stats().VectorizedIters), "simd-iters")
+		}
+	}
+}
+
+// BenchmarkAblationConditionalMode compares the two conditional-loop
+// execution modes on the conditional-heavy benchmarks: the paper's
+// literal per-iteration mapped mode (Fig. 21/22) against the
+// full-speculation mode where the guard itself runs at vector width
+// (see DESIGN.md's substitution notes).
+func BenchmarkAblationConditionalMode(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"dijkstra", "bit_count", "susan_e"} {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, guardVec := range []bool{false, true} {
+				cfg := dsa.DefaultConfig()
+				cfg.EnableGuardVec = guardVec
+				s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				w.Setup(s.M)
+				if err := s.Run(); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Check(s.M); err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					label := "mapped"
+					if guardVec {
+						label = "guardvec"
+					}
+					b.ReportMetric(float64(s.M.Ticks), name+"/"+label+"-ticks")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+// Command dsasim runs one benchmark workload under one system setup
+// and reports timing, energy and DSA activity — the single-run
+// equivalent of cmd/experiments.
+//
+//	dsasim -workload rgb_gray -mode neon-dsa-extended -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	name := flag.String("workload", "", "workload name ("+strings.Join(workloads.Names(), ", ")+")")
+	mode := flag.String("mode", string(experiments.ModeDSAExt),
+		"system setup: arm-original, neon-autovec, neon-hand, neon-dsa-original, neon-dsa-extended")
+	verbose := flag.Bool("v", false, "print instruction counts and DSA internals")
+	listing := flag.Bool("listing", false, "disassemble the executed program")
+	trace := flag.Uint64("trace", 0, "print the first N retired instructions of a scalar run")
+	loops := flag.Bool("loops", false, "print the DSA cache contents (per-loop verdicts and generated SIMD)")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "usage: dsasim -workload <name> [-mode <mode>] [-v]")
+		fmt.Fprintln(os.Stderr, "workloads:", strings.Join(workloads.Names(), ", "))
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *listing {
+		fmt.Println(w.Scalar().String())
+		return
+	}
+	if *trace > 0 {
+		m := cpu.MustNew(w.Scalar(), cpu.DefaultConfig())
+		w.Setup(m)
+		t := &cpu.Tracer{W: os.Stdout, Limit: *trace}
+		if err := m.Run(t); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "... %d records shown; run halted after %d instructions\n", t.Count(), m.Steps)
+		return
+	}
+
+	base, err := experiments.Run(w, experiments.ModeScalar)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r, err := experiments.Run(w, experiments.Mode(*mode))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:   %s — %s (DLP: %s)\n", w.Name, w.Description, w.DLP)
+	fmt.Printf("mode:       %s\n", r.Mode)
+	fmt.Printf("ticks:      %d (scalar %d) → speedup %.2fx\n",
+		r.Ticks, base.Ticks, float64(base.Ticks)/float64(r.Ticks))
+	fmt.Printf("energy:     %.1f nJ (scalar %.1f) → savings %.1f%%\n",
+		r.Energy.Total(), base.Energy.Total(),
+		(1-r.Energy.Total()/base.Energy.Total())*100)
+	fmt.Printf("verified:   output matches the Go reference\n")
+
+	if *verbose {
+		fmt.Printf("\ncounts:     %+v\n", r.Counts)
+		fmt.Printf("L1:         %+v   L2: %+v\n", r.L1, r.L2)
+		fmt.Printf("energy:     frontend=%.1f scalar=%.1f caches=%.1f neon=%.1f dsa=%.1f nJ\n",
+			r.Energy.FrontEnd, r.Energy.Scalar, r.Energy.Caches, r.Energy.NEON, r.Energy.DSA)
+		if r.DSA != nil {
+			st := r.DSA
+			fmt.Printf("\nDSA:        takeovers=%d vectorized-iters=%d leftover-elements=%d\n",
+				st.Takeovers, st.VectorizedIters, st.LeftoverElements)
+			fmt.Printf("            cache: accesses=%d hits=%d  vcache: accesses=%d overflows=%d\n",
+				st.DSACacheAccesses, st.DSACacheHits, st.VCacheAccesses, st.VCacheOverflows)
+			fmt.Printf("            analysis=%d ticks (%.2f%% of run, hidden)  switch overhead=%d ticks\n",
+				st.AnalysisTicks, st.DetectionShare(r.Ticks)*100, st.OverheadTicks)
+			fmt.Printf("            loop census: %v\n", st.ByKind)
+			if len(st.RejectedReasons) > 0 {
+				keys := make([]string, 0, len(st.RejectedReasons))
+				for k := range st.RejectedReasons {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				fmt.Printf("            rejections:")
+				for _, k := range keys {
+					fmt.Printf(" %s×%d", k, st.RejectedReasons[k])
+				}
+				fmt.Println()
+			}
+		}
+		if r.Report != nil {
+			fmt.Printf("\nautovec:    %d loops vectorized, inhibitors %v\n",
+				r.Report.VectorizedCount(), r.Report.Inhibitors())
+		}
+	}
+
+	if *loops {
+		sys, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), dsa.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		w.Setup(sys.M)
+		if err := sys.Run(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("\nDSA cache after an extended-DSA run:")
+		for _, lr := range sys.E.Report() {
+			if lr.Vectorizable {
+				fmt.Printf("  loop @%d: %s, %d lanes of %s\n", lr.LoopID, lr.Kind, lr.Lanes, lr.ElemDT)
+				for _, in := range lr.Listing {
+					fmt.Printf("      %s\n", in)
+				}
+			} else {
+				fmt.Printf("  loop @%d: not vectorizable (%s)\n", lr.LoopID, lr.Reason)
+			}
+		}
+	}
+}

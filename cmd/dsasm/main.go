@@ -1,0 +1,63 @@
+// Command dsasm assembles, disassembles and lints armlite sources, and
+// optionally runs the static auto-vectorizer over them:
+//
+//	dsasm file.s                 # assemble + lint, print summary
+//	dsasm -d file.s              # assemble then disassemble (round-trip)
+//	dsasm -vectorize file.s      # print the auto-vectorized program
+//	dsasm -vectorize -noalias file.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/vectorize"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "print the disassembled program")
+	vec := flag.Bool("vectorize", false, "run the static auto-vectorizer and print the result")
+	noalias := flag.Bool("noalias", false, "assume restrict semantics during vectorization")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dsasm [-d] [-vectorize [-noalias]] <file.s>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "assembly failed:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d instructions, %d labels — ok\n",
+		flag.Arg(0), len(prog.Code), len(prog.Labels))
+
+	if *vec {
+		out, rep, err := vectorize.AutoVectorize(prog, vectorize.Options{NoAlias: *noalias})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vectorization failed:", err)
+			os.Exit(1)
+		}
+		for _, l := range rep.Loops {
+			if l.Vectorized {
+				fmt.Fprintf(os.Stderr, "loop @%d..%d: vectorized ×%d lanes (trip %d)\n",
+					l.Start, l.BranchPC, l.Lanes, l.TripCount)
+			} else {
+				fmt.Fprintf(os.Stderr, "loop @%d..%d: not vectorized (%s)\n",
+					l.Start, l.BranchPC, l.Inhibitor)
+			}
+		}
+		fmt.Print(out.String())
+		return
+	}
+	if *disasm {
+		fmt.Print(prog.String())
+	}
+}

@@ -1,0 +1,57 @@
+// Imagepipeline runs the paper's multimedia motivation case — an
+// RGB→grayscale conversion followed by a Gaussian blur — under all
+// four system setups of the evaluation and prints the comparison the
+// DATE article's intro promises: the DSA reaches hand-coded-class
+// performance with zero developer effort and no recompilation.
+//
+//	go run ./examples/imagepipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	fmt.Println("image pipeline: RGB→gray conversion, then separable Gaussian blur")
+	fmt.Println()
+	fmt.Printf("%-10s %22s %22s\n", "setup", "rgb_gray", "gaussian")
+
+	modes := []struct {
+		mode  experiments.Mode
+		label string
+	}{
+		{experiments.ModeScalar, "scalar"},
+		{experiments.ModeAutoVec, "autovec"},
+		{experiments.ModeHand, "hand"},
+		{experiments.ModeDSAExt, "dsa"},
+	}
+
+	base := map[string]int64{}
+	for _, m := range modes {
+		row := fmt.Sprintf("%-10s", m.label)
+		for _, name := range []string{"rgb_gray", "gaussian"} {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r, err := experiments.Run(w, m.mode)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m.mode == experiments.ModeScalar {
+				base[name] = r.Ticks
+			}
+			speedup := float64(base[name]) / float64(r.Ticks)
+			row += fmt.Sprintf(" %12d (%5.2fx)", r.Ticks, speedup)
+		}
+		fmt.Println(row)
+	}
+
+	fmt.Println()
+	fmt.Println("every run is bit-exact against the Go reference; the DSA result")
+	fmt.Println("needs neither the NEON library (hand) nor recompilation (autovec).")
+}

@@ -1,0 +1,21 @@
+; A conditional loop (dissertation Fig. 11c): out[i] = |a[i] - b[i]|.
+; Statically inhibited by the if/else; the extended DSA evaluates the
+; guard as a SIMD mask and retires both arms masked.
+        mov   r5, #0x1000
+        mov   r10, #0x2000
+        mov   r2, #0x3000
+        mov   r0, #0
+        mov   r4, #256
+loop:   ldr   r3, [r5, r0, lsl #2]
+        ldr   r1, [r10, r0, lsl #2]
+        cmp   r3, r1
+        ble   elseL
+        sub   r6, r3, r1
+        str   r6, [r2, r0, lsl #2]
+        b     endif
+elseL:  sub   r6, r1, r3
+        str   r6, [r2, r0, lsl #2]
+endif:  add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt

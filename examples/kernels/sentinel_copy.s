@@ -1,0 +1,14 @@
+; A sentinel loop (dissertation Fig. 11 / §4.6.5): copy a
+; zero-terminated string while shifting each byte. The static
+; compiler refuses it (iteration count not fixed); the extended DSA
+; vectorizes it speculatively.
+; Try:  go run ./cmd/dsasm -vectorize -noalias examples/kernels/sentinel_copy.s
+        mov   r5, #0x1000
+        mov   r2, #0x2000
+loop:   ldrb  r3, [r5], #1
+        cmp   r3, #0
+        beq   done
+        add   r4, r3, #3
+        strb  r4, [r2], #1
+        b     loop
+done:   halt

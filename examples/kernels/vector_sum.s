@@ -1,0 +1,15 @@
+; The dissertation's Fig. 25 vector-sum loop: v[i] = a[i] + b[i].
+; Try:  go run ./cmd/dsasm -vectorize examples/kernels/vector_sum.s
+        mov   r5, #0x1000     ; &a
+        mov   r10, #0x2000    ; &b
+        mov   r2, #0x3000     ; &v
+        mov   r0, #0          ; i
+        mov   r4, #400        ; n
+loop:   ldr   r3, [r5], #4
+        ldr   r1, [r10], #4
+        add   r3, r3, r1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt

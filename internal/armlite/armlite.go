@@ -1,0 +1,275 @@
+// Package armlite defines a compact ARMv7-flavoured instruction set used
+// by the whole repository: the scalar CPU model executes it, the static
+// auto-vectorizer rewrites it, and the Dynamic SIMD Assembler (DSA) both
+// observes it and generates the NEON-style vector subset of it at run
+// time.
+//
+// The ISA deliberately mirrors the instruction idioms the dissertation's
+// examples are written in (Fig. 25): post-indexed loads and stores
+// (`ldr r3, [r5], #4`), compare-and-branch loop closings
+// (`cmp r0, r4; blt loop`), and 128-bit NEON operations with explicit
+// element types (`vadd.i32 q9, q9, q8`, `vld1.32 q8, [r5]!`).
+package armlite
+
+import "fmt"
+
+// Reg identifies a scalar (core) register. R0–R12 are general purpose;
+// SP, LR and PC follow the ARM convention.
+type Reg uint8
+
+// Scalar register names.
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP // R13
+	LR // R14
+	PC // R15
+
+	// NumRegs is the size of the scalar register file.
+	NumRegs = 16
+	// NoReg marks an unused register slot in an instruction.
+	NoReg Reg = 0xFF
+)
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	case PC:
+		return "pc"
+	case NoReg:
+		return "<none>"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// VReg identifies a 128-bit NEON quadword register Q0–Q15.
+type VReg uint8
+
+// NumVRegs is the size of the NEON quadword register file (Q0–Q15),
+// matching the "Sixteen 128-bit (Q0 - Q15)" row of the dissertation's
+// systems-setup table.
+const NumVRegs = 16
+
+// NoVReg marks an unused vector register slot.
+const NoVReg VReg = 0xFF
+
+// String returns the assembler name of the vector register.
+func (v VReg) String() string {
+	if v == NoVReg {
+		return "<none>"
+	}
+	return fmt.Sprintf("q%d", uint8(v))
+}
+
+// Valid reports whether v names an architectural vector register.
+func (v VReg) Valid() bool { return v < NumVRegs }
+
+// Cond is an ARM condition code. Every instruction carries one;
+// CondAL (always) is the default.
+type Cond uint8
+
+// Condition codes.
+const (
+	CondAL Cond = iota // always
+	CondEQ             // Z set
+	CondNE             // Z clear
+	CondLT             // N != V
+	CondLE             // Z set or N != V
+	CondGT             // Z clear and N == V
+	CondGE             // N == V
+	CondMI             // N set
+	CondPL             // N clear
+	CondHS             // C set   (unsigned >=)
+	CondLO             // C clear (unsigned <)
+	CondHI             // C set and Z clear (unsigned >)
+	CondLS             // C clear or Z set  (unsigned <=)
+)
+
+var condNames = [...]string{
+	CondAL: "", CondEQ: "eq", CondNE: "ne", CondLT: "lt", CondLE: "le",
+	CondGT: "gt", CondGE: "ge", CondMI: "mi", CondPL: "pl", CondHS: "hs",
+	CondLO: "lo", CondHI: "hi", CondLS: "ls",
+}
+
+// String returns the condition suffix ("" for always).
+func (c Cond) String() string {
+	if int(c) < len(condNames) {
+		return condNames[c]
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Flags is the processor condition flag state (NZCV).
+type Flags struct {
+	N, Z, C, V bool
+}
+
+// Holds reports whether the condition passes under the given flags.
+func (c Cond) Holds(f Flags) bool {
+	switch c {
+	case CondAL:
+		return true
+	case CondEQ:
+		return f.Z
+	case CondNE:
+		return !f.Z
+	case CondLT:
+		return f.N != f.V
+	case CondLE:
+		return f.Z || f.N != f.V
+	case CondGT:
+		return !f.Z && f.N == f.V
+	case CondGE:
+		return f.N == f.V
+	case CondMI:
+		return f.N
+	case CondPL:
+		return !f.N
+	case CondHS:
+		return f.C
+	case CondLO:
+		return !f.C
+	case CondHI:
+		return f.C && !f.Z
+	case CondLS:
+		return !f.C || f.Z
+	default:
+		return false
+	}
+}
+
+// Inverse returns the complementary condition (e.g. EQ→NE). CondAL has
+// no inverse and is returned unchanged.
+func (c Cond) Inverse() Cond {
+	switch c {
+	case CondEQ:
+		return CondNE
+	case CondNE:
+		return CondEQ
+	case CondLT:
+		return CondGE
+	case CondGE:
+		return CondLT
+	case CondLE:
+		return CondGT
+	case CondGT:
+		return CondLE
+	case CondMI:
+		return CondPL
+	case CondPL:
+		return CondMI
+	case CondHS:
+		return CondLO
+	case CondLO:
+		return CondHS
+	case CondHI:
+		return CondLS
+	case CondLS:
+		return CondHI
+	default:
+		return c
+	}
+}
+
+// DataType describes the element type of a memory access or vector
+// operation. For scalar memory ops only B, H, W and F32 apply; vector
+// operations use the lane-typed variants exactly as NEON mnemonics do
+// (.i8, .i16, .i32, .f32).
+type DataType uint8
+
+// Data types.
+const (
+	Word DataType = iota // 32-bit integer (default)
+	Byte                 // 8-bit
+	Half                 // 16-bit
+	F32                  // 32-bit IEEE float
+	I8                   // vector lanes of 8-bit ints
+	I16                  // vector lanes of 16-bit ints
+	I32                  // vector lanes of 32-bit ints
+	VF32                 // vector lanes of 32-bit floats
+)
+
+// Size returns the element size in bytes.
+func (d DataType) Size() int {
+	switch d {
+	case Byte, I8:
+		return 1
+	case Half, I16:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// Lanes returns how many elements of this type fit in a 128-bit vector
+// register — the parallelism degrees of the dissertation's Fig. 4
+// (16 × .i8, 8 × .i16, 4 × .i32, 4 × .f32).
+func (d DataType) Lanes() int { return VectorBytes / d.Size() }
+
+// IsFloat reports whether the element type is floating point.
+func (d DataType) IsFloat() bool { return d == F32 || d == VF32 }
+
+// Vector returns the vector (lane-typed) counterpart of a scalar data
+// type: Byte→I8, Half→I16, Word→I32, F32→VF32. Lane types map to
+// themselves.
+func (d DataType) Vector() DataType {
+	switch d {
+	case Byte:
+		return I8
+	case Half:
+		return I16
+	case Word:
+		return I32
+	case F32:
+		return VF32
+	default:
+		return d
+	}
+}
+
+// String returns the NEON-style type suffix.
+func (d DataType) String() string {
+	switch d {
+	case Word:
+		return "w"
+	case Byte:
+		return "b"
+	case Half:
+		return "h"
+	case F32:
+		return "f"
+	case I8:
+		return "i8"
+	case I16:
+		return "i16"
+	case I32:
+		return "i32"
+	case VF32:
+		return "f32"
+	default:
+		return fmt.Sprintf("dt(%d)", uint8(d))
+	}
+}
+
+// VectorBytes is the NEON engine width in bytes (128 bits), per the
+// dissertation's "128-bit Wide" system setup.
+const VectorBytes = 16

@@ -1,0 +1,226 @@
+package armlite
+
+import "testing"
+
+func TestCondHolds(t *testing.T) {
+	cases := []struct {
+		cond Cond
+		f    Flags
+		want bool
+	}{
+		{CondAL, Flags{}, true},
+		{CondEQ, Flags{Z: true}, true},
+		{CondEQ, Flags{}, false},
+		{CondNE, Flags{Z: true}, false},
+		{CondNE, Flags{}, true},
+		{CondLT, Flags{N: true}, true},
+		{CondLT, Flags{N: true, V: true}, false},
+		{CondLE, Flags{Z: true}, true},
+		{CondLE, Flags{N: true}, true},
+		{CondGT, Flags{}, true},
+		{CondGT, Flags{Z: true}, false},
+		{CondGE, Flags{}, true},
+		{CondGE, Flags{N: true}, false},
+		{CondMI, Flags{N: true}, true},
+		{CondPL, Flags{N: true}, false},
+		{CondHS, Flags{C: true}, true},
+		{CondLO, Flags{C: true}, false},
+		{CondHI, Flags{C: true}, true},
+		{CondHI, Flags{C: true, Z: true}, false},
+		{CondLS, Flags{}, true},
+		{CondLS, Flags{C: true}, false},
+	}
+	for _, c := range cases {
+		if got := c.cond.Holds(c.f); got != c.want {
+			t.Errorf("%v.Holds(%+v) = %v, want %v", c.cond, c.f, got, c.want)
+		}
+	}
+}
+
+func TestCondInverse(t *testing.T) {
+	for _, c := range []Cond{CondEQ, CondNE, CondLT, CondLE, CondGT, CondGE,
+		CondMI, CondPL, CondHS, CondLO, CondHI, CondLS} {
+		inv := c.Inverse()
+		if inv == c {
+			t.Errorf("%v has no distinct inverse", c)
+		}
+		if inv.Inverse() != c {
+			t.Errorf("Inverse not involutive for %v", c)
+		}
+		// A condition and its inverse must never both hold.
+		for _, f := range []Flags{{}, {Z: true}, {N: true}, {C: true}, {V: true},
+			{N: true, V: true}, {C: true, Z: true}, {N: true, Z: true}} {
+			if c.Holds(f) && inv.Holds(f) {
+				t.Errorf("%v and %v both hold under %+v", c, inv, f)
+			}
+			if !c.Holds(f) && !inv.Holds(f) {
+				t.Errorf("neither %v nor %v holds under %+v", c, inv, f)
+			}
+		}
+	}
+}
+
+func TestDataTypeLanes(t *testing.T) {
+	// The parallelism degrees of dissertation Fig. 4.
+	cases := map[DataType]int{I8: 16, I16: 8, I32: 4, VF32: 4, Byte: 16, Half: 8, Word: 4, F32: 4}
+	for dt, want := range cases {
+		if got := dt.Lanes(); got != want {
+			t.Errorf("%v.Lanes() = %d, want %d", dt, got, want)
+		}
+		if dt.Size()*dt.Lanes() != VectorBytes {
+			t.Errorf("%v: size*lanes != 16", dt)
+		}
+	}
+}
+
+func TestDataTypeVector(t *testing.T) {
+	cases := map[DataType]DataType{Byte: I8, Half: I16, Word: I32, F32: VF32, I8: I8, VF32: VF32}
+	for dt, want := range cases {
+		if got := dt.Vector(); got != want {
+			t.Errorf("%v.Vector() = %v, want %v", dt, got, want)
+		}
+	}
+}
+
+func TestVectorALUOp(t *testing.T) {
+	cases := map[Op]Op{OpAdd: OpVadd, OpSub: OpVsub, OpMul: OpVmul,
+		OpFAdd: OpVadd, OpFMul: OpVmul, OpAnd: OpVand, OpOrr: OpVorr,
+		OpEor: OpVeor, OpLsr: OpVshr, OpLsl: OpVshl}
+	for op, want := range cases {
+		got, ok := VectorALUOp(op)
+		if !ok || got != want {
+			t.Errorf("VectorALUOp(%v) = %v,%v want %v", op, got, ok, want)
+		}
+	}
+	for _, op := range []Op{OpSdiv, OpCmp, OpLdr, OpB, OpFDiv} {
+		if _, ok := VectorALUOp(op); ok {
+			t.Errorf("VectorALUOp(%v) unexpectedly ok", op)
+		}
+	}
+}
+
+func TestUsesDefs(t *testing.T) {
+	add := ALUReg(OpAdd, R3, R3, R1)
+	if !add.Uses().Has(R3) || !add.Uses().Has(R1) {
+		t.Errorf("add uses wrong: %v", add.Uses().Regs())
+	}
+	if !add.Defs().Has(R3) || add.Defs().Count() != 1 {
+		t.Errorf("add defs wrong: %v", add.Defs().Regs())
+	}
+
+	ld := LoadPost(Word, R3, R5, 4)
+	if !ld.Uses().Has(R5) {
+		t.Error("post-indexed load must use base")
+	}
+	if !ld.Defs().Has(R3) || !ld.Defs().Has(R5) {
+		t.Errorf("post-indexed load must def rd and base, got %v", ld.Defs().Regs())
+	}
+
+	st := StorePost(Word, R3, R2, 4)
+	if !st.Uses().Has(R3) || !st.Uses().Has(R2) {
+		t.Errorf("store uses wrong: %v", st.Uses().Regs())
+	}
+	if !st.Defs().Has(R2) || st.Defs().Has(R3) {
+		t.Errorf("store defs wrong: %v", st.Defs().Regs())
+	}
+
+	cmp := CmpReg(R0, R4)
+	if cmp.Defs() != 0 {
+		t.Error("cmp must not def registers")
+	}
+
+	bl := NewInstr(OpBL)
+	if !bl.Defs().Has(LR) {
+		t.Error("bl must def lr")
+	}
+}
+
+func TestVUsesVDefs(t *testing.T) {
+	vadd := VALU(OpVadd, Word, 9, 9, 8)
+	if got := vadd.VDefs(); len(got) != 1 || got[0] != 9 {
+		t.Errorf("vadd VDefs = %v", got)
+	}
+	if got := vadd.VUses(); len(got) != 2 {
+		t.Errorf("vadd VUses = %v", got)
+	}
+	vst := VStore(Word, 9, R2, true)
+	if got := vst.VUses(); len(got) != 1 || got[0] != 9 {
+		t.Errorf("vst1 VUses = %v", got)
+	}
+	if got := vst.VDefs(); len(got) != 0 {
+		t.Errorf("vst1 VDefs = %v", got)
+	}
+	vld := VLoad(Word, 8, R5, true)
+	if got := vld.VDefs(); len(got) != 1 || got[0] != 8 {
+		t.Errorf("vld1 VDefs = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Instr{
+		MovImm(R0, 1), ALUReg(OpAdd, R1, R1, R0), CmpImm(R0, 4),
+		LoadPost(Byte, R3, R5, 1), StoreOfs(Word, R3, R2, 8),
+		Branch(CondLT, 0), Halt(), Nop(),
+		VLoad(Word, 8, R5, true), VALU(OpVadd, Word, 9, 9, 8),
+		VShiftImm(OpVshr, Word, 9, 9, 8), VDup(Word, 1, R0),
+	}
+	for _, in := range good {
+		if err := in.Validate(); err != nil {
+			t.Errorf("Validate(%s): %v", in, err)
+		}
+	}
+	bad := NewInstr(OpAdd) // no registers at all
+	if err := bad.Validate(); err == nil {
+		t.Error("expected validation failure for empty add")
+	}
+	badV := NewInstr(OpVadd)
+	if err := badV.Validate(); err == nil {
+		t.Error("expected validation failure for empty vadd")
+	}
+}
+
+func TestProgramValidateBranchRange(t *testing.T) {
+	p := &Program{Name: "t", Code: []Instr{Branch(CondAL, 5), Halt()}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range branch target must fail validation")
+	}
+	p.Code[0].Target = 1
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+}
+
+func TestRegSet(t *testing.T) {
+	var s RegSet
+	s.Add(R0)
+	s.Add(R5)
+	s.Add(NoReg) // must be ignored
+	if !s.Has(R0) || !s.Has(R5) || s.Has(R1) {
+		t.Errorf("membership wrong: %v", s.Regs())
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	var tset RegSet
+	tset.Add(R1)
+	u := s.Union(tset)
+	if u.Count() != 3 {
+		t.Errorf("Union count = %d", u.Count())
+	}
+}
+
+func TestMnemonicStrings(t *testing.T) {
+	cases := map[string]Instr{
+		"subs":     func() Instr { i := ALUImm(OpSub, R0, R0, 1); i.SetFlags = true; return i }(),
+		"blt":      Branch(CondLT, 0),
+		"vadd.i32": VALU(OpVadd, Word, 1, 2, 3),
+		"vld1.f32": VLoad(F32, 1, R0, false),
+		"ldrb":     LoadOfs(Byte, R0, R1, 0),
+		"strh":     StoreOfs(Half, R0, R1, 0),
+	}
+	for want, in := range cases {
+		if got := in.Mnemonic(); got != want {
+			t.Errorf("Mnemonic = %q, want %q", got, want)
+		}
+	}
+}

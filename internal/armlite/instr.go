@@ -1,0 +1,356 @@
+package armlite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Scalar data-processing, memory, and control opcodes, followed by the
+// NEON-style vector subset.
+const (
+	OpNop Op = iota
+
+	// Data processing (integer).
+	OpMov // rd := op2
+	OpMvn // rd := ^op2
+	OpAdd // rd := rn + op2
+	OpSub // rd := rn - op2
+	OpRsb // rd := op2 - rn
+	OpMul // rd := rn * rm
+	OpMla // rd := rn*rm + ra (ra carried in Imm slot as register? no: uses Ra)
+	OpSdiv
+	OpUdiv
+	OpAnd
+	OpOrr
+	OpEor
+	OpBic
+	OpLsl
+	OpLsr
+	OpAsr
+	OpCmp // flags := rn - op2
+	OpCmn // flags := rn + op2
+	OpTst // flags := rn & op2
+
+	// Data processing (float, on 32-bit register bit patterns).
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	OpFCmp
+
+	// Memory.
+	OpLdr // load (size per DT: Byte/Half/Word/F32)
+	OpStr // store
+
+	// Control.
+	OpB    // conditional branch
+	OpBL   // branch and link (call)
+	OpBX   // branch to register (return: bx lr)
+	OpHalt // stop the machine (end of program)
+
+	// Vector (NEON-style).
+	OpVld1 // vld1.<dt> qd, [rn](!)
+	OpVst1 // vst1.<dt> qd, [rn](!)
+	OpVadd
+	OpVsub
+	OpVmul
+	OpVand
+	OpVorr
+	OpVeor
+	OpVmin
+	OpVmax
+	OpVshl // shift left by immediate, per lane
+	OpVshr // shift right by immediate, per lane (arithmetic for ints)
+	OpVdup // splat scalar register into all lanes
+	OpVceq // lane compare equal → all-ones/zero mask
+	OpVcgt // lane compare greater-than → mask
+	OpVbsl // bitwise select: qd := (qd & qn) | (^qd & qm)
+	OpVmov // qd := qm
+
+	numOps
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpMov: "mov", OpMvn: "mvn", OpAdd: "add", OpSub: "sub",
+	OpRsb: "rsb", OpMul: "mul", OpMla: "mla", OpSdiv: "sdiv", OpUdiv: "udiv",
+	OpAnd: "and", OpOrr: "orr", OpEor: "eor", OpBic: "bic", OpLsl: "lsl",
+	OpLsr: "lsr", OpAsr: "asr", OpCmp: "cmp", OpCmn: "cmn", OpTst: "tst",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFCmp: "fcmp", OpLdr: "ldr", OpStr: "str", OpB: "b", OpBL: "bl",
+	OpBX: "bx", OpHalt: "halt", OpVld1: "vld1", OpVst1: "vst1",
+	OpVadd: "vadd", OpVsub: "vsub", OpVmul: "vmul", OpVand: "vand",
+	OpVorr: "vorr", OpVeor: "veor", OpVmin: "vmin", OpVmax: "vmax",
+	OpVshl: "vshl", OpVshr: "vshr", OpVdup: "vdup", OpVceq: "vceq",
+	OpVcgt: "vcgt", OpVbsl: "vbsl", OpVmov: "vmov",
+}
+
+// String returns the base mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsVector reports whether the opcode belongs to the NEON-style subset.
+func (o Op) IsVector() bool { return o >= OpVld1 && o <= OpVmov }
+
+// IsBranch reports whether the opcode transfers control.
+func (o Op) IsBranch() bool { return o == OpB || o == OpBL || o == OpBX }
+
+// IsMem reports whether the opcode accesses data memory.
+func (o Op) IsMem() bool {
+	return o == OpLdr || o == OpStr || o == OpVld1 || o == OpVst1
+}
+
+// IsALU reports whether the opcode is a scalar data-processing
+// operation (including compares and float arithmetic).
+func (o Op) IsALU() bool { return o >= OpMov && o <= OpFCmp }
+
+// SetsFlagsAlways reports whether the opcode updates NZCV regardless of
+// the S suffix (the compare family).
+func (o Op) SetsFlagsAlways() bool {
+	return o == OpCmp || o == OpCmn || o == OpTst || o == OpFCmp
+}
+
+// VectorALUOp maps a scalar ALU opcode to its vector counterpart, used
+// by both the static auto-vectorizer and the DSA's run-time SIMD
+// generator. ok is false for opcodes with no vector form.
+func VectorALUOp(o Op) (vop Op, ok bool) {
+	switch o {
+	case OpAdd, OpFAdd:
+		return OpVadd, true
+	case OpSub, OpFSub:
+		return OpVsub, true
+	case OpMul, OpFMul:
+		return OpVmul, true
+	case OpAnd:
+		return OpVand, true
+	case OpOrr:
+		return OpVorr, true
+	case OpEor:
+		return OpVeor, true
+	case OpLsl:
+		return OpVshl, true
+	case OpLsr, OpAsr:
+		return OpVshr, true
+	default:
+		return OpNop, false
+	}
+}
+
+// AddrKind selects the addressing mode of a memory instruction.
+type AddrKind uint8
+
+// Addressing modes.
+const (
+	AddrOffset    AddrKind = iota // [rn, #imm] — no writeback
+	AddrPostIndex                 // [rn], #imm — access at rn, then rn += imm
+	AddrRegOffset                 // [rn, rm, lsl #s]
+)
+
+// Mem describes the memory operand of a load/store.
+type Mem struct {
+	Base      Reg
+	Index     Reg // NoReg unless AddrRegOffset
+	Offset    int32
+	Shift     uint8 // LSL amount for AddrRegOffset
+	Kind      AddrKind
+	Writeback bool // true for post-index and for "[rn]!" vector forms
+}
+
+// Instr is one armlite instruction. A single struct covers the whole
+// ISA; unused fields hold their zero value (or NoReg/NoVReg).
+type Instr struct {
+	Op       Op
+	Cond     Cond
+	SetFlags bool // the S suffix (subs, adds, ...)
+	DT       DataType
+
+	// Scalar operands.
+	Rd, Rn, Rm, Ra Reg
+	Imm            int32
+	HasImm         bool // Rm unused; Imm is operand 2
+
+	// Memory operand (OpLdr/OpStr/OpVld1/OpVst1).
+	Mem Mem
+
+	// Vector operands.
+	Qd, Qn, Qm VReg
+
+	// Branch target: instruction index within the program. The
+	// assembler resolves Label into Target.
+	Target int
+	Label  string
+}
+
+// NewInstr returns an instruction with register slots marked unused,
+// so partially filled instructions validate and print cleanly.
+func NewInstr(op Op) Instr {
+	return Instr{
+		Op: op,
+		Rd: NoReg, Rn: NoReg, Rm: NoReg, Ra: NoReg,
+		Qd: NoVReg, Qn: NoVReg, Qm: NoVReg,
+		Mem: Mem{Base: NoReg, Index: NoReg},
+	}
+}
+
+// Mnemonic returns the full mnemonic including condition, S suffix and
+// data-type suffix, e.g. "subs", "blt", "vadd.i32", "ldrb".
+func (in Instr) Mnemonic() string {
+	var b strings.Builder
+	b.WriteString(in.Op.String())
+	if in.Op == OpLdr || in.Op == OpStr {
+		switch in.DT {
+		case Byte:
+			b.WriteString("b")
+		case Half:
+			b.WriteString("h")
+		case F32:
+			b.WriteString("f")
+		}
+	}
+	if in.SetFlags && !in.Op.SetsFlagsAlways() {
+		b.WriteString("s")
+	}
+	b.WriteString(in.Cond.String())
+	if in.Op.IsVector() {
+		b.WriteString(".")
+		b.WriteString(in.DT.Vector().String())
+	}
+	return b.String()
+}
+
+func (m Mem) String() string {
+	switch m.Kind {
+	case AddrPostIndex:
+		return fmt.Sprintf("[%s], #%d", m.Base, m.Offset)
+	case AddrRegOffset:
+		if m.Shift != 0 {
+			return fmt.Sprintf("[%s, %s, lsl #%d]", m.Base, m.Index, m.Shift)
+		}
+		return fmt.Sprintf("[%s, %s]", m.Base, m.Index)
+	default:
+		if m.Offset == 0 {
+			return fmt.Sprintf("[%s]", m.Base)
+		}
+		return fmt.Sprintf("[%s, #%d]", m.Base, m.Offset)
+	}
+}
+
+// String disassembles the instruction. The output re-assembles to an
+// identical instruction (round-trip tested).
+func (in Instr) String() string {
+	mn := in.Mnemonic()
+	op2 := func() string {
+		if in.HasImm {
+			return fmt.Sprintf("#%d", in.Imm)
+		}
+		return in.Rm.String()
+	}
+	switch in.Op {
+	case OpNop, OpHalt:
+		return mn
+	case OpMov, OpMvn:
+		return fmt.Sprintf("%s %s, %s", mn, in.Rd, op2())
+	case OpCmp, OpCmn, OpTst, OpFCmp:
+		return fmt.Sprintf("%s %s, %s", mn, in.Rn, op2())
+	case OpMla:
+		return fmt.Sprintf("%s %s, %s, %s, %s", mn, in.Rd, in.Rn, in.Rm, in.Ra)
+	case OpMul, OpSdiv, OpUdiv, OpFAdd, OpFSub, OpFMul, OpFDiv:
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Rd, in.Rn, op2())
+	case OpAdd, OpSub, OpRsb, OpAnd, OpOrr, OpEor, OpBic, OpLsl, OpLsr, OpAsr:
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Rd, in.Rn, op2())
+	case OpLdr, OpStr:
+		return fmt.Sprintf("%s %s, %s", mn, in.Rd, in.Mem)
+	case OpB, OpBL:
+		if in.Label != "" {
+			return fmt.Sprintf("%s %s", mn, in.Label)
+		}
+		return fmt.Sprintf("%s %d", mn, in.Target)
+	case OpBX:
+		return fmt.Sprintf("%s %s", mn, in.Rn)
+	case OpVld1, OpVst1:
+		wb := ""
+		if in.Mem.Writeback {
+			wb = "!"
+		}
+		return fmt.Sprintf("%s %s, [%s]%s", mn, in.Qd, in.Mem.Base, wb)
+	case OpVdup:
+		return fmt.Sprintf("%s %s, %s", mn, in.Qd, in.Rn)
+	case OpVmov:
+		return fmt.Sprintf("%s %s, %s", mn, in.Qd, in.Qm)
+	case OpVshl, OpVshr:
+		return fmt.Sprintf("%s %s, %s, #%d", mn, in.Qd, in.Qn, in.Imm)
+	default: // vector three-operand
+		return fmt.Sprintf("%s %s, %s, %s", mn, in.Qd, in.Qn, in.Qm)
+	}
+}
+
+// Validate checks structural well-formedness (register slots present
+// where the opcode needs them). The CPU refuses to run invalid
+// programs, so assembler and code generators are both covered.
+func (in Instr) Validate() error {
+	need := func(ok bool, what string) error {
+		if !ok {
+			return fmt.Errorf("armlite: %s: missing/invalid %s", in.Op, what)
+		}
+		return nil
+	}
+	switch in.Op {
+	case OpNop, OpHalt:
+		return nil
+	case OpMov, OpMvn:
+		if err := need(in.Rd.Valid(), "rd"); err != nil {
+			return err
+		}
+		return need(in.HasImm || in.Rm.Valid(), "operand 2")
+	case OpCmp, OpCmn, OpTst, OpFCmp:
+		if err := need(in.Rn.Valid(), "rn"); err != nil {
+			return err
+		}
+		return need(in.HasImm || in.Rm.Valid(), "operand 2")
+	case OpMla:
+		return need(in.Rd.Valid() && in.Rn.Valid() && in.Rm.Valid() && in.Ra.Valid(), "registers")
+	case OpMul, OpSdiv, OpUdiv, OpFAdd, OpFSub, OpFMul, OpFDiv,
+		OpAdd, OpSub, OpRsb, OpAnd, OpOrr, OpEor, OpBic, OpLsl, OpLsr, OpAsr:
+		if err := need(in.Rd.Valid() && in.Rn.Valid(), "rd/rn"); err != nil {
+			return err
+		}
+		return need(in.HasImm || in.Rm.Valid(), "operand 2")
+	case OpLdr, OpStr:
+		if err := need(in.Rd.Valid(), "rd"); err != nil {
+			return err
+		}
+		if err := need(in.Mem.Base.Valid(), "base register"); err != nil {
+			return err
+		}
+		if in.Mem.Kind == AddrRegOffset {
+			return need(in.Mem.Index.Valid(), "index register")
+		}
+		return nil
+	case OpB, OpBL:
+		return need(in.Target >= 0 || in.Label != "", "branch target")
+	case OpBX:
+		return need(in.Rn.Valid(), "rn")
+	case OpVld1, OpVst1:
+		if err := need(in.Qd.Valid(), "qd"); err != nil {
+			return err
+		}
+		return need(in.Mem.Base.Valid(), "base register")
+	case OpVdup:
+		return need(in.Qd.Valid() && in.Rn.Valid(), "qd/rn")
+	case OpVmov:
+		return need(in.Qd.Valid() && in.Qm.Valid(), "qd/qm")
+	case OpVshl, OpVshr:
+		return need(in.Qd.Valid() && in.Qn.Valid(), "qd/qn")
+	case OpVadd, OpVsub, OpVmul, OpVand, OpVorr, OpVeor, OpVmin, OpVmax,
+		OpVceq, OpVcgt, OpVbsl:
+		return need(in.Qd.Valid() && in.Qn.Valid() && in.Qm.Valid(), "qd/qn/qm")
+	default:
+		return fmt.Errorf("armlite: unknown opcode %d", uint8(in.Op))
+	}
+}

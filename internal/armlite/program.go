@@ -1,0 +1,202 @@
+package armlite
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a fully resolved sequence of instructions. Instruction
+// indices serve as "addresses"; the simulated program counter counts
+// instructions, and the dissertation's instruction-address arithmetic
+// (loop body ranges, condition-region gaps) maps directly onto indices.
+type Program struct {
+	Name   string
+	Code   []Instr
+	Labels map[string]int // label → instruction index
+}
+
+// Validate checks every instruction and every branch target.
+func (p *Program) Validate() error {
+	for i, in := range p.Code {
+		if err := in.Validate(); err != nil {
+			return fmt.Errorf("%s@%d: %w", p.Name, i, err)
+		}
+		if in.Op == OpB || in.Op == OpBL {
+			if in.Target < 0 || in.Target >= len(p.Code) {
+				return fmt.Errorf("%s@%d: branch target %d out of range", p.Name, i, in.Target)
+			}
+		}
+	}
+	return nil
+}
+
+// LabelAt returns the label naming instruction index i, or "".
+func (p *Program) LabelAt(i int) string {
+	for name, idx := range p.Labels {
+		if idx == i {
+			return name
+		}
+	}
+	return ""
+}
+
+// String disassembles the whole program with labels.
+func (p *Program) String() string {
+	var b strings.Builder
+	for i, in := range p.Code {
+		if l := p.LabelAt(i); l != "" {
+			fmt.Fprintf(&b, "%s:\n", l)
+		}
+		fmt.Fprintf(&b, "\t%s\n", in)
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy, so rewriting passes (the auto-vectorizer)
+// never mutate the scalar original.
+func (p *Program) Clone() *Program {
+	q := &Program{Name: p.Name, Code: make([]Instr, len(p.Code)), Labels: make(map[string]int, len(p.Labels))}
+	copy(q.Code, p.Code)
+	for k, v := range p.Labels {
+		q.Labels[k] = v
+	}
+	return q
+}
+
+// RegSet is a small set of scalar registers.
+type RegSet uint32
+
+// Add inserts r.
+func (s *RegSet) Add(r Reg) {
+	if r.Valid() {
+		*s |= 1 << r
+	}
+}
+
+// Has reports membership.
+func (s RegSet) Has(r Reg) bool { return r.Valid() && s&(1<<r) != 0 }
+
+// Union merges two sets.
+func (s RegSet) Union(t RegSet) RegSet { return s | t }
+
+// Count returns the cardinality.
+func (s RegSet) Count() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+// Regs lists the members in ascending order.
+func (s RegSet) Regs() []Reg {
+	var out []Reg
+	for r := Reg(0); r < NumRegs; r++ {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Uses returns the scalar registers an instruction reads. It is the
+// foundation of the DSA's backward slices (sentinel stop-condition
+// extraction) and the auto-vectorizer's dependence checks.
+func (in Instr) Uses() RegSet {
+	var s RegSet
+	addOp2 := func() {
+		if !in.HasImm {
+			s.Add(in.Rm)
+		}
+	}
+	switch in.Op {
+	case OpNop, OpHalt:
+	case OpMov, OpMvn:
+		addOp2()
+	case OpCmp, OpCmn, OpTst, OpFCmp:
+		s.Add(in.Rn)
+		addOp2()
+	case OpMla:
+		s.Add(in.Rn)
+		s.Add(in.Rm)
+		s.Add(in.Ra)
+	case OpMul, OpSdiv, OpUdiv, OpFAdd, OpFSub, OpFMul, OpFDiv,
+		OpAdd, OpSub, OpRsb, OpAnd, OpOrr, OpEor, OpBic, OpLsl, OpLsr, OpAsr:
+		s.Add(in.Rn)
+		addOp2()
+	case OpLdr:
+		s.Add(in.Mem.Base)
+		s.Add(in.Mem.Index)
+	case OpStr:
+		s.Add(in.Rd) // store reads the data register
+		s.Add(in.Mem.Base)
+		s.Add(in.Mem.Index)
+	case OpBX:
+		s.Add(in.Rn)
+	case OpVld1, OpVst1:
+		s.Add(in.Mem.Base)
+	case OpVdup:
+		s.Add(in.Rn)
+	}
+	return s
+}
+
+// Defs returns the scalar registers an instruction writes.
+func (in Instr) Defs() RegSet {
+	var s RegSet
+	switch in.Op {
+	case OpMov, OpMvn, OpMla, OpMul, OpSdiv, OpUdiv,
+		OpFAdd, OpFSub, OpFMul, OpFDiv,
+		OpAdd, OpSub, OpRsb, OpAnd, OpOrr, OpEor, OpBic, OpLsl, OpLsr, OpAsr:
+		s.Add(in.Rd)
+	case OpLdr:
+		s.Add(in.Rd)
+	case OpBL:
+		s.Add(LR)
+	}
+	if in.Op.IsMem() && in.Mem.Writeback {
+		s.Add(in.Mem.Base)
+	}
+	return s
+}
+
+// VUses returns the vector registers an instruction reads.
+func (in Instr) VUses() []VReg {
+	var out []VReg
+	add := func(v VReg) {
+		if v.Valid() {
+			out = append(out, v)
+		}
+	}
+	switch in.Op {
+	case OpVst1:
+		add(in.Qd)
+	case OpVmov:
+		add(in.Qm)
+	case OpVshl, OpVshr:
+		add(in.Qn)
+	case OpVbsl:
+		add(in.Qd)
+		add(in.Qn)
+		add(in.Qm)
+	case OpVadd, OpVsub, OpVmul, OpVand, OpVorr, OpVeor, OpVmin, OpVmax,
+		OpVceq, OpVcgt:
+		add(in.Qn)
+		add(in.Qm)
+	}
+	return out
+}
+
+// VDefs returns the vector registers an instruction writes.
+func (in Instr) VDefs() []VReg {
+	switch in.Op {
+	case OpVld1, OpVadd, OpVsub, OpVmul, OpVand, OpVorr, OpVeor,
+		OpVmin, OpVmax, OpVshl, OpVshr, OpVdup, OpVceq, OpVcgt,
+		OpVbsl, OpVmov:
+		if in.Qd.Valid() {
+			return []VReg{in.Qd}
+		}
+	}
+	return nil
+}

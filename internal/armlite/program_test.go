@@ -1,0 +1,100 @@
+package armlite
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleProgram() *Program {
+	return &Program{
+		Name: "sample",
+		Code: []Instr{
+			MovImm(R0, 0),
+			LoadPost(Word, R3, R5, 4),
+			ALUImm(OpAdd, R3, R3, 1),
+			StorePost(Word, R3, R2, 4),
+			ALUImm(OpAdd, R0, R0, 1),
+			CmpImm(R0, 10),
+			Branch(CondLT, 1),
+			Halt(),
+		},
+		Labels: map[string]int{"loop": 1},
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	p := sampleProgram()
+	s := p.String()
+	if !strings.Contains(s, "loop:") {
+		t.Error("label missing from disassembly")
+	}
+	if !strings.Contains(s, "ldr r3, [r5], #4") {
+		t.Errorf("post-index load missing:\n%s", s)
+	}
+	if !strings.Contains(s, "blt 1") {
+		t.Errorf("branch missing:\n%s", s)
+	}
+}
+
+func TestLabelAt(t *testing.T) {
+	p := sampleProgram()
+	if got := p.LabelAt(1); got != "loop" {
+		t.Errorf("LabelAt(1) = %q", got)
+	}
+	if got := p.LabelAt(0); got != "" {
+		t.Errorf("LabelAt(0) = %q, want empty", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := sampleProgram()
+	q := p.Clone()
+	q.Code[0].Imm = 99
+	q.Labels["loop"] = 5
+	if p.Code[0].Imm == 99 {
+		t.Error("Clone shares code")
+	}
+	if p.Labels["loop"] == 5 {
+		t.Error("Clone shares labels")
+	}
+}
+
+func TestValidateBadInstr(t *testing.T) {
+	p := sampleProgram()
+	p.Code[2] = NewInstr(OpAdd) // empty registers
+	if err := p.Validate(); err == nil {
+		t.Error("bad instruction must fail validation")
+	}
+}
+
+func TestInstrStringsAllOps(t *testing.T) {
+	// Every opcode's String must be non-empty and panic-free.
+	for op := OpNop; op < numOps; op++ {
+		in := NewInstr(op)
+		in.Rd, in.Rn, in.Rm, in.Ra = R0, R1, R2, R3
+		in.Qd, in.Qn, in.Qm = 0, 1, 2
+		in.Mem = Mem{Base: R4, Index: NoReg}
+		in.Target = 0
+		if s := in.String(); s == "" {
+			t.Errorf("op %d prints empty", op)
+		}
+		if s := in.Mnemonic(); s == "" {
+			t.Errorf("op %d mnemonic empty", op)
+		}
+	}
+}
+
+func TestMemString(t *testing.T) {
+	cases := map[string]Mem{
+		"[r1]":             {Base: R1, Index: NoReg},
+		"[r1, #8]":         {Base: R1, Index: NoReg, Offset: 8},
+		"[r1], #4":         {Base: R1, Index: NoReg, Offset: 4, Kind: AddrPostIndex, Writeback: true},
+		"[r1, r2]":         {Base: R1, Index: R2, Kind: AddrRegOffset},
+		"[r1, r2, lsl #2]": {Base: R1, Index: R2, Shift: 2, Kind: AddrRegOffset},
+	}
+	for want, m := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mem.String() = %q, want %q", got, want)
+		}
+	}
+}

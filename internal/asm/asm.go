@@ -1,0 +1,131 @@
+// Package asm assembles armlite assembly text into executable programs.
+//
+// The accepted syntax is the subset of ARM unified assembly the
+// dissertation's figures use:
+//
+//	        mov   r4, #400        ; comments with ';', '@' or '//'
+//	loop:   ldr   r3, [r5], #4    ; post-indexed load with writeback
+//	        ldr   r1, [r10], #4
+//	        add   r3, r3, r1
+//	        str   r3, [r2], #4
+//	        cmp   r5, r4
+//	        blt   loop
+//	        halt
+//
+// Vector forms: `vld1.32 q8, [r5]!`, `vadd.i32 q9, q9, q8`,
+// `vst1.32 q9, [r2]!` (`vstr`/`vldr` are accepted as synonyms, matching
+// the dissertation's Fig. 25 listing).
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/armlite"
+)
+
+// Assemble parses src into a validated Program named name.
+func Assemble(name, src string) (*armlite.Program, error) {
+	a := &assembler{
+		prog: &armlite.Program{Name: name, Labels: map[string]int{}},
+	}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineNo+1, err)
+		}
+	}
+	if err := a.resolve(); err != nil {
+		return nil, err
+	}
+	if err := a.prog.Validate(); err != nil {
+		return nil, err
+	}
+	return a.prog, nil
+}
+
+// MustAssemble is Assemble for known-good sources (tests, built-in
+// workloads); it panics on error.
+func MustAssemble(name, src string) *armlite.Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type assembler struct {
+	prog *armlite.Program
+}
+
+func stripComment(s string) string {
+	for _, marker := range []string{";", "@", "//"} {
+		if i := strings.Index(s, marker); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+func (a *assembler) line(raw string) error {
+	s := stripComment(raw)
+	if s == "" {
+		return nil
+	}
+	// Leading labels (possibly several on one line).
+	for {
+		i := strings.Index(s, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(s[:i])
+		if !isIdent(label) {
+			break // ':' inside an operand? not in this ISA, but be safe
+		}
+		if _, dup := a.prog.Labels[label]; dup {
+			return fmt.Errorf("duplicate label %q", label)
+		}
+		a.prog.Labels[label] = len(a.prog.Code)
+		s = strings.TrimSpace(s[i+1:])
+	}
+	if s == "" {
+		return nil
+	}
+	in, err := parseInstr(s)
+	if err != nil {
+		return err
+	}
+	a.prog.Code = append(a.prog.Code, in)
+	return nil
+}
+
+func (a *assembler) resolve() error {
+	for i := range a.prog.Code {
+		in := &a.prog.Code[i]
+		if (in.Op == armlite.OpB || in.Op == armlite.OpBL) && in.Label != "" {
+			t, ok := a.prog.Labels[in.Label]
+			if !ok {
+				return fmt.Errorf("%s@%d: undefined label %q", a.prog.Name, i, in.Label)
+			}
+			in.Target = t
+		}
+	}
+	return nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '.':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

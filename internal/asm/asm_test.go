@@ -1,0 +1,316 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/armlite"
+)
+
+// vectorSum is the dissertation Fig. 25 loop shape.
+const vectorSum = `
+        mov   r5, #4096       ; &a
+        mov   r10, #8192      ; &b
+        mov   r2, #12288      ; &v
+        mov   r4, #4192       ; stop address (24 words past &a)
+loop:   ldr   r3, [r5], #4
+        ldr   r1, [r10], #4
+        add   r3, r3, r1
+        str   r3, [r2], #4
+        cmp   r5, r4
+        ble   loop
+        halt
+`
+
+func TestAssembleVectorSum(t *testing.T) {
+	p, err := Assemble("vsum", vectorSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 11 {
+		t.Fatalf("len(code) = %d, want 11", len(p.Code))
+	}
+	if p.Labels["loop"] != 4 {
+		t.Errorf("label loop = %d, want 4", p.Labels["loop"])
+	}
+	ld := p.Code[4]
+	if ld.Op != armlite.OpLdr || ld.Rd != armlite.R3 ||
+		ld.Mem.Base != armlite.R5 || ld.Mem.Kind != armlite.AddrPostIndex ||
+		ld.Mem.Offset != 4 || !ld.Mem.Writeback {
+		t.Errorf("ldr parsed wrong: %+v", ld)
+	}
+	br := p.Code[9]
+	if br.Op != armlite.OpB || br.Cond != armlite.CondLE || br.Target != 4 {
+		t.Errorf("ble parsed wrong: %+v", br)
+	}
+}
+
+func TestAssembleVector(t *testing.T) {
+	src := `
+        vld1.32 q8, [r5]!
+        vld1.32 q9, [r10]!
+        vadd.i32 q9, q9, q8
+        vstr.32 q9, [r2]!
+        vshr.i32 q9, q9, #8
+        vdup.32 q1, r0
+        vmax.f32 q2, q3, q4
+        halt
+`
+	p, err := Assemble("vec", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != armlite.OpVld1 || p.Code[0].Qd != 8 || !p.Code[0].Mem.Writeback {
+		t.Errorf("vld1 parsed wrong: %+v", p.Code[0])
+	}
+	if p.Code[2].Op != armlite.OpVadd || p.Code[2].DT != armlite.I32 {
+		t.Errorf("vadd parsed wrong: %+v", p.Code[2])
+	}
+	if p.Code[3].Op != armlite.OpVst1 { // vstr synonym
+		t.Errorf("vstr parsed wrong: %+v", p.Code[3])
+	}
+	if p.Code[4].Imm != 8 || !p.Code[4].HasImm {
+		t.Errorf("vshr imm wrong: %+v", p.Code[4])
+	}
+	if p.Code[6].DT != armlite.VF32 {
+		t.Errorf("vmax.f32 type wrong: %+v", p.Code[6])
+	}
+}
+
+func TestMnemonicSuffixes(t *testing.T) {
+	cases := []struct {
+		src  string
+		op   armlite.Op
+		cond armlite.Cond
+		s    bool
+		dt   armlite.DataType
+	}{
+		{"bls somewhere", armlite.OpB, armlite.CondLS, false, armlite.Word},
+		{"bl somewhere", armlite.OpBL, armlite.CondAL, false, armlite.Word},
+		{"blt somewhere", armlite.OpB, armlite.CondLT, false, armlite.Word},
+		{"ble somewhere", armlite.OpB, armlite.CondLE, false, armlite.Word},
+		{"subs r0, r0, #1", armlite.OpSub, armlite.CondAL, true, armlite.Word},
+		{"addne r0, r0, #1", armlite.OpAdd, armlite.CondNE, false, armlite.Word},
+		{"ldrb r0, [r1]", armlite.OpLdr, armlite.CondAL, false, armlite.Byte},
+		{"ldrh r0, [r1]", armlite.OpLdr, armlite.CondAL, false, armlite.Half},
+		{"ldrf r0, [r1]", armlite.OpLdr, armlite.CondAL, false, armlite.F32},
+		{"strb r0, [r1]", armlite.OpStr, armlite.CondAL, false, armlite.Byte},
+		{"ldrbeq r0, [r1]", armlite.OpLdr, armlite.CondEQ, false, armlite.Byte},
+		{"moveq r0, #1", armlite.OpMov, armlite.CondEQ, false, armlite.Word},
+		{"bcs somewhere", armlite.OpB, armlite.CondHS, false, armlite.Word},
+	}
+	for _, c := range cases {
+		src := c.src + "\nsomewhere: halt\n"
+		p, err := Assemble("t", src)
+		if err != nil {
+			t.Errorf("%q: %v", c.src, err)
+			continue
+		}
+		in := p.Code[0]
+		if in.Op != c.op || in.Cond != c.cond || in.SetFlags != c.s || in.DT != c.dt {
+			t.Errorf("%q → op=%v cond=%v s=%v dt=%v; want op=%v cond=%v s=%v dt=%v",
+				c.src, in.Op, in.Cond, in.SetFlags, in.DT, c.op, c.cond, c.s, c.dt)
+		}
+	}
+}
+
+func TestAddressingModes(t *testing.T) {
+	src := `
+        ldr r0, [r1]
+        ldr r0, [r1, #8]
+        ldr r0, [r1, r2]
+        ldr r0, [r1, r2, lsl #2]
+        ldr r0, [r1], #4
+        str r0, [r1, #-4]
+        halt
+`
+	p, err := Assemble("addr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Code[0].Mem
+	if m.Kind != armlite.AddrOffset || m.Offset != 0 {
+		t.Errorf("[r1]: %+v", m)
+	}
+	m = p.Code[1].Mem
+	if m.Kind != armlite.AddrOffset || m.Offset != 8 {
+		t.Errorf("[r1,#8]: %+v", m)
+	}
+	m = p.Code[2].Mem
+	if m.Kind != armlite.AddrRegOffset || m.Index != armlite.R2 || m.Shift != 0 {
+		t.Errorf("[r1,r2]: %+v", m)
+	}
+	m = p.Code[3].Mem
+	if m.Kind != armlite.AddrRegOffset || m.Shift != 2 {
+		t.Errorf("[r1,r2,lsl#2]: %+v", m)
+	}
+	m = p.Code[4].Mem
+	if m.Kind != armlite.AddrPostIndex || m.Offset != 4 || !m.Writeback {
+		t.Errorf("[r1],#4: %+v", m)
+	}
+	m = p.Code[5].Mem
+	if m.Offset != -4 {
+		t.Errorf("[r1,#-4]: %+v", m)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []string{
+		"bogus r0, r1",
+		"add r0, r1",           // missing operand
+		"ldr r0, [r99]",        // bad register
+		"b nowhere\nhalt",      // undefined label
+		"x: halt\nx: halt",     // duplicate label
+		"ldr r0, [r1, #4], #4", // post-index with pre-offset
+		"vadd.q7 q0, q1, q2",   // bad vector type
+		"mov r0, #zzz",         // bad immediate
+		"ldr r0, [r1",          // unterminated bracket
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad", src); err == nil {
+			t.Errorf("Assemble(%q): expected error", src)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := "mov r0, #1 ; semicolon\nmov r1, #2 @ at\nmov r2, #3 // slashes\nhalt"
+	p, err := Assemble("c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 4 {
+		t.Fatalf("len = %d", len(p.Code))
+	}
+}
+
+// TestRoundTrip checks that disassembly re-assembles to the identical
+// program for a representative corpus.
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{vectorSum, `
+start:  mov r0, #0
+        mov r1, #100
+loop:   ldrb r2, [r3], #1
+        cmp r2, #0
+        beq done
+        adds r0, r0, #1
+        cmp r0, r1
+        blt loop
+done:   bl fn
+        halt
+fn:     sub r0, r0, #1
+        bx lr
+`, `
+        vld1.8 q0, [r0]!
+        vcgt.i8 q2, q0, q1
+        vbsl.i8 q2, q0, q1
+        vst1.8 q2, [r1]!
+        vmov.i8 q3, q2
+        vmin.i16 q4, q3, q2
+        halt
+`}
+	for _, src := range srcs {
+		p1, err := Assemble("rt", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := Assemble("rt2", p1.String())
+		if err != nil {
+			t.Fatalf("reassemble: %v\nsource was:\n%s", err, p1.String())
+		}
+		if len(p1.Code) != len(p2.Code) {
+			t.Fatalf("length changed: %d vs %d", len(p1.Code), len(p2.Code))
+		}
+		for i := range p1.Code {
+			a, b := p1.Code[i], p2.Code[i]
+			a.Label, b.Label = "", "" // labels normalize to targets
+			if a != b {
+				t.Errorf("instr %d changed: %+v vs %+v", i, a, b)
+			}
+		}
+	}
+}
+
+// Property: any immediate value round-trips through mov.
+func TestQuickMovImmRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		src := "mov r0, #" + itoa(v) + "\nhalt"
+		p, err := Assemble("q", src)
+		if err != nil {
+			return false
+		}
+		return p.Code[0].Imm == v && p.Code[0].HasImm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int32) string {
+	var b strings.Builder
+	if v < 0 {
+		b.WriteByte('-')
+		// careful with MinInt32
+		u := uint32(-int64(v))
+		writeUint(&b, u)
+	} else {
+		writeUint(&b, uint32(v))
+	}
+	return b.String()
+}
+
+func writeUint(b *strings.Builder, u uint32) {
+	if u >= 10 {
+		writeUint(b, u/10)
+	}
+	b.WriteByte(byte('0' + u%10))
+}
+
+// TestQuickInstrRoundTrip: random instructions built through the
+// armlite constructors survive String → Assemble unchanged.
+func TestQuickInstrRoundTrip(t *testing.T) {
+	mk := []func(a, b, c uint8, imm int32) armlite.Instr{
+		func(a, b, c uint8, imm int32) armlite.Instr {
+			return armlite.MovImm(armlite.Reg(a%13), imm)
+		},
+		func(a, b, c uint8, imm int32) armlite.Instr {
+			return armlite.ALUReg(armlite.OpAdd, armlite.Reg(a%13), armlite.Reg(b%13), armlite.Reg(c%13))
+		},
+		func(a, b, c uint8, imm int32) armlite.Instr {
+			return armlite.ALUImm(armlite.OpEor, armlite.Reg(a%13), armlite.Reg(b%13), imm)
+		},
+		func(a, b, c uint8, imm int32) armlite.Instr {
+			dts := []armlite.DataType{armlite.Word, armlite.Byte, armlite.Half}
+			return armlite.LoadPost(dts[int(c)%3], armlite.Reg(a%13), armlite.Reg(b%13), imm%256)
+		},
+		func(a, b, c uint8, imm int32) armlite.Instr {
+			return armlite.StoreOfs(armlite.Word, armlite.Reg(a%13), armlite.Reg(b%13), imm%4096)
+		},
+		func(a, b, c uint8, imm int32) armlite.Instr {
+			return armlite.VALU(armlite.OpVadd, armlite.Word, armlite.VReg(a%16), armlite.VReg(b%16), armlite.VReg(c%16))
+		},
+		func(a, b, c uint8, imm int32) armlite.Instr {
+			return armlite.VShiftImm(armlite.OpVshr, armlite.Byte, armlite.VReg(a%16), armlite.VReg(b%16), imm%8)
+		},
+		func(a, b, c uint8, imm int32) armlite.Instr {
+			return armlite.CmpImm(armlite.Reg(a%13), imm)
+		},
+	}
+	f := func(sel, a, b, c uint8, imm int32) bool {
+		in := mk[int(sel)%len(mk)](a, b, c, imm)
+		src := in.String() + "\nhalt"
+		p, err := Assemble("rt", src)
+		if err != nil {
+			return false
+		}
+		got := p.Code[0]
+		got.Label = ""
+		want := in
+		want.Label = ""
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

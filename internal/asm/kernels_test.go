@@ -1,0 +1,39 @@
+package asm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleKernelsAssemble: every shipped .s sample must assemble,
+// validate, and round-trip through the disassembler.
+func TestExampleKernelsAssemble(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "kernels")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("no kernels directory: %v", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".s" {
+			continue
+		}
+		n++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Assemble(e.Name(), string(src))
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if _, err := Assemble(e.Name()+"-rt", p.String()); err != nil {
+			t.Errorf("%s: disassembly does not reassemble: %v", e.Name(), err)
+		}
+	}
+	if n == 0 {
+		t.Error("no sample kernels found")
+	}
+}

@@ -1,0 +1,451 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/armlite"
+)
+
+// mnemonic table: base name → opcode. Condition, S and type suffixes
+// are peeled off before lookup.
+var baseOps = map[string]armlite.Op{
+	"nop": armlite.OpNop, "halt": armlite.OpHalt,
+	"mov": armlite.OpMov, "mvn": armlite.OpMvn,
+	"add": armlite.OpAdd, "sub": armlite.OpSub, "rsb": armlite.OpRsb,
+	"mul": armlite.OpMul, "mla": armlite.OpMla,
+	"sdiv": armlite.OpSdiv, "udiv": armlite.OpUdiv,
+	"and": armlite.OpAnd, "orr": armlite.OpOrr, "eor": armlite.OpEor,
+	"bic": armlite.OpBic,
+	"lsl": armlite.OpLsl, "lsr": armlite.OpLsr, "asr": armlite.OpAsr,
+	"cmp": armlite.OpCmp, "cmn": armlite.OpCmn, "tst": armlite.OpTst,
+	"fadd": armlite.OpFAdd, "fsub": armlite.OpFSub,
+	"fmul": armlite.OpFMul, "fdiv": armlite.OpFDiv, "fcmp": armlite.OpFCmp,
+	"ldr": armlite.OpLdr, "str": armlite.OpStr,
+	"b": armlite.OpB, "bl": armlite.OpBL, "bx": armlite.OpBX,
+	"vld1": armlite.OpVld1, "vldr": armlite.OpVld1,
+	"vst1": armlite.OpVst1, "vstr": armlite.OpVst1,
+	"vadd": armlite.OpVadd, "vsub": armlite.OpVsub, "vmul": armlite.OpVmul,
+	"vand": armlite.OpVand, "vorr": armlite.OpVorr, "veor": armlite.OpVeor,
+	"vmin": armlite.OpVmin, "vmax": armlite.OpVmax,
+	"vshl": armlite.OpVshl, "vshr": armlite.OpVshr,
+	"vdup": armlite.OpVdup, "vceq": armlite.OpVceq, "vcgt": armlite.OpVcgt,
+	"vbsl": armlite.OpVbsl, "vmov": armlite.OpVmov,
+}
+
+var condSuffixes = map[string]armlite.Cond{
+	"eq": armlite.CondEQ, "ne": armlite.CondNE,
+	"lt": armlite.CondLT, "le": armlite.CondLE,
+	"gt": armlite.CondGT, "ge": armlite.CondGE,
+	"mi": armlite.CondMI, "pl": armlite.CondPL,
+	"hs": armlite.CondHS, "lo": armlite.CondLO,
+	"hi": armlite.CondHI, "ls": armlite.CondLS,
+	"cs": armlite.CondHS, "cc": armlite.CondLO,
+	"al": armlite.CondAL,
+}
+
+var vecTypes = map[string]armlite.DataType{
+	"i8": armlite.I8, "8": armlite.I8, "u8": armlite.I8, "s8": armlite.I8,
+	"i16": armlite.I16, "16": armlite.I16, "u16": armlite.I16, "s16": armlite.I16,
+	"i32": armlite.I32, "32": armlite.I32, "u32": armlite.I32, "s32": armlite.I32,
+	"f32": armlite.VF32,
+}
+
+// parseInstr parses one instruction line (label already stripped).
+func parseInstr(s string) (armlite.Instr, error) {
+	mn := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mn, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	mn = strings.ToLower(mn)
+
+	// Vector type suffix: "vadd.i32" → ("vadd", I32).
+	var dt armlite.DataType
+	var hasVT bool
+	if dot := strings.Index(mn, "."); dot >= 0 {
+		t, ok := vecTypes[mn[dot+1:]]
+		if !ok {
+			return armlite.Instr{}, fmt.Errorf("unknown vector type %q", mn[dot+1:])
+		}
+		dt, hasVT = t, true
+		mn = mn[:dot]
+	}
+
+	op, cond, setFlags, memDT, err := decodeMnemonic(mn)
+	if err != nil {
+		return armlite.Instr{}, err
+	}
+	in := armlite.NewInstr(op)
+	in.Cond = cond
+	in.SetFlags = setFlags
+	if hasVT {
+		in.DT = dt
+	} else {
+		in.DT = memDT
+	}
+	if err := parseOperands(&in, rest); err != nil {
+		return armlite.Instr{}, fmt.Errorf("%s: %w", mn, err)
+	}
+	return in, nil
+}
+
+// decodeBase resolves a mnemonic with condition suffix already removed:
+// exact opcode, ldr/str with a size letter, or an S-suffixed
+// data-processing op. Branches never take an S suffix, which keeps
+// "bls" unambiguous (b + LS, resolved by the caller).
+func decodeBase(name string) (op armlite.Op, setFlags bool, dt armlite.DataType, ok bool) {
+	if o, found := baseOps[name]; found {
+		return o, false, armlite.Word, true
+	}
+	if strings.HasPrefix(name, "ldr") || strings.HasPrefix(name, "str") {
+		if o, found := baseOps[name[:3]]; found && len(name) == 4 {
+			switch name[3] {
+			case 'b':
+				return o, false, armlite.Byte, true
+			case 'h':
+				return o, false, armlite.Half, true
+			case 'f':
+				return o, false, armlite.F32, true
+			}
+		}
+	}
+	if strings.HasSuffix(name, "s") {
+		if o, found := baseOps[name[:len(name)-1]]; found &&
+			!o.SetsFlagsAlways() && !o.IsBranch() && o.IsALU() {
+			return o, true, armlite.Word, true
+		}
+	}
+	return 0, false, armlite.Word, false
+}
+
+// decodeMnemonic peels an optional condition suffix and resolves the
+// base mnemonic. Condition-free interpretation wins when both parse
+// ("bls" → b+LS because branches reject the S path; "movs" → mov+S
+// because "vs" is not a supported condition here).
+func decodeMnemonic(mn string) (op armlite.Op, cond armlite.Cond, setFlags bool, dt armlite.DataType, err error) {
+	if o, s, d, ok := decodeBase(mn); ok {
+		return o, armlite.CondAL, s, d, nil
+	}
+	if len(mn) > 2 {
+		if c, isCond := condSuffixes[mn[len(mn)-2:]]; isCond {
+			if o, s, d, ok := decodeBase(mn[:len(mn)-2]); ok {
+				return o, c, s, d, nil
+			}
+		}
+	}
+	return 0, 0, false, 0, fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+// splitOperands splits on commas not inside brackets:
+// "r3, [r5, #4]" → ["r3", "[r5, #4]"].
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, c := range s {
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if t := strings.TrimSpace(s[start:]); t != "" {
+		out = append(out, t)
+	}
+	return out
+}
+
+func parseReg(s string) (armlite.Reg, error) {
+	switch strings.ToLower(s) {
+	case "sp", "r13":
+		return armlite.SP, nil
+	case "lr", "r14":
+		return armlite.LR, nil
+	case "pc", "r15":
+		return armlite.PC, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < int(armlite.NumRegs) {
+			return armlite.Reg(n), nil
+		}
+	}
+	return armlite.NoReg, fmt.Errorf("bad register %q", s)
+}
+
+func parseVReg(s string) (armlite.VReg, error) {
+	if len(s) >= 2 && (s[0] == 'q' || s[0] == 'Q') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < armlite.NumVRegs {
+			return armlite.VReg(n), nil
+		}
+	}
+	return armlite.NoVReg, fmt.Errorf("bad vector register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	s = strings.TrimPrefix(s, "#")
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return int32(v), nil
+}
+
+// parseOp2 fills the flexible second operand: register or immediate.
+func parseOp2(in *armlite.Instr, s string) error {
+	if strings.HasPrefix(s, "#") {
+		v, err := parseImm(s)
+		if err != nil {
+			return err
+		}
+		in.Imm, in.HasImm = v, true
+		return nil
+	}
+	r, err := parseReg(s)
+	if err != nil {
+		return err
+	}
+	in.Rm = r
+	return nil
+}
+
+// parseMem parses "[rn]", "[rn, #off]", "[rn, rm]", "[rn, rm, lsl #s]",
+// "[rn], #off" (post-index) and the vector "[rn]!" writeback form.
+func parseMem(s string) (armlite.Mem, error) {
+	m := armlite.Mem{Base: armlite.NoReg, Index: armlite.NoReg}
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") {
+		return m, fmt.Errorf("bad memory operand %q", s)
+	}
+	close := strings.Index(s, "]")
+	if close < 0 {
+		return m, fmt.Errorf("unterminated memory operand %q", s)
+	}
+	inner := splitOperands(s[1:close])
+	after := strings.TrimSpace(s[close+1:])
+	if len(inner) == 0 {
+		return m, fmt.Errorf("empty memory operand %q", s)
+	}
+	base, err := parseReg(inner[0])
+	if err != nil {
+		return m, err
+	}
+	m.Base = base
+	switch len(inner) {
+	case 1:
+	case 2:
+		if strings.HasPrefix(inner[1], "#") {
+			off, err := parseImm(inner[1])
+			if err != nil {
+				return m, err
+			}
+			m.Offset = off
+		} else {
+			idx, err := parseReg(inner[1])
+			if err != nil {
+				return m, err
+			}
+			m.Index = idx
+			m.Kind = armlite.AddrRegOffset
+		}
+	case 3:
+		idx, err := parseReg(inner[1])
+		if err != nil {
+			return m, err
+		}
+		sh := strings.Fields(strings.ToLower(inner[2]))
+		if len(sh) != 2 || sh[0] != "lsl" {
+			return m, fmt.Errorf("bad shift %q", inner[2])
+		}
+		amt, err := parseImm(sh[1])
+		if err != nil {
+			return m, err
+		}
+		m.Index = idx
+		m.Shift = uint8(amt)
+		m.Kind = armlite.AddrRegOffset
+	default:
+		return m, fmt.Errorf("too many fields in %q", s)
+	}
+	switch {
+	case after == "":
+	case after == "!":
+		m.Writeback = true
+	case strings.HasPrefix(after, ","):
+		off, err := parseImm(strings.TrimSpace(after[1:]))
+		if err != nil {
+			return m, err
+		}
+		if m.Kind != armlite.AddrOffset || m.Offset != 0 {
+			return m, fmt.Errorf("post-index with pre-offset in %q", s)
+		}
+		m.Offset = off
+		m.Kind = armlite.AddrPostIndex
+		m.Writeback = true
+	default:
+		return m, fmt.Errorf("trailing junk %q", after)
+	}
+	return m, nil
+}
+
+func parseOperands(in *armlite.Instr, rest string) error {
+	ops := splitOperands(rest)
+	wantN := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("want %d operands, got %d", n, len(ops))
+		}
+		return nil
+	}
+	var err error
+	switch in.Op {
+	case armlite.OpNop, armlite.OpHalt:
+		return wantN(0)
+
+	case armlite.OpMov, armlite.OpMvn:
+		if err = wantN(2); err != nil {
+			return err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		return parseOp2(in, ops[1])
+
+	case armlite.OpCmp, armlite.OpCmn, armlite.OpTst, armlite.OpFCmp:
+		if err = wantN(2); err != nil {
+			return err
+		}
+		if in.Rn, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		return parseOp2(in, ops[1])
+
+	case armlite.OpMla:
+		if err = wantN(4); err != nil {
+			return err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		if in.Rn, err = parseReg(ops[1]); err != nil {
+			return err
+		}
+		if in.Rm, err = parseReg(ops[2]); err != nil {
+			return err
+		}
+		in.Ra, err = parseReg(ops[3])
+		return err
+
+	case armlite.OpAdd, armlite.OpSub, armlite.OpRsb, armlite.OpMul,
+		armlite.OpSdiv, armlite.OpUdiv, armlite.OpAnd, armlite.OpOrr,
+		armlite.OpEor, armlite.OpBic, armlite.OpLsl, armlite.OpLsr,
+		armlite.OpAsr, armlite.OpFAdd, armlite.OpFSub, armlite.OpFMul,
+		armlite.OpFDiv:
+		if err = wantN(3); err != nil {
+			return err
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		if in.Rn, err = parseReg(ops[1]); err != nil {
+			return err
+		}
+		return parseOp2(in, ops[2])
+
+	case armlite.OpLdr, armlite.OpStr:
+		// Post-indexed "[rn], #imm" splits at the top-level comma;
+		// rejoin everything after the data register.
+		if len(ops) < 2 || len(ops) > 3 {
+			return fmt.Errorf("want 2 operands, got %d", len(ops))
+		}
+		if in.Rd, err = parseReg(ops[0]); err != nil {
+			return err
+		}
+		in.Mem, err = parseMem(strings.Join(ops[1:], ", "))
+		return err
+
+	case armlite.OpB, armlite.OpBL:
+		if err = wantN(1); err != nil {
+			return err
+		}
+		if n, convErr := strconv.Atoi(ops[0]); convErr == nil {
+			in.Target = n
+			return nil
+		}
+		in.Label = ops[0]
+		in.Target = -1
+		return nil
+
+	case armlite.OpBX:
+		if err = wantN(1); err != nil {
+			return err
+		}
+		in.Rn, err = parseReg(ops[0])
+		return err
+
+	case armlite.OpVld1, armlite.OpVst1:
+		if err = wantN(2); err != nil {
+			return err
+		}
+		if in.Qd, err = parseVReg(ops[0]); err != nil {
+			return err
+		}
+		in.Mem, err = parseMem(ops[1])
+		return err
+
+	case armlite.OpVdup:
+		if err = wantN(2); err != nil {
+			return err
+		}
+		if in.Qd, err = parseVReg(ops[0]); err != nil {
+			return err
+		}
+		in.Rn, err = parseReg(ops[1])
+		return err
+
+	case armlite.OpVmov:
+		if err = wantN(2); err != nil {
+			return err
+		}
+		if in.Qd, err = parseVReg(ops[0]); err != nil {
+			return err
+		}
+		in.Qm, err = parseVReg(ops[1])
+		return err
+
+	case armlite.OpVshl, armlite.OpVshr:
+		if err = wantN(3); err != nil {
+			return err
+		}
+		if in.Qd, err = parseVReg(ops[0]); err != nil {
+			return err
+		}
+		if in.Qn, err = parseVReg(ops[1]); err != nil {
+			return err
+		}
+		in.Imm, err = parseImm(ops[2])
+		in.HasImm = true
+		return err
+
+	default: // remaining vector three-operand forms
+		if err = wantN(3); err != nil {
+			return err
+		}
+		if in.Qd, err = parseVReg(ops[0]); err != nil {
+			return err
+		}
+		if in.Qn, err = parseVReg(ops[1]); err != nil {
+			return err
+		}
+		in.Qm, err = parseVReg(ops[2])
+		return err
+	}
+}

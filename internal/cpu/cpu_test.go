@@ -1,0 +1,375 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+)
+
+func run(t *testing.T, src string, setup func(*Machine)) *Machine {
+	t.Helper()
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(p, DefaultConfig())
+	if setup != nil {
+		setup(m)
+	}
+	if err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestArithmetic(t *testing.T) {
+	m := run(t, `
+        mov r0, #10
+        mov r1, #3
+        add r2, r0, r1
+        sub r3, r0, r1
+        mul r4, r0, r1
+        sdiv r5, r0, r1
+        and r6, r0, r1
+        orr r7, r0, r1
+        eor r8, r0, r1
+        rsb r9, r1, #20
+        halt`, nil)
+	want := map[armlite.Reg]uint32{
+		armlite.R2: 13, armlite.R3: 7, armlite.R4: 30, armlite.R5: 3,
+		armlite.R6: 2, armlite.R7: 11, armlite.R8: 9, armlite.R9: 17,
+	}
+	for r, w := range want {
+		if m.R[r] != w {
+			t.Errorf("%v = %d, want %d", r, m.R[r], w)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	m := run(t, `
+        mov r0, #-16
+        asr r1, r0, #2
+        lsr r2, r0, #28
+        mov r3, #3
+        lsl r4, r3, #4
+        halt`, nil)
+	if int32(m.R[armlite.R1]) != -4 {
+		t.Errorf("asr = %d", int32(m.R[armlite.R1]))
+	}
+	if m.R[armlite.R2] != 0xF {
+		t.Errorf("lsr = %#x", m.R[armlite.R2])
+	}
+	if m.R[armlite.R4] != 48 {
+		t.Errorf("lsl = %d", m.R[armlite.R4])
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	m := run(t, `
+        mov r0, #5
+        mov r1, #0
+        sdiv r2, r0, r1
+        udiv r3, r0, r1
+        halt`, nil)
+	if m.R[armlite.R2] != 0 || m.R[armlite.R3] != 0 {
+		t.Error("division by zero must yield 0 (ARM semantics)")
+	}
+}
+
+func TestLoopAndFlags(t *testing.T) {
+	// Sum 1..10 via a count loop.
+	m := run(t, `
+        mov r0, #0
+        mov r1, #1
+loop:   add r0, r0, r1
+        add r1, r1, #1
+        cmp r1, #10
+        ble loop
+        halt`, nil)
+	if m.R[armlite.R0] != 55 {
+		t.Errorf("sum = %d, want 55", m.R[armlite.R0])
+	}
+}
+
+func TestConditionalExecution(t *testing.T) {
+	m := run(t, `
+        mov r0, #5
+        cmp r0, #5
+        moveq r1, #1
+        movne r2, #1
+        halt`, nil)
+	if m.R[armlite.R1] != 1 {
+		t.Error("moveq should have executed")
+	}
+	if m.R[armlite.R2] != 0 {
+		t.Error("movne should have been skipped")
+	}
+}
+
+func TestSignedUnsignedBranches(t *testing.T) {
+	m := run(t, `
+        mov r0, #-1
+        cmp r0, #1
+        movlt r1, #1    ; signed: -1 < 1
+        cmp r0, #1
+        movhs r2, #1    ; unsigned: 0xFFFFFFFF >= 1
+        halt`, nil)
+	if m.R[armlite.R1] != 1 {
+		t.Error("signed lt failed")
+	}
+	if m.R[armlite.R2] != 1 {
+		t.Error("unsigned hs failed")
+	}
+}
+
+func TestOverflowFlag(t *testing.T) {
+	m := run(t, `
+        mov  r0, #0x7FFFFFFF
+        adds r1, r0, #1
+        movmi r2, #1     ; result is negative
+        halt`, nil)
+	if m.R[armlite.R2] != 1 {
+		t.Error("adds overflow should set N")
+	}
+	if !m.F.V {
+		t.Error("adds 0x7FFFFFFF+1 must set V")
+	}
+}
+
+func TestMemoryAndAddressing(t *testing.T) {
+	m := run(t, `
+        mov  r1, #0x100
+        mov  r0, #42
+        str  r0, [r1]
+        ldr  r2, [r1]
+        strb r0, [r1, #8]
+        ldrb r3, [r1, #8]
+        mov  r4, #2
+        str  r0, [r1, r4, lsl #2]  ; 0x100 + 8
+        ldr  r5, [r1, #8]          ; overwrote the byte slot
+        mov  r6, #0x200
+        str  r0, [r6], #4
+        halt`, nil)
+	if m.R[armlite.R2] != 42 || m.R[armlite.R3] != 42 {
+		t.Errorf("plain/byte load: r2=%d r3=%d", m.R[armlite.R2], m.R[armlite.R3])
+	}
+	if m.R[armlite.R5] != 42 {
+		t.Errorf("reg-offset store: r5=%d", m.R[armlite.R5])
+	}
+	if m.R[armlite.R6] != 0x204 {
+		t.Errorf("post-index writeback: r6=%#x", m.R[armlite.R6])
+	}
+	v, _ := m.Mem.Load(0x200, 4)
+	if v != 42 {
+		t.Errorf("post-index stored at wrong address: %d", v)
+	}
+}
+
+func TestHalfwordAccess(t *testing.T) {
+	m := run(t, `
+        mov r1, #0x300
+        mov r0, #0x1ABCD
+        strh r0, [r1]
+        ldrh r2, [r1]
+        halt`, nil)
+	if m.R[armlite.R2] != 0xABCD {
+		t.Errorf("halfword = %#x", m.R[armlite.R2])
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	m := run(t, `
+        mov r0, #7
+        bl  double
+        add r0, r0, #1
+        halt
+double: add r0, r0, r0
+        bx lr`, nil)
+	if m.R[armlite.R0] != 15 {
+		t.Errorf("r0 = %d, want 15", m.R[armlite.R0])
+	}
+}
+
+func TestFloatOps(t *testing.T) {
+	m := run(t, `
+        fadd r2, r0, r1
+        fmul r3, r0, r1
+        fsub r4, r0, r1
+        fdiv r5, r0, r1
+        fcmp r0, r1
+        movgt r6, #1
+        halt`, func(m *Machine) {
+		m.R[armlite.R0] = math.Float32bits(6.0)
+		m.R[armlite.R1] = math.Float32bits(1.5)
+	})
+	checks := map[armlite.Reg]float32{armlite.R2: 7.5, armlite.R3: 9, armlite.R4: 4.5, armlite.R5: 4}
+	for r, w := range checks {
+		if got := math.Float32frombits(m.R[r]); got != w {
+			t.Errorf("%v = %v, want %v", r, got, w)
+		}
+	}
+	if m.R[armlite.R6] != 1 {
+		t.Error("fcmp gt failed")
+	}
+}
+
+func TestVectorExecution(t *testing.T) {
+	m := run(t, `
+        mov r5, #0x400
+        mov r6, #0x440
+        mov r7, #0x480
+        vld1.32 q0, [r5]!
+        vld1.32 q1, [r6]!
+        vadd.i32 q2, q0, q1
+        vst1.32 q2, [r7]!
+        halt`, func(m *Machine) {
+		m.Mem.WriteWords(0x400, []int32{1, 2, 3, 4})
+		m.Mem.WriteWords(0x440, []int32{10, 20, 30, 40})
+	})
+	got, _ := m.Mem.ReadWords(0x480, 4)
+	want := []int32{11, 22, 33, 44}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lane %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if m.R[armlite.R5] != 0x410 || m.R[armlite.R7] != 0x490 {
+		t.Error("vector writeback failed")
+	}
+	if m.Counts.VecOps != 1 || m.Counts.VecLoads != 2 || m.Counts.VecStores != 1 {
+		t.Errorf("vector counts wrong: %+v", m.Counts)
+	}
+}
+
+func TestVdupAndVbsl(t *testing.T) {
+	m := run(t, `
+        mov r0, #9
+        vdup.32 q0, r0
+        mov r1, #5
+        vdup.32 q1, r1
+        vcgt.i32 q2, q0, q1
+        vbsl.i32 q2, q0, q1
+        halt`, nil)
+	for i := 0; i < 4; i++ {
+		if got := m.NEON.Q[2].LaneS(armlite.I32, i); got != 9 {
+			t.Errorf("vbsl lane %d = %d, want 9", i, got)
+		}
+	}
+}
+
+func TestTicksAdvance(t *testing.T) {
+	m := run(t, "mov r0, #1\nadd r0, r0, #1\nhalt", nil)
+	if m.Ticks <= 0 {
+		t.Error("ticks did not advance")
+	}
+	if m.Counts.Total != 3 {
+		t.Errorf("retired = %d, want 3", m.Counts.Total)
+	}
+}
+
+func TestBranchCountsAndTicks(t *testing.T) {
+	m := run(t, `
+        mov r0, #0
+loop:   add r0, r0, #1
+        cmp r0, #3
+        blt loop
+        halt`, nil)
+	if m.Counts.Branches != 3 {
+		t.Errorf("branches = %d, want 3", m.Counts.Branches)
+	}
+}
+
+func TestObserverSeesRecords(t *testing.T) {
+	p := asm.MustAssemble("t", "mov r0, #1\nmov r1, #2\nhalt")
+	m := MustNew(p, DefaultConfig())
+	var pcs []int
+	err := m.Run(ObserverFunc(func(r *Record) { pcs = append(pcs, r.PC) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != 3 || pcs[0] != 0 || pcs[2] != 2 {
+		t.Errorf("observed pcs = %v", pcs)
+	}
+}
+
+func TestObserverMemAccess(t *testing.T) {
+	p := asm.MustAssemble("t", "mov r1, #0x100\nstr r1, [r1]\nldr r2, [r1]\nhalt")
+	m := MustNew(p, DefaultConfig())
+	var accs []MemAccess
+	m.Run(ObserverFunc(func(r *Record) {
+		for i := 0; i < r.Nmem; i++ {
+			accs = append(accs, r.Mem[i])
+		}
+	}))
+	if len(accs) != 2 {
+		t.Fatalf("accesses = %v", accs)
+	}
+	if !accs[0].Store || accs[0].Addr != 0x100 {
+		t.Errorf("store access wrong: %+v", accs[0])
+	}
+	if accs[1].Store || accs[1].Addr != 0x100 {
+		t.Errorf("load access wrong: %+v", accs[1])
+	}
+}
+
+func TestRunawayGuard(t *testing.T) {
+	p := asm.MustAssemble("t", "loop: b loop")
+	cfg := DefaultConfig()
+	cfg.MaxSteps = 100
+	m := MustNew(p, cfg)
+	if err := m.Run(nil); err == nil {
+		t.Error("expected runaway-loop error")
+	}
+}
+
+func TestMemFaultReported(t *testing.T) {
+	p := asm.MustAssemble("t", "mvn r1, #0\nldr r0, [r1]\nhalt")
+	m := MustNew(p, DefaultConfig())
+	if err := m.Run(nil); err == nil {
+		t.Error("expected out-of-range load error")
+	}
+}
+
+// Property: the machine computes the same sum as Go for arbitrary
+// small arrays (scalar loop semantics).
+func TestQuickArraySum(t *testing.T) {
+	const base, dst = 0x1000, 0x2000
+	src := `
+        mov r5, #0x1000
+        mov r2, #0
+        mov r0, #0
+loop:   ldr r3, [r5], #4
+        add r2, r2, r3
+        add r0, r0, #1
+        cmp r0, r4
+        blt loop
+        str r2, [r6]
+        halt`
+	p := asm.MustAssemble("q", src)
+	f := func(vals []int32) bool {
+		n := len(vals)
+		if n == 0 || n > 64 {
+			return true
+		}
+		m := MustNew(p, DefaultConfig())
+		m.R[armlite.R4] = uint32(n)
+		m.R[armlite.R6] = dst
+		m.Mem.WriteWords(base, vals)
+		if err := m.Run(nil); err != nil {
+			return false
+		}
+		var want int32
+		for _, v := range vals {
+			want += v
+		}
+		got, err := m.Mem.ReadWords(dst, 1)
+		return err == nil && got[0] == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,358 @@
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/armlite"
+	"repro/internal/neon"
+)
+
+// op2 resolves the flexible second operand.
+func (m *Machine) op2(in *armlite.Instr) uint32 {
+	if in.HasImm {
+		return uint32(in.Imm)
+	}
+	return m.R[in.Rm]
+}
+
+// setNZ updates N and Z from a result.
+func (m *Machine) setNZ(v uint32) {
+	m.F.N = int32(v) < 0
+	m.F.Z = v == 0
+}
+
+// subFlags sets full NZCV for a-b (the cmp/subs semantics).
+func (m *Machine) subFlags(a, b uint32) {
+	r := a - b
+	m.setNZ(r)
+	m.F.C = a >= b // no borrow
+	m.F.V = (int32(a) >= 0) != (int32(b) >= 0) && (int32(r) >= 0) != (int32(a) >= 0)
+}
+
+// addFlags sets full NZCV for a+b (the cmn/adds semantics).
+func (m *Machine) addFlags(a, b uint32) {
+	r := a + b
+	m.setNZ(r)
+	m.F.C = r < a
+	m.F.V = (int32(a) >= 0) == (int32(b) >= 0) && (int32(r) >= 0) != (int32(a) >= 0)
+}
+
+// effAddr computes the effective address of a memory operand and the
+// post-execution base value (writeback).
+func (m *Machine) effAddr(mo *armlite.Mem) (addr, newBase uint32, wb bool) {
+	base := m.R[mo.Base]
+	switch mo.Kind {
+	case armlite.AddrPostIndex:
+		return base, base + uint32(mo.Offset), true
+	case armlite.AddrRegOffset:
+		return base + (m.R[mo.Index] << mo.Shift), base, false
+	default: // AddrOffset
+		if mo.Writeback { // vector "[rn]!" form: advance by 16
+			return base, base + armlite.VectorBytes, true
+		}
+		return base + uint32(mo.Offset), base, false
+	}
+}
+
+func (m *Machine) exec(in *armlite.Instr, rec *Record) error {
+	// Condition check: a skipped instruction still occupies an issue
+	// slot (it is fetched and squashed).
+	if !in.Cond.Holds(m.F) && in.Op != armlite.OpB {
+		m.Ticks += m.issueTicks()
+		m.Counts.Total++
+		m.Counts.Nops++
+		m.PC++
+		return nil
+	}
+
+	switch in.Op {
+	case armlite.OpNop:
+		m.Ticks += m.issueTicks()
+		m.Counts.Nops++
+
+	case armlite.OpHalt:
+		m.Halted = true
+		m.Ticks += m.issueTicks()
+
+	case armlite.OpMov:
+		m.R[in.Rd] = m.op2(in)
+		if in.SetFlags {
+			m.setNZ(m.R[in.Rd])
+		}
+		m.Ticks += m.issueTicks()
+		m.Counts.ALU++
+
+	case armlite.OpMvn:
+		m.R[in.Rd] = ^m.op2(in)
+		if in.SetFlags {
+			m.setNZ(m.R[in.Rd])
+		}
+		m.Ticks += m.issueTicks()
+		m.Counts.ALU++
+
+	case armlite.OpAdd, armlite.OpSub, armlite.OpRsb, armlite.OpAnd,
+		armlite.OpOrr, armlite.OpEor, armlite.OpBic,
+		armlite.OpLsl, armlite.OpLsr, armlite.OpAsr:
+		a, b := m.R[in.Rn], m.op2(in)
+		var r uint32
+		switch in.Op {
+		case armlite.OpAdd:
+			r = a + b
+		case armlite.OpSub:
+			r = a - b
+		case armlite.OpRsb:
+			r = b - a
+		case armlite.OpAnd:
+			r = a & b
+		case armlite.OpOrr:
+			r = a | b
+		case armlite.OpEor:
+			r = a ^ b
+		case armlite.OpBic:
+			r = a &^ b
+		case armlite.OpLsl:
+			r = a << (b & 31)
+		case armlite.OpLsr:
+			r = a >> (b & 31)
+		case armlite.OpAsr:
+			r = uint32(int32(a) >> (b & 31))
+		}
+		m.R[in.Rd] = r
+		if in.SetFlags {
+			switch in.Op {
+			case armlite.OpAdd:
+				m.addFlags(a, b)
+			case armlite.OpSub:
+				m.subFlags(a, b)
+			case armlite.OpRsb:
+				m.subFlags(b, a)
+			default:
+				m.setNZ(r)
+			}
+		}
+		m.Ticks += m.issueTicks()
+		m.Counts.ALU++
+
+	case armlite.OpMul:
+		m.R[in.Rd] = m.R[in.Rn] * m.op2(in)
+		if in.SetFlags {
+			m.setNZ(m.R[in.Rd])
+		}
+		m.Ticks += mulTicks
+		m.Counts.Mul++
+
+	case armlite.OpMla:
+		m.R[in.Rd] = m.R[in.Rn]*m.R[in.Rm] + m.R[in.Ra]
+		m.Ticks += mulTicks
+		m.Counts.Mul++
+
+	case armlite.OpSdiv:
+		d := int32(m.op2(in))
+		if d == 0 {
+			m.R[in.Rd] = 0
+		} else {
+			m.R[in.Rd] = uint32(int32(m.R[in.Rn]) / d)
+		}
+		m.Ticks += divTicks
+		m.Counts.Div++
+
+	case armlite.OpUdiv:
+		d := m.op2(in)
+		if d == 0 {
+			m.R[in.Rd] = 0
+		} else {
+			m.R[in.Rd] = m.R[in.Rn] / d
+		}
+		m.Ticks += divTicks
+		m.Counts.Div++
+
+	case armlite.OpCmp:
+		m.subFlags(m.R[in.Rn], m.op2(in))
+		m.Ticks += m.issueTicks()
+		m.Counts.ALU++
+
+	case armlite.OpCmn:
+		m.addFlags(m.R[in.Rn], m.op2(in))
+		m.Ticks += m.issueTicks()
+		m.Counts.ALU++
+
+	case armlite.OpTst:
+		m.setNZ(m.R[in.Rn] & m.op2(in))
+		m.Ticks += m.issueTicks()
+		m.Counts.ALU++
+
+	case armlite.OpFAdd, armlite.OpFSub, armlite.OpFMul, armlite.OpFDiv:
+		a := math.Float32frombits(m.R[in.Rn])
+		b := math.Float32frombits(m.op2(in))
+		var r float32
+		switch in.Op {
+		case armlite.OpFAdd:
+			r = a + b
+		case armlite.OpFSub:
+			r = a - b
+		case armlite.OpFMul:
+			r = a * b
+		case armlite.OpFDiv:
+			if b == 0 {
+				r = float32(math.Inf(1))
+				if a < 0 {
+					r = float32(math.Inf(-1))
+				} else if a == 0 {
+					r = float32(math.NaN())
+				}
+			} else {
+				r = a / b
+			}
+		}
+		m.R[in.Rd] = math.Float32bits(r)
+		m.Ticks += fpTicks(in.Op)
+		m.Counts.FP++
+
+	case armlite.OpFCmp:
+		a := math.Float32frombits(m.R[in.Rn])
+		b := math.Float32frombits(m.op2(in))
+		m.F.N = a < b
+		m.F.Z = a == b
+		m.F.C = a >= b
+		m.F.V = a != a || b != b // unordered
+		m.Ticks += fpTicks(in.Op)
+		m.Counts.FP++
+
+	case armlite.OpLdr:
+		addr, newBase, wb := m.effAddr(&in.Mem)
+		v, err := m.Mem.Load(addr, in.DT.Size())
+		if err != nil {
+			return err
+		}
+		m.R[in.Rd] = v
+		if wb {
+			m.R[in.Mem.Base] = newBase
+		}
+		m.Ticks += m.issueTicks() + m.Caches.Access(addr, in.DT.Size())
+		m.Counts.Loads++
+		rec.addMem(addr, in.DT.Size(), false)
+
+	case armlite.OpStr:
+		addr, newBase, wb := m.effAddr(&in.Mem)
+		if err := m.Mem.Store(addr, in.DT.Size(), m.R[in.Rd]); err != nil {
+			return err
+		}
+		if wb {
+			m.R[in.Mem.Base] = newBase
+		}
+		m.Ticks += m.issueTicks() + m.Caches.AccessWrite(addr, in.DT.Size())
+		m.Counts.Stores++
+		rec.addMem(addr, in.DT.Size(), true)
+
+	case armlite.OpB:
+		m.Counts.Branches++
+		m.Counts.Total++
+		if in.Cond.Holds(m.F) {
+			rec.Taken = true
+			m.PC = in.Target
+			m.Ticks += branchTakenTicks
+		} else {
+			m.PC++
+			m.Ticks += m.issueTicks()
+		}
+		return nil
+
+	case armlite.OpBL:
+		m.R[armlite.LR] = uint32(m.PC + 1)
+		rec.Taken = true
+		m.PC = in.Target
+		m.Ticks += branchTakenTicks
+		m.Counts.Branches++
+		m.Counts.Total++
+		return nil
+
+	case armlite.OpBX:
+		rec.Taken = true
+		m.PC = int(m.R[in.Rn])
+		m.Ticks += branchTakenTicks
+		m.Counts.Branches++
+		m.Counts.Total++
+		if m.PC < 0 || m.PC > len(m.Prog.Code) {
+			return fmt.Errorf("bx to invalid pc %d", m.PC)
+		}
+		return nil
+
+	default:
+		if in.Op.IsVector() {
+			return m.execVector(in, rec)
+		}
+		return fmt.Errorf("unimplemented opcode %v", in.Op)
+	}
+
+	m.Counts.Total++
+	m.PC++
+	return nil
+}
+
+// execVector executes one NEON instruction on the vector unit.
+func (m *Machine) execVector(in *armlite.Instr, rec *Record) error {
+	u := m.NEON
+	switch in.Op {
+	case armlite.OpVld1:
+		addr, newBase, wb := m.effAddr(&in.Mem)
+		v, err := neon.LoadVec(m.Mem, addr)
+		if err != nil {
+			return err
+		}
+		u.Q[in.Qd] = v
+		if wb {
+			m.R[in.Mem.Base] = newBase
+		}
+		m.Ticks += m.cfg.NEON.MemIssueTicks + m.Caches.Access(addr, armlite.VectorBytes)
+		u.Loads++
+		m.Counts.VecLoads++
+		rec.addMem(addr, armlite.VectorBytes, false)
+
+	case armlite.OpVst1:
+		addr, newBase, wb := m.effAddr(&in.Mem)
+		if err := neon.StoreVec(m.Mem, addr, u.Q[in.Qd]); err != nil {
+			return err
+		}
+		if wb {
+			m.R[in.Mem.Base] = newBase
+		}
+		m.Ticks += m.cfg.NEON.MemIssueTicks + m.Caches.AccessWrite(addr, armlite.VectorBytes)
+		u.Stores++
+		m.Counts.VecStores++
+		rec.addMem(addr, armlite.VectorBytes, true)
+
+	case armlite.OpVdup:
+		u.Q[in.Qd] = neon.Splat(in.DT, m.R[in.Rn])
+		m.Ticks += m.cfg.NEON.DupTicks
+		m.Counts.VecDups++
+
+	default:
+		// Not every vector form has all three register operands
+		// (shifts have no Qm, vmov no Qn); absent slots read as zero.
+		reg := func(v armlite.VReg) neon.Vec {
+			if v.Valid() {
+				return u.Q[v]
+			}
+			return neon.Vec{}
+		}
+		out, err := neon.ALU(in.Op, in.DT, reg(in.Qd), reg(in.Qn), reg(in.Qm), in.Imm)
+		if err != nil {
+			return err
+		}
+		u.Q[in.Qd] = out
+		m.Ticks += m.cfg.NEON.OpIssueTicks
+		u.Ops++
+		m.Counts.VecOps++
+	}
+	m.Counts.Total++
+	m.PC++
+	return nil
+}
+
+func (r *Record) addMem(addr uint32, size int, store bool) {
+	if r.Nmem < len(r.Mem) {
+		r.Mem[r.Nmem] = MemAccess{Addr: addr, Size: size, Store: store}
+		r.Nmem++
+	}
+}

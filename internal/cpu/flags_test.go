@@ -1,0 +1,151 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+)
+
+// tinyConfig avoids allocating the full 16 MiB memory per property
+// iteration.
+func tinyConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MemBytes = 4096
+	return cfg
+}
+
+// TestQuickFlagSemantics checks the NZCV computation of cmp against a
+// wide-integer reference for every condition code, over random
+// operands — the foundation of every trip-count and branch decision in
+// the repository.
+func TestQuickFlagSemantics(t *testing.T) {
+	prog := asm.MustAssemble("f", "cmp r0, r1\nhalt")
+	conds := []armlite.Cond{armlite.CondEQ, armlite.CondNE, armlite.CondLT,
+		armlite.CondLE, armlite.CondGT, armlite.CondGE, armlite.CondMI,
+		armlite.CondPL, armlite.CondHS, armlite.CondLO, armlite.CondHI, armlite.CondLS}
+
+	f := func(a, b uint32) bool {
+		m := MustNew(prog, tinyConfig())
+		m.R[armlite.R0], m.R[armlite.R1] = a, b
+		if err := m.Run(nil); err != nil {
+			return false
+		}
+		sa, sb := int64(int32(a)), int64(int32(b))
+		ua, ub := uint64(a), uint64(b)
+		for _, c := range conds {
+			var want bool
+			switch c {
+			case armlite.CondEQ:
+				want = a == b
+			case armlite.CondNE:
+				want = a != b
+			case armlite.CondLT:
+				want = sa < sb
+			case armlite.CondLE:
+				want = sa <= sb
+			case armlite.CondGT:
+				want = sa > sb
+			case armlite.CondGE:
+				want = sa >= sb
+			case armlite.CondMI:
+				want = int32(a-b) < 0
+			case armlite.CondPL:
+				want = int32(a-b) >= 0
+			case armlite.CondHS:
+				want = ua >= ub
+			case armlite.CondLO:
+				want = ua < ub
+			case armlite.CondHI:
+				want = ua > ub
+			case armlite.CondLS:
+				want = ua <= ub
+			}
+			if c.Holds(m.F) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAddsFlagSemantics does the same for adds (cmn-style flags).
+func TestQuickAddsFlagSemantics(t *testing.T) {
+	prog := asm.MustAssemble("f", "adds r2, r0, r1\nhalt")
+	f := func(a, b uint32) bool {
+		m := MustNew(prog, tinyConfig())
+		m.R[armlite.R0], m.R[armlite.R1] = a, b
+		if err := m.Run(nil); err != nil {
+			return false
+		}
+		r := a + b
+		wantN := int32(r) < 0
+		wantZ := r == 0
+		wantC := uint64(a)+uint64(b) > 0xFFFFFFFF
+		wantV := (int64(int32(a))+int64(int32(b)) != int64(int32(r)))
+		return m.F.N == wantN && m.F.Z == wantZ && m.F.C == wantC && m.F.V == wantV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubsFlagSemantics: subs flags against the wide reference.
+func TestQuickSubsFlagSemantics(t *testing.T) {
+	prog := asm.MustAssemble("f", "subs r2, r0, r1\nhalt")
+	f := func(a, b uint32) bool {
+		m := MustNew(prog, tinyConfig())
+		m.R[armlite.R0], m.R[armlite.R1] = a, b
+		if err := m.Run(nil); err != nil {
+			return false
+		}
+		r := a - b
+		wantN := int32(r) < 0
+		wantZ := r == 0
+		wantC := a >= b
+		wantV := int64(int32(a))-int64(int32(b)) != int64(int32(r))
+		return m.F.N == wantN && m.F.Z == wantZ && m.F.C == wantC && m.F.V == wantV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickALUMatchesGo: data-processing results equal Go's 32-bit
+// arithmetic for random operands.
+func TestQuickALUMatchesGo(t *testing.T) {
+	ops := []struct {
+		src string
+		ref func(a, b uint32) uint32
+	}{
+		{"add r2, r0, r1", func(a, b uint32) uint32 { return a + b }},
+		{"sub r2, r0, r1", func(a, b uint32) uint32 { return a - b }},
+		{"rsb r2, r0, r1", func(a, b uint32) uint32 { return b - a }},
+		{"mul r2, r0, r1", func(a, b uint32) uint32 { return a * b }},
+		{"and r2, r0, r1", func(a, b uint32) uint32 { return a & b }},
+		{"orr r2, r0, r1", func(a, b uint32) uint32 { return a | b }},
+		{"eor r2, r0, r1", func(a, b uint32) uint32 { return a ^ b }},
+		{"bic r2, r0, r1", func(a, b uint32) uint32 { return a &^ b }},
+		{"lsl r2, r0, r1", func(a, b uint32) uint32 { return a << (b & 31) }},
+		{"lsr r2, r0, r1", func(a, b uint32) uint32 { return a >> (b & 31) }},
+		{"asr r2, r0, r1", func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }},
+	}
+	for _, op := range ops {
+		prog := asm.MustAssemble("q", op.src+"\nhalt")
+		f := func(a, b uint32) bool {
+			m := MustNew(prog, tinyConfig())
+			m.R[armlite.R0], m.R[armlite.R1] = a, b
+			if err := m.Run(nil); err != nil {
+				return false
+			}
+			return m.R[armlite.R2] == op.ref(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", op.src, err)
+		}
+	}
+}

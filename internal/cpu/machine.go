@@ -1,0 +1,198 @@
+// Package cpu implements the scalar processor model the DSA couples
+// to: an ARMv7-flavoured core executing armlite programs functionally,
+// with a trace-level timing model standing in for the dissertation's
+// gem5 O3CPU (2-wide superscalar, 1 GHz, 64 KB L1 / 512 KB L2 LRU).
+//
+// The machine exposes exactly what the DSA hardware taps in Fig. 31:
+// the stream of retired instructions with their program-counter values
+// and data-memory addresses. External drivers step the machine and feed
+// each Record to observers; the dsa package intervenes between steps to
+// switch execution onto the NEON engine.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+	"repro/internal/mem"
+	"repro/internal/neon"
+)
+
+// TicksPerCycle is the tick granularity: 10 ticks = 1 core cycle at
+// 1 GHz. Sub-cycle costs (2-wide issue) stay integral this way.
+const TicksPerCycle = 10
+
+// Config parameterizes the machine.
+type Config struct {
+	// Superscalar issue width; the effective issue cost of simple
+	// operations is one cycle divided by this width. Default 2,
+	// matching the dissertation's "Superscalar Width: 2 wide".
+	Width int
+	// Hierarchy configures the data-cache timing model.
+	Hierarchy mem.HierarchyConfig
+	// NEON configures the vector engine timing.
+	NEON neon.Timing
+	// MaxSteps guards against runaway programs (0 = 500M).
+	MaxSteps uint64
+	// MemBytes sizes the flat memory (0 = mem.DefaultSize).
+	MemBytes int
+}
+
+// DefaultConfig returns the paper's system setup.
+func DefaultConfig() Config {
+	return Config{
+		Width:     2,
+		Hierarchy: mem.DefaultHierarchy(),
+		NEON:      neon.DefaultTiming(),
+		MaxSteps:  500_000_000,
+	}
+}
+
+// MemAccess is one data-memory reference made by an instruction.
+type MemAccess struct {
+	Addr  uint32
+	Size  int
+	Store bool
+}
+
+// Record describes one retired instruction — the DSA's observation
+// feed. PC values are instruction indices (the dissertation's
+// "instruction addresses").
+type Record struct {
+	Seq    uint64 // dynamic instruction number
+	PC     int
+	Instr  armlite.Instr
+	Taken  bool // branch outcome (false for non-branches)
+	NextPC int
+	Mem    [2]MemAccess // capacity for straddling ops; Nmem used
+	Nmem   int
+}
+
+// Counts aggregates retired-instruction classes; the energy model
+// consumes these.
+type Counts struct {
+	Total     uint64
+	ALU       uint64 // integer data processing incl. compares
+	Mul       uint64
+	Div       uint64
+	FP        uint64
+	Loads     uint64
+	Stores    uint64
+	Branches  uint64
+	Nops      uint64
+	VecOps    uint64
+	VecLoads  uint64
+	VecStores uint64
+	VecDups   uint64
+}
+
+// Machine is the simulated processor.
+type Machine struct {
+	Prog   *armlite.Program
+	Mem    *mem.Memory
+	Caches *mem.Hierarchy
+	NEON   *neon.Unit
+
+	R      [armlite.NumRegs]uint32
+	F      armlite.Flags
+	PC     int
+	Halted bool
+
+	Ticks  int64 // wall-clock time in ticks
+	Steps  uint64
+	Counts Counts
+
+	cfg Config
+}
+
+// New builds a machine for prog. The program must validate.
+func New(prog *armlite.Program, cfg Config) (*Machine, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Width <= 0 {
+		cfg.Width = 2
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 500_000_000
+	}
+	if cfg.Hierarchy.L1.SizeBytes == 0 {
+		cfg.Hierarchy = mem.DefaultHierarchy()
+	}
+	if cfg.NEON.OpIssueTicks == 0 {
+		cfg.NEON = neon.DefaultTiming()
+	}
+	m := &Machine{
+		Prog:   prog,
+		Mem:    mem.New(cfg.MemBytes),
+		Caches: mem.NewHierarchy(cfg.Hierarchy),
+		NEON:   neon.New(),
+		cfg:    cfg,
+	}
+	return m, nil
+}
+
+// MustNew is New for known-good programs; panics on error.
+func MustNew(prog *armlite.Program, cfg Config) *Machine {
+	m, err := New(prog, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Observer receives each retired instruction.
+type Observer interface {
+	Observe(r *Record)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(r *Record)
+
+// Observe implements Observer.
+func (f ObserverFunc) Observe(r *Record) { f(r) }
+
+// Run steps the machine to completion, feeding each record to obs
+// (which may be nil).
+func (m *Machine) Run(obs Observer) error {
+	var rec Record
+	for !m.Halted {
+		if err := m.Step(&rec); err != nil {
+			return err
+		}
+		if obs != nil {
+			obs.Observe(&rec)
+		}
+	}
+	return nil
+}
+
+// Step retires one instruction, filling rec in place (to avoid a
+// per-instruction allocation on the hot path).
+func (m *Machine) Step(rec *Record) error {
+	if m.Halted {
+		return fmt.Errorf("cpu: machine is halted")
+	}
+	if m.Steps >= m.cfg.MaxSteps {
+		return fmt.Errorf("cpu: exceeded %d steps at pc=%d (runaway loop?)", m.cfg.MaxSteps, m.PC)
+	}
+	if m.PC < 0 || m.PC >= len(m.Prog.Code) {
+		return fmt.Errorf("cpu: pc %d out of range", m.PC)
+	}
+	in := m.Prog.Code[m.PC]
+	rec.Seq = m.Steps
+	rec.PC = m.PC
+	rec.Instr = in
+	rec.Taken = false
+	rec.Nmem = 0
+	m.Steps++
+
+	if err := m.exec(&in, rec); err != nil {
+		return fmt.Errorf("cpu: pc=%d %q: %w", rec.PC, in.String(), err)
+	}
+	rec.NextPC = m.PC
+	return nil
+}

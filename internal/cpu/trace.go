@@ -1,0 +1,45 @@
+package cpu
+
+import (
+	"fmt"
+	"io"
+)
+
+// Tracer is an Observer that writes a human-readable line per retired
+// instruction — the dynamic stream the DSA hardware taps (Fig. 30's
+// trace-level simulation), useful for debugging kernels with
+// `dsasim -trace`.
+type Tracer struct {
+	W io.Writer
+	// Limit stops printing after this many records (0 = unlimited).
+	Limit uint64
+
+	n uint64
+}
+
+// Observe implements Observer.
+func (t *Tracer) Observe(r *Record) {
+	if t.Limit > 0 && t.n >= t.Limit {
+		return
+	}
+	t.n++
+	line := fmt.Sprintf("%8d  pc=%-4d %-28s", r.Seq, r.PC, r.Instr.String())
+	for i := 0; i < r.Nmem; i++ {
+		kind := "R"
+		if r.Mem[i].Store {
+			kind = "W"
+		}
+		line += fmt.Sprintf("  %s[%#x:%d]", kind, r.Mem[i].Addr, r.Mem[i].Size)
+	}
+	if r.Instr.Op.IsBranch() {
+		if r.Taken {
+			line += fmt.Sprintf("  taken→%d", r.NextPC)
+		} else {
+			line += "  not-taken"
+		}
+	}
+	fmt.Fprintln(t.W, line)
+}
+
+// Count returns how many records were printed.
+func (t *Tracer) Count() uint64 { return t.n }

@@ -1,0 +1,52 @@
+package cpu
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+func TestTracer(t *testing.T) {
+	prog := asm.MustAssemble("t", `
+        mov  r1, #0x100
+        str  r1, [r1]
+        ldr  r2, [r1]
+        cmp  r2, #0
+        bne  end
+        nop
+end:    halt`)
+	m := MustNew(prog, tinyConfig())
+	var buf bytes.Buffer
+	tr := &Tracer{W: &buf}
+	if err := m.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "W[0x100:4]") {
+		t.Errorf("store access missing:\n%s", out)
+	}
+	if !strings.Contains(out, "R[0x100:4]") {
+		t.Errorf("load access missing:\n%s", out)
+	}
+	if !strings.Contains(out, "taken→6") {
+		t.Errorf("branch annotation missing:\n%s", out)
+	}
+	if tr.Count() != m.Steps {
+		t.Errorf("count = %d, steps = %d", tr.Count(), m.Steps)
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	prog := asm.MustAssemble("t", "nop\nnop\nnop\nnop\nhalt")
+	m := MustNew(prog, tinyConfig())
+	var buf bytes.Buffer
+	tr := &Tracer{W: &buf, Limit: 2}
+	if err := m.Run(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 2 {
+		t.Errorf("printed %d lines, want 2", got)
+	}
+}

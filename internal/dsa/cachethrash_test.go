@@ -1,0 +1,67 @@
+package dsa
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// TestDSACacheThrash drives 32 distinct hot loops through the DSA
+// cache: a 1 kB cache (16 entries) thrashes and never hits, while the
+// paper's 8 kB configuration serves every re-entry.
+func TestDSACacheThrash(t *testing.T) {
+	var src string
+	src += "        mov   r8, #0\nouter:\n"
+	for l := 0; l < 32; l++ {
+		src += fmt.Sprintf(`
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #0
+loop%d:  ldr   r3, [r5], #4
+        add   r3, r3, #1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #32
+        blt   loop%d
+`, l, l)
+	}
+	src += "\n        add   r8, r8, #1\n        cmp   r8, #4\n        blt   outer\n        halt\n"
+	prog := asm.MustAssemble("many", src)
+	for _, kb := range []int{1, 8} {
+		cfg := DefaultConfig()
+		cfg.DSACacheBytes = kb << 10
+		s, err := NewSystem(prog, cpu.DefaultConfig(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.M.Mem.WriteWords(0x1000, make([]int32, 64))
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		st := s.Stats()
+		switch kb {
+		case 1:
+			if st.DSACacheHits != 0 {
+				t.Errorf("1 kB cache: hits = %d, want 0 (thrash)", st.DSACacheHits)
+			}
+		case 8:
+			if st.DSACacheHits != 96 {
+				t.Errorf("8 kB cache: hits = %d, want 96 (3 re-entry passes × 32 loops)", st.DSACacheHits)
+			}
+		}
+		if st.Takeovers != 128 {
+			t.Errorf("%d kB: takeovers = %d, want 128", kb, st.Takeovers)
+		}
+		got, err := s.M.Mem.ReadWords(0x3000, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != 1 { // every pass writes out[i] = in[i] + 1 over zeroed input
+				t.Fatalf("%d kB: out[%d] = %d, want 1", kb, i, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package dsa
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/armlite"
+)
+
+// TestCIDPPaperExample reproduces the worked example of Fig. 13
+// (dissertation §4.4): loads at 0x100, 0x104 in iterations 2 and 3, a
+// store at 0x108 in iteration 2, 10 total iterations. MGap = 4,
+// MRead[last] = 0x120, and MWrite[2] = 0x108 falls inside the window,
+// producing a cross-iteration dependency.
+func TestCIDPPaperExample(t *testing.T) {
+	load, err := NewMemPattern(0, false, armlite.Word, 4, 2, 3, 0x100, 0x104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load.Stride != 4 {
+		t.Fatalf("MGap = %d, want 4", load.Stride)
+	}
+	if got := load.AddrAt(10); got != 0x120 {
+		t.Fatalf("MRead[last] = %#x, want 0x120", got)
+	}
+	store, err := NewMemPattern(1, true, armlite.Word, 4, 2, 3, 0x108, 0x10C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := PredictCID([]MemPattern{load, store}, 2, 10)
+	if !res.HasCID {
+		t.Fatal("expected a cross-iteration dependency (paper Fig. 13)")
+	}
+}
+
+// TestCIDPNoDependency: disjoint streams (v[i] = a[i] + b[i]).
+func TestCIDPNoDependency(t *testing.T) {
+	a, _ := NewMemPattern(0, false, armlite.Word, 4, 2, 3, 0x1000, 0x1004)
+	b, _ := NewMemPattern(1, false, armlite.Word, 4, 2, 3, 0x2000, 0x2004)
+	v, _ := NewMemPattern(2, true, armlite.Word, 4, 2, 3, 0x3000, 0x3004)
+	res := PredictCID([]MemPattern{a, b, v}, 2, 400)
+	if res.HasCID {
+		t.Fatal("independent streams must be NCID")
+	}
+}
+
+// TestCIDPInPlaceUpdate: v[i] = v[i] + 1 — same address read then
+// written within one iteration is NOT a cross-iteration dependency.
+func TestCIDPInPlaceUpdate(t *testing.T) {
+	ld, _ := NewMemPattern(0, false, armlite.Word, 4, 2, 3, 0x1004, 0x1008)
+	st, _ := NewMemPattern(1, true, armlite.Word, 4, 2, 3, 0x1004, 0x1008)
+	res := PredictCID([]MemPattern{ld, st}, 2, 100)
+	if res.HasCID {
+		t.Fatal("in-place elementwise update must be vectorizable")
+	}
+}
+
+// TestCIDPRecurrence: v[i] = v[i-1] + b[i] — a true loop-carried
+// dependency at distance 1.
+func TestCIDPRecurrence(t *testing.T) {
+	// iteration 2 loads v[1]=0x1004, stores v[2]=0x1008.
+	ld, _ := NewMemPattern(0, false, armlite.Word, 4, 2, 3, 0x1004, 0x1008)
+	st, _ := NewMemPattern(1, true, armlite.Word, 4, 2, 3, 0x1008, 0x100C)
+	res := PredictCID([]MemPattern{ld, st}, 2, 100)
+	if !res.HasCID {
+		t.Fatal("recurrence must be CID")
+	}
+	if res.Distance != 1 {
+		t.Fatalf("distance = %d, want 1", res.Distance)
+	}
+}
+
+// TestPartialVectorizationPaperExample reproduces Fig. 14: the store
+// of iteration 2 is re-read at iteration 11, so windows of up to 9
+// iterations are safe.
+func TestPartialVectorizationPaperExample(t *testing.T) {
+	// Load stride 4 from 0x100 at iter 2; store at 0x124 at iter 2.
+	// Load addresses: iter i → 0x100 + 4(i-2); 0x124 reached at
+	// i = 2 + 9 = 11.
+	ld, _ := NewMemPattern(0, false, armlite.Word, 4, 2, 3, 0x100, 0x104)
+	st, _ := NewMemPattern(1, true, armlite.Word, 4, 2, 3, 0x124, 0x128)
+	res := PredictCID([]MemPattern{ld, st}, 2, 19)
+	if !res.HasCID {
+		t.Fatal("expected CID")
+	}
+	if res.ConflictIter != 11 {
+		t.Fatalf("conflict iteration = %d, want 11", res.ConflictIter)
+	}
+	if res.Distance != 9 {
+		t.Fatalf("dependency distance = %d, want 9", res.Distance)
+	}
+}
+
+func TestNewMemPatternNonLinear(t *testing.T) {
+	if _, err := NewMemPattern(0, false, armlite.Word, 4, 2, 5, 0x100, 0x105); err == nil {
+		t.Fatal("5-byte delta over 3 iterations must be rejected")
+	}
+	if _, err := NewMemPattern(0, false, armlite.Word, 4, 3, 2, 0x100, 0x104); err == nil {
+		t.Fatal("reversed iteration order must be rejected")
+	}
+}
+
+func TestMemPatternRange(t *testing.T) {
+	p, _ := NewMemPattern(0, false, armlite.Word, 4, 2, 3, 0x100, 0x104)
+	lo, hi := p.Range(2, 5)
+	if lo != 0x100 || hi != 0x10F {
+		t.Fatalf("range = [%#x,%#x]", lo, hi)
+	}
+	// Negative stride.
+	q, _ := NewMemPattern(0, false, armlite.Word, 4, 2, 3, 0x104, 0x100)
+	lo, hi = q.Range(2, 3)
+	if lo != 0x100 || hi != 0x107 {
+		t.Fatalf("negative-stride range = [%#x,%#x]", lo, hi)
+	}
+}
+
+func TestStoresDisjointFromLoads(t *testing.T) {
+	ld, _ := NewMemPattern(0, false, armlite.Word, 4, 2, 3, 0x1000, 0x1004)
+	stFar, _ := NewMemPattern(1, true, armlite.Word, 4, 2, 3, 0x2000, 0x2004)
+	stSame, _ := NewMemPattern(1, true, armlite.Word, 4, 2, 3, 0x1000, 0x1004)
+	if !StoresDisjointFromLoads([]MemPattern{ld, stFar}, 2, 100) {
+		t.Error("far store must be disjoint")
+	}
+	if StoresDisjointFromLoads([]MemPattern{ld, stSame}, 2, 100) {
+		t.Error("in-place store must not be disjoint")
+	}
+}
+
+// Property: CIDP agrees with a brute-force byte-level simulation of
+// the access streams for random linear patterns.
+func TestQuickCIDPMatchesBruteForce(t *testing.T) {
+	f := func(loadBase, storeBase uint16, strideSel, lastSel uint8) bool {
+		strides := []int64{1, 2, 4, 8}
+		stride := strides[int(strideSel)%len(strides)]
+		last := 4 + int(lastSel)%40
+		size := int(stride)
+		lb := 0x1000 + uint32(loadBase)%256*16
+		sb := 0x1000 + uint32(storeBase)%256*16
+		ld, err1 := NewMemPattern(0, false, armlite.Word, size, 2, 3, lb, lb+uint32(stride))
+		st, err2 := NewMemPattern(1, true, armlite.Word, size, 2, 3, sb, sb+uint32(stride))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		got := PredictCID([]MemPattern{ld, st}, 2, last)
+
+		// Brute force: does any load at iteration j read a byte some
+		// earlier iteration's store wrote?
+		want := false
+		wantIter := 0
+	outer:
+		for j := 3; j <= last; j++ {
+			jl := ld.AddrAt(j)
+			for i := 2; i < j; i++ {
+				is := st.AddrAt(i)
+				if rangesOverlap(is, is+uint32(size)-1, jl, jl+uint32(size)-1) {
+					want = true
+					wantIter = j
+					break outer
+				}
+			}
+		}
+		if got.HasCID != want {
+			return false
+		}
+		if want && got.ConflictIter != wantIter {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

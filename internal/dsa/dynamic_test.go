@@ -1,0 +1,361 @@
+package dsa
+
+import (
+	"testing"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// sentinelSrc scans a zero-terminated byte string, writing c+1 for
+// each character — the §4.6.5 sentinel shape: the stop check precedes
+// the payload, and the range is unknown until the terminator loads.
+const sentinelSrc = `
+        mov   r5, #0x1000     ; src cursor
+        mov   r2, #0x2000     ; dst cursor
+loop:   ldrb  r3, [r5], #1
+        cmp   r3, #0
+        beq   done
+        add   r4, r3, #1
+        strb  r4, [r2], #1
+        b     loop
+done:   halt
+`
+
+func seedSentinel(n int) func(*cpu.Machine) {
+	return func(m *cpu.Machine) {
+		buf := make([]byte, n+1)
+		for i := 0; i < n; i++ {
+			buf[i] = byte(1 + (i*7)%200)
+		}
+		buf[n] = 0
+		m.Mem.WriteBytes(0x1000, buf)
+	}
+}
+
+// TestSentinelPaperExample reproduces the Fig. 23 flow: speculative
+// range, idle payload during the window, discarded results past the
+// real range.
+func TestSentinelPaperExample(t *testing.T) {
+	prog := asm.MustAssemble("sentinel", sentinelSrc)
+	for _, n := range []int{10, 16, 18, 40, 100} {
+		setup := seedSentinel(n)
+		ref := runScalar(t, prog, setup)
+		s := runDSA(t, prog, DefaultConfig(), setup)
+		wantB, _ := ref.Mem.ReadBytes(0x2000, n+2)
+		gotB, _ := s.M.Mem.ReadBytes(0x2000, n+2)
+		for i := range wantB {
+			if wantB[i] != gotB[i] {
+				t.Fatalf("n=%d: byte %d = %d, want %d", n, i, gotB[i], wantB[i])
+			}
+		}
+		if s.M.R[armlite.R2] != ref.R[armlite.R2] {
+			t.Fatalf("n=%d: dst cursor = %#x, want %#x", n, s.M.R[armlite.R2], ref.R[armlite.R2])
+		}
+		if s.M.R[armlite.R5] != ref.R[armlite.R5] {
+			t.Fatalf("n=%d: src cursor = %#x, want %#x", n, s.M.R[armlite.R5], ref.R[armlite.R5])
+		}
+		st := s.Stats()
+		if n >= 16 && st.Takeovers == 0 {
+			t.Fatalf("n=%d: sentinel not taken over; rejections=%v", n, st.RejectedReasons)
+		}
+		if st.ByKind[KindSentinel] == 0 {
+			t.Fatalf("n=%d: census=%v rejections=%v", n, st.ByKind, st.RejectedReasons)
+		}
+	}
+}
+
+// TestSentinelRangeLearning: on re-entry the speculative range adapts
+// to the last observed real range (Fig. 23's second execution).
+func TestSentinelRangeLearning(t *testing.T) {
+	src := `
+        mov   r8, #0
+outer:  mov   r5, #0x1000
+        mov   r2, #0x2000
+loop:   ldrb  r3, [r5], #1
+        cmp   r3, #0
+        beq   done
+        add   r4, r3, #1
+        strb  r4, [r2], #1
+        b     loop
+done:   add   r8, r8, #1
+        cmp   r8, #3
+        blt   outer
+        halt
+`
+	prog := asm.MustAssemble("sentinel2", src)
+	const n = 100
+	setup := seedSentinel(n)
+	ref := runScalar(t, prog, setup)
+	s := runDSA(t, prog, DefaultConfig(), setup)
+	wantB, _ := ref.Mem.ReadBytes(0x2000, n+1)
+	gotB, _ := s.M.Mem.ReadBytes(0x2000, n+1)
+	for i := range wantB {
+		if wantB[i] != gotB[i] {
+			t.Fatalf("byte %d = %d, want %d", i, gotB[i], wantB[i])
+		}
+	}
+	st := s.Stats()
+	if st.Takeovers < 2 {
+		t.Errorf("takeovers = %d, want one per entry after analysis", st.Takeovers)
+	}
+	entry, ok := s.E.Cache.Lookup(prog.Labels["loop"])
+	if !ok {
+		t.Fatal("sentinel loop not cached")
+	}
+	if entry.SentinelRange < 90 {
+		t.Errorf("learned sentinel range = %d, want ≈100", entry.SentinelRange)
+	}
+	if st.DSACacheHits == 0 {
+		t.Error("expected DSA cache hits on re-entry")
+	}
+}
+
+// TestSentinelDisabled: the Original DSA rejects sentinel loops but
+// execution stays correct.
+func TestSentinelDisabled(t *testing.T) {
+	prog := asm.MustAssemble("sentinel", sentinelSrc)
+	setup := seedSentinel(50)
+	ref := runScalar(t, prog, setup)
+	s := runDSA(t, prog, OriginalConfig(), setup)
+	wantB, _ := ref.Mem.ReadBytes(0x2000, 51)
+	gotB, _ := s.M.Mem.ReadBytes(0x2000, 51)
+	for i := range wantB {
+		if wantB[i] != gotB[i] {
+			t.Fatalf("byte %d differs", i)
+		}
+	}
+	if s.Stats().Takeovers != 0 {
+		t.Error("original DSA must not vectorize sentinel loops")
+	}
+	if s.Stats().RejectedReasons["sentinel-disabled"] == 0 {
+		t.Errorf("rejections = %v", s.Stats().RejectedReasons)
+	}
+}
+
+// conditionalSrc is the Fig. 19 shape: out[i] = a[i] > b[i] ? a[i]-b[i]
+// : b[i]-a[i], compiled as an if/else with index addressing.
+const conditionalSrc = `
+        mov   r5, #0x1000     ; &a
+        mov   r10, #0x2000    ; &b
+        mov   r2, #0x3000     ; &out
+        mov   r0, #0          ; i
+        mov   r4, #64         ; n
+loop:   ldr   r3, [r5, r0, lsl #2]
+        ldr   r1, [r10, r0, lsl #2]
+        cmp   r3, r1
+        ble   elseL
+        sub   r6, r3, r1
+        str   r6, [r2, r0, lsl #2]
+        b     endif
+elseL:  sub   r6, r1, r3
+        str   r6, [r2, r0, lsl #2]
+endif:  add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt
+`
+
+func seedConditional(m *cpu.Machine) {
+	a := make([]int32, 80)
+	b := make([]int32, 80)
+	for i := range a {
+		a[i] = int32((i * 13) % 97)
+		b[i] = int32((i * 31) % 89)
+	}
+	m.Mem.WriteWords(0x1000, a)
+	m.Mem.WriteWords(0x2000, b)
+}
+
+// TestConditionalLoop reproduces the §4.6.4 flow: condition discovery
+// through path signatures, per-condition vectorization, vector-map
+// masked commits.
+func TestConditionalLoop(t *testing.T) {
+	prog := asm.MustAssemble("cond", conditionalSrc)
+	ref := runScalar(t, prog, seedConditional)
+	s := runDSA(t, prog, DefaultConfig(), seedConditional)
+	checkWords(t, ref, s.M, 0x3000, 64, "conditional out")
+	st := s.Stats()
+	if st.ByKind[KindConditional] != 1 {
+		t.Fatalf("census = %v, rejections = %v", st.ByKind, st.RejectedReasons)
+	}
+	if st.Takeovers != 1 {
+		t.Fatalf("takeovers = %d", st.Takeovers)
+	}
+	if st.ArrayMapAccesses == 0 {
+		t.Error("no array-map activity recorded")
+	}
+	entry, ok := s.E.Cache.Lookup(prog.Labels["loop"])
+	if !ok || entry.Kind != KindConditional {
+		t.Fatalf("cache entry: %+v", entry)
+	}
+	if len(entry.Analysis.Cond.Paths) != 2 {
+		t.Errorf("paths = %d, want 2", len(entry.Analysis.Cond.Paths))
+	}
+}
+
+// TestConditionalIfOnly: an if without else (one empty path).
+func TestConditionalIfOnly(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #0
+        mov   r4, #48
+loop:   ldr   r3, [r5, r0, lsl #2]
+        cmp   r3, #50
+        blt   skip
+        add   r6, r3, #100
+        str   r6, [r2, r0, lsl #2]
+skip:   add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt
+`
+	prog := asm.MustAssemble("ifonly", src)
+	ref := runScalar(t, prog, seedConditional)
+	s := runDSA(t, prog, DefaultConfig(), seedConditional)
+	checkWords(t, ref, s.M, 0x3000, 48, "if-only out")
+	st := s.Stats()
+	if st.ByKind[KindConditional] != 1 {
+		t.Fatalf("census = %v, rejections = %v", st.ByKind, st.RejectedReasons)
+	}
+	entry, _ := s.E.Cache.Lookup(prog.Labels["loop"])
+	var empty, nonEmpty int
+	for _, p := range entry.Analysis.Cond.Paths {
+		if p.ID == -1 {
+			empty++
+		} else {
+			nonEmpty++
+		}
+	}
+	if empty != 1 || nonEmpty != 1 {
+		t.Errorf("paths: %d empty, %d non-empty", empty, nonEmpty)
+	}
+}
+
+// TestConditionalDisabled: the Original DSA rejects conditional loops.
+func TestConditionalDisabled(t *testing.T) {
+	prog := asm.MustAssemble("cond", conditionalSrc)
+	ref := runScalar(t, prog, seedConditional)
+	s := runDSA(t, prog, OriginalConfig(), seedConditional)
+	checkWords(t, ref, s.M, 0x3000, 64, "conditional out")
+	if s.Stats().Takeovers != 0 {
+		t.Error("original DSA must not vectorize conditional loops")
+	}
+	if s.Stats().RejectedReasons["conditional-disabled"] == 0 {
+		t.Errorf("rejections = %v", s.Stats().RejectedReasons)
+	}
+}
+
+// TestConditionalCacheHit: the conditional loop vectorizes from
+// iteration 2 on re-entry.
+func TestConditionalCacheHit(t *testing.T) {
+	src := `
+        mov   r8, #0
+outer:  mov   r5, #0x1000
+        mov   r10, #0x2000
+        mov   r2, #0x3000
+        mov   r0, #0
+        mov   r4, #64
+loop:   ldr   r3, [r5, r0, lsl #2]
+        ldr   r1, [r10, r0, lsl #2]
+        cmp   r3, r1
+        ble   elseL
+        sub   r6, r3, r1
+        str   r6, [r2, r0, lsl #2]
+        b     endif
+elseL:  sub   r6, r1, r3
+        str   r6, [r2, r0, lsl #2]
+endif:  add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        add   r8, r8, #1
+        cmp   r8, #2
+        blt   outer
+        halt
+`
+	prog := asm.MustAssemble("condcache", src)
+	ref := runScalar(t, prog, seedConditional)
+	s := runDSA(t, prog, DefaultConfig(), seedConditional)
+	checkWords(t, ref, s.M, 0x3000, 64, "conditional cache-hit out")
+	st := s.Stats()
+	if st.Takeovers != 2 {
+		t.Errorf("takeovers = %d, want 2", st.Takeovers)
+	}
+	if st.DSACacheHits == 0 {
+		t.Error("expected a cache hit on the second entry")
+	}
+}
+
+// TestConditionalRegisterLiveOut: a condition accumulating into a
+// register used across iterations must be rejected, with correct
+// scalar results.
+func TestConditionalRegisterLiveOut(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r0, #0
+        mov   r7, #0          ; accumulator (live across iterations)
+        mov   r4, #40
+loop:   ldr   r3, [r5, r0, lsl #2]
+        cmp   r3, #50
+        blt   skip
+        add   r7, r7, #1      ; conditional count — not vectorizable here
+skip:   add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt
+`
+	prog := asm.MustAssemble("liveout", src)
+	ref := runScalar(t, prog, seedConditional)
+	s := runDSA(t, prog, DefaultConfig(), seedConditional)
+	if s.M.R[armlite.R7] != ref.R[armlite.R7] {
+		t.Fatalf("accumulator = %d, want %d", s.M.R[armlite.R7], ref.R[armlite.R7])
+	}
+	if s.Stats().Takeovers != 0 {
+		t.Errorf("live-out conditional must not be vectorized; rejections=%v",
+			s.Stats().RejectedReasons)
+	}
+}
+
+// TestConditionalByteElements: 16-lane conditional execution.
+func TestConditionalByteElements(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #0
+        mov   r4, #100
+loop:   ldrb  r3, [r5, r0]
+        cmp   r3, #128
+        blt   lowV
+        sub   r6, r3, #128
+        strb  r6, [r2, r0]
+        b     endif
+lowV:   add   r6, r3, #64
+        strb  r6, [r2, r0]
+endif:  add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt
+`
+	prog := asm.MustAssemble("condbyte", src)
+	setup := func(m *cpu.Machine) {
+		buf := make([]byte, 128)
+		for i := range buf {
+			buf[i] = byte(i * 5)
+		}
+		m.Mem.WriteBytes(0x1000, buf)
+	}
+	ref := runScalar(t, prog, setup)
+	s := runDSA(t, prog, DefaultConfig(), setup)
+	wantB, _ := ref.Mem.ReadBytes(0x3000, 100)
+	gotB, _ := s.M.Mem.ReadBytes(0x3000, 100)
+	for i := range wantB {
+		if wantB[i] != gotB[i] {
+			t.Fatalf("byte %d = %d, want %d", i, gotB[i], wantB[i])
+		}
+	}
+	if s.Stats().ByKind[KindConditional] != 1 {
+		t.Fatalf("census=%v rejections=%v", s.Stats().ByKind, s.Stats().RejectedReasons)
+	}
+}

@@ -1,0 +1,353 @@
+package dsa
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+)
+
+// TripInfo is the loop-range mechanism the Data Collection stage
+// derives from the exit compare (Fig. 25: "Detecting Index and Stop
+// Condition"). The loop's back-branch is taken while Cond holds for
+// (counter, limit); the counter advances by Delta per iteration.
+type TripInfo struct {
+	CounterReg armlite.Reg
+	Delta      int64
+	LimitReg   armlite.Reg // NoReg when the limit is an immediate
+	LimitImm   int32
+	LimitIsImm bool
+	Cond       armlite.Cond // continue-condition of the back-branch
+	CmpPC      int
+	// CounterIsRn records whether the counter is the Rn operand of
+	// the compare (cmp counter, limit) or the flexible operand.
+	CounterIsRn bool
+	Unsigned    bool
+}
+
+// Remaining computes how many more iterations will run given the
+// counter value at the end of the current iteration and the limit
+// value (Eq. of §4.6.1 generalized to every branch condition).
+// ok is false when the mechanism cannot bound the loop (e.g. NE with a
+// stride that skips the limit).
+func (t TripInfo) Remaining(counter, limit uint32) (int, bool) {
+	d := t.Delta
+	if d == 0 {
+		return 0, false
+	}
+	// The continue condition compares (counter, limit) in the operand
+	// order of the original cmp.
+	a, b := int64(int32(counter)), int64(int32(limit))
+	if t.Unsigned {
+		a, b = int64(counter), int64(limit)
+	}
+	var m int
+	var ok bool
+	if !t.CounterIsRn {
+		// Condition applies to (limit, counter); flip to counter-
+		// centric form by inverting the comparison direction.
+		m, ok = remainingFlipped(t.Cond, b, a, d)
+	} else {
+		m, ok = remaining(t.Cond, a, b, d)
+	}
+	if !ok {
+		return 0, false
+	}
+	// Boundedness: the predicted exit value must be representable in
+	// the register without wrapping — an unsigned count-down through
+	// zero (or a signed overflow) never reaches the predicted exit,
+	// so the loop cannot be bounded this way.
+	landing := a + int64(m)*d
+	if t.Unsigned {
+		if landing < 0 || landing > int64(^uint32(0)) {
+			return 0, false
+		}
+	} else if landing < -(1<<31) || landing >= 1<<31 {
+		return 0, false
+	}
+	return m, true
+}
+
+// remaining solves: count of j ≥ 1 with cond(c + (j-1)·d, L) true,
+// where cond is evaluated as cmp(c', L).
+func remaining(cond armlite.Cond, c, l, d int64) (int, bool) {
+	// A condition that already fails means zero further iterations,
+	// whatever the stride direction.
+	if !condHoldsInt(cond, c, l) {
+		return 0, true
+	}
+	switch cond {
+	case armlite.CondLT, armlite.CondLO:
+		if d <= 0 {
+			return 0, false
+		}
+		if c >= l {
+			return 0, true
+		}
+		return int(ceilDiv(l-c, d)), true
+	case armlite.CondLE, armlite.CondLS:
+		if d <= 0 {
+			return 0, false
+		}
+		if c > l {
+			return 0, true
+		}
+		return int((l-c)/d + 1), true
+	case armlite.CondGT, armlite.CondHI:
+		if d >= 0 {
+			return 0, false
+		}
+		if c <= l {
+			return 0, true
+		}
+		return int(ceilDiv(c-l, -d)), true
+	case armlite.CondGE, armlite.CondHS:
+		if d >= 0 {
+			return 0, false
+		}
+		if c < l {
+			return 0, true
+		}
+		return int((c-l)/(-d) + 1), true
+	case armlite.CondNE:
+		diff := l - c
+		if d == 0 || diff%d != 0 || diff/d < 0 {
+			return 0, false
+		}
+		return int(diff / d), true
+	default:
+		return 0, false
+	}
+}
+
+// remainingFlipped handles cmp(limit, counter): cond(L, c') continues.
+func remainingFlipped(cond armlite.Cond, l, c, d int64) (int, bool) {
+	// cmp L, c with condition X is equivalent to cmp c, L with the
+	// swapped condition.
+	var sw armlite.Cond
+	switch cond {
+	case armlite.CondLT:
+		sw = armlite.CondGT
+	case armlite.CondLE:
+		sw = armlite.CondGE
+	case armlite.CondGT:
+		sw = armlite.CondLT
+	case armlite.CondGE:
+		sw = armlite.CondLE
+	case armlite.CondLO:
+		sw = armlite.CondHI
+	case armlite.CondLS:
+		sw = armlite.CondHS
+	case armlite.CondHI:
+		sw = armlite.CondLO
+	case armlite.CondHS:
+		sw = armlite.CondLS
+	case armlite.CondNE, armlite.CondEQ:
+		sw = cond
+	default:
+		return 0, false
+	}
+	return remaining(sw, c, l, d)
+}
+
+// condHoldsInt evaluates a compare condition over already sign/zero-
+// adjusted operand values.
+func condHoldsInt(cond armlite.Cond, c, l int64) bool {
+	switch cond {
+	case armlite.CondEQ:
+		return c == l
+	case armlite.CondNE:
+		return c != l
+	case armlite.CondLT, armlite.CondLO:
+		return c < l
+	case armlite.CondLE, armlite.CondLS:
+		return c <= l
+	case armlite.CondGT, armlite.CondHI:
+		return c > l
+	case armlite.CondGE, armlite.CondHS:
+		return c >= l
+	default:
+		return true
+	}
+}
+
+func ceilDiv(a, b int64) int64 {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// NodeKind classifies a payload dataflow node.
+type NodeKind int
+
+// Node kinds.
+const (
+	NodeLoad     NodeKind = iota // one vector element stream (vld1)
+	NodeConstReg                 // loop-invariant register (vdup)
+	NodeConstMem                 // loop-invariant load (scalar load + vdup)
+	NodeImm                      // immediate operand (vdup of a constant)
+	NodeExpr                     // lane-wise operation
+)
+
+// Node is one vertex of the payload dataflow DAG (Fig. 25's
+// "Vectorizable Instructions and their operands").
+type Node struct {
+	Kind NodeKind
+	// NodeLoad: index into Analysis.Patterns.
+	Pattern int
+	// NodeConstReg: register to broadcast at execution time.
+	Reg armlite.Reg
+	// NodeImm / NodeExpr shift amount.
+	Imm int32
+	// NodeExpr.
+	Op   armlite.Op // scalar opcode; vectorized via VectorALUOp
+	A, B *Node
+
+	// vreg is the NEON register assigned by the planner.
+	vreg armlite.VReg
+}
+
+// StoreSlot is one vector store site: the pattern it writes through
+// and the node producing its value.
+type StoreSlot struct {
+	Pattern int
+	Value   *Node
+}
+
+// RegOut is the final symbolic binding of a scalar register within
+// one iteration: which DAG node holds its value and which instruction
+// produced it. Speculative execution uses it to rematerialize payload
+// temporaries the skipped iterations never computed architecturally.
+type RegOut struct {
+	Node *Node
+	PC   int
+}
+
+// PayloadDAG is the extracted vectorizable computation of one loop
+// iteration (or of one conditional path's action region).
+type PayloadDAG struct {
+	Nodes  []*Node // topological order (operands precede users)
+	Stores []StoreSlot
+
+	// regOut maps registers written during the iteration to their
+	// final values (see RegOut).
+	regOut map[armlite.Reg]RegOut
+}
+
+// Analysis is the complete artifact of a successful DSA loop analysis
+// — everything needed to generate SIMD statements and take over
+// execution. It is what the DSA cache conceptually stores.
+type Analysis struct {
+	LoopID   int
+	BranchPC int
+	Kind     LoopKind
+
+	Trip      TripInfo
+	Induction map[armlite.Reg]int64 // per-iteration register deltas
+	Patterns  []MemPattern
+	ElemDT    armlite.DataType // lane element type
+	Payload   *PayloadDAG      // simple loops
+
+	CID     CIDResult
+	Partial bool // vectorization must proceed in dependency windows
+
+	Cond *CondAnalysis // conditional loops
+	Sent *SentAnalysis // sentinel loops
+
+	// plan is the generated SIMD program (built at decision time so
+	// generation failures reject the loop before any takeover).
+	plan *Plan
+}
+
+// CondAnalysis describes a vectorizable conditional loop.
+type CondAnalysis struct {
+	// ActionPCs is the union of all paths' action-region PCs — the
+	// instructions skipped (idle) during mapped SIMD execution.
+	ActionPCs map[int]bool
+	// Paths are the discovered conditions, each with its own DAG.
+	Paths []CondPath
+	// StoreSlots counts total vector store sites across paths (array-
+	// map budget check).
+	StoreSlots int
+	// Vec is the full-speculation plan (guard compare evaluated as a
+	// SIMD mask, both arms executed masked); nil when only the
+	// scalar-mapped mode is possible.
+	Vec *CondVec
+}
+
+// CondVec is the fully speculative execution plan for a two-arm
+// conditional loop: the guard computation is itself vectorized and the
+// branch outcome becomes a per-lane mask selecting which arm's stores
+// commit (the Array-Map / Vector-Map selection of Fig. 21–22 performed
+// at vector width).
+type CondVec struct {
+	GuardPlan     *Plan
+	GuardPatterns []MemPattern
+	A, B          *Node        // compare operands
+	Cond          armlite.Cond // branch-taken condition over (A-B)
+	Float         bool
+	// Unsigned forces unsigned lane comparison: sub-word scalar
+	// operands are zero-extended loads, so the scalar's signed 32-bit
+	// compare equals an unsigned lane compare.
+	Unsigned bool
+
+	Taken *CondArm // arm reached when the branch is taken (nil: empty)
+	Fall  *CondArm // fall-through arm (nil: empty)
+}
+
+// CondArm is one executable arm of a CondVec.
+type CondArm struct {
+	Plan     *Plan
+	Patterns []MemPattern
+}
+
+// CondPath is one condition: its identifying action PCs and payload.
+type CondPath struct {
+	ID      int // first action PC (the paper's condition index); -1 for an empty path
+	PCs     map[int]bool
+	Payload *PayloadDAG
+	plan    *Plan
+	// patterns are the path's own pattern table (its plan's indices
+	// refer to this slice, not to Analysis.Patterns).
+	patterns []MemPattern
+}
+
+// SentAnalysis describes a vectorizable sentinel loop.
+type SentAnalysis struct {
+	// StopPCs is the backward slice of the exit checks — executed
+	// scalar every iteration.
+	StopPCs map[int]bool
+	// ActionPCs are the payload instructions — skipped while the
+	// speculative window covers the iteration.
+	ActionPCs map[int]bool
+	Payload   *PayloadDAG
+	ExitPC    int
+	// RegOut lists payload-defined registers whose architectural
+	// values must be rematerialized when speculation skips the scalar
+	// instructions that would have produced them.
+	RegOut map[armlite.Reg]*Node
+}
+
+// Lanes returns the SIMD parallelism of the analyzed element type.
+func (a *Analysis) Lanes() int { return a.ElemDT.Lanes() }
+
+// extractError carries a rejection reason.
+type extractError struct{ reason string }
+
+func (e *extractError) Error() string { return "dsa: " + e.reason }
+
+func rejectf(format string, args ...any) error {
+	return &extractError{reason: fmt.Sprintf(format, args...)}
+}
+
+// reasonOf unwraps the rejection reason for the census.
+func reasonOf(err error) string {
+	if e, ok := err.(*extractError); ok {
+		return e.reason
+	}
+	return err.Error()
+}
+
+// Plan returns the generated SIMD program (the DSA cache's "built
+// SIMD statements"), nil before a successful decision.
+func (a *Analysis) Plan() *Plan { return a.plan }

@@ -1,0 +1,22 @@
+package dsa
+
+import "testing"
+
+// TestDSACacheRoundRobinThrash: 32 loops through a 16-entry cache in
+// round-robin order must never hit (true LRU behaviour).
+func TestDSACacheRoundRobinThrash(t *testing.T) {
+	c := NewDSACache(1 << 10) // 16 entries
+	hits := 0
+	for pass := 0; pass < 4; pass++ {
+		for id := 0; id < 32; id++ {
+			if _, ok := c.Lookup(id); ok {
+				hits++
+			} else {
+				c.Insert(&CachedLoop{LoopID: id})
+			}
+		}
+	}
+	if hits != 0 {
+		t.Errorf("hits = %d, want 0 (len %d)", hits, c.Len())
+	}
+}

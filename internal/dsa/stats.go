@@ -1,0 +1,82 @@
+package dsa
+
+import (
+	"sort"
+
+	"repro/internal/energy"
+)
+
+// EnergyEvents converts the DSA counters into the energy model's
+// event vector.
+func (s *Stats) EnergyEvents() energy.DSAEvents {
+	return energy.DSAEvents{
+		StateTransitions: s.StateTransitions,
+		Observations:     s.Observations,
+		DSACacheAccesses: s.DSACacheAccesses,
+		VCacheAccesses:   s.VCacheAccesses,
+		ArrayMapAccesses: s.ArrayMapAccesses,
+		CIDPCompares:     s.CIDPCompares,
+	}
+}
+
+// DetectionShare returns the fraction of total execution time the DSA
+// spent analyzing (probing mode) — the "DSA Latency" metric of
+// Article 2 Table 3 / Article 3 Table 2. The analysis runs in
+// parallel with the core, so this is a utilization figure, not a
+// wall-clock penalty.
+func (s *Stats) DetectionShare(totalTicks int64) float64 {
+	if totalTicks <= 0 {
+		return 0
+	}
+	f := float64(s.AnalysisTicks) / float64(totalTicks)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// LoopReport is one cached loop in a human-readable form.
+type LoopReport struct {
+	LoopID       int
+	Kind         LoopKind
+	Vectorizable bool
+	Reason       string // rejection reason when not vectorizable
+	ElemDT       string
+	Lanes        int
+	Listing      []string // generated SIMD statements (one chunk)
+}
+
+// Report lists every loop the DSA cache currently holds, ordered by
+// loop ID — the contents of the paper's DSA cache after a run.
+func (e *Engine) Report() []LoopReport {
+	ids := make([]int, 0, len(e.Cache.entries))
+	for id := range e.Cache.entries {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]LoopReport, 0, len(ids))
+	for _, id := range ids {
+		c := e.Cache.entries[id]
+		r := LoopReport{LoopID: id, Kind: c.Kind, Vectorizable: c.Vectorizable, Reason: c.Reason}
+		if a := c.Analysis; a != nil {
+			r.ElemDT = a.ElemDT.String()
+			r.Lanes = a.Lanes()
+			if a.plan != nil {
+				for _, in := range a.plan.Listing {
+					r.Listing = append(r.Listing, in.String())
+				}
+			}
+			if a.Cond != nil {
+				for _, p := range a.Cond.Paths {
+					if p.plan != nil {
+						for _, in := range p.plan.Listing {
+							r.Listing = append(r.Listing, in.String())
+						}
+					}
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return out
+}

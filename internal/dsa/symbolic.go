@@ -1,0 +1,441 @@
+package dsa
+
+import (
+	"repro/internal/armlite"
+)
+
+// Register classification for extraction: how a register's value
+// behaves across iterations when read as an incoming operand.
+type regClass int
+
+const (
+	clInvariant regClass = iota // identical every iteration → vdup
+	clInduction                 // constant nonzero delta → structural
+	clVarying                   // data-dependent → not vectorizable
+)
+
+// regEnv captures the per-register behaviour the Data Collection stage
+// measured (end-of-iteration snapshots) plus the *roles* Fig. 25
+// assigns: a register is induction only when it advances by a constant
+// delta AND serves as an address base/index or the trip counter —
+// data registers whose values merely happen to form an arithmetic
+// progression must not be mistaken for indexes.
+type regEnv struct {
+	delta   [armlite.NumRegs]int64
+	deltaOK [armlite.NumRegs]bool
+	ind     armlite.RegSet // address/index/counter roles
+}
+
+func (e *regEnv) class(r armlite.Reg) regClass {
+	if !r.Valid() || !e.deltaOK[r] {
+		return clVarying
+	}
+	if e.delta[r] == 0 {
+		return clInvariant
+	}
+	if e.ind.Has(r) {
+		return clInduction
+	}
+	return clVarying
+}
+
+// extractor builds a PayloadDAG from one iteration's record sequence.
+type extractor struct {
+	env        *regEnv
+	patterns   []MemPattern
+	patIdx     map[memKey]int // memory site → pattern index
+	structural map[int]bool   // PCs executed scalar (trip glue, slices)
+
+	// Guard-compare capture (conditional-loop full speculation): the
+	// compare at guardPC has its operands resolved into nodes instead
+	// of rejecting the extraction.
+	guardPC   int // -1 when unused
+	guardA    *Node
+	guardB    *Node
+	guardWasF bool
+
+	sym      [armlite.NumRegs]*Node
+	symPC    [armlite.NumRegs]int
+	nodes    []*Node
+	stores   []StoreSlot
+	elemSize int
+	elemDT   armlite.DataType
+	isFloat  bool
+
+	// CSE tables.
+	loadNodes map[int]*Node
+	constRegs map[armlite.Reg]*Node
+	immNodes  map[int32]*Node
+
+	// In-iteration aliasing guard: ranges stored so far.
+	storedPatterns []int
+
+	occ map[int]int
+}
+
+// extractPayload walks recs (one representative iteration) and builds
+// the vectorizable dataflow. structural PCs are skipped; everything
+// else must map onto the NEON subset or the loop is rejected.
+func extractPayload(recs []StepRec, env *regEnv, patterns []MemPattern,
+	patIdx map[memKey]int, structural map[int]bool) (*PayloadDAG, armlite.DataType, error) {
+	x := &extractor{
+		env:        env,
+		patterns:   patterns,
+		patIdx:     patIdx,
+		structural: structural,
+		guardPC:    -1,
+		loadNodes:  make(map[int]*Node),
+		constRegs:  make(map[armlite.Reg]*Node),
+		immNodes:   make(map[int32]*Node),
+		occ:        make(map[int]int),
+	}
+	for i := range x.symPC {
+		x.symPC[i] = -1
+	}
+	for i := range recs {
+		if err := x.step(&recs[i]); err != nil {
+			return nil, 0, err
+		}
+	}
+	if len(x.stores) == 0 {
+		return nil, 0, rejectf("no-vector-store")
+	}
+	if x.elemDT == 0 {
+		return nil, 0, rejectf("no-memory-traffic")
+	}
+	return &PayloadDAG{Nodes: x.nodes, Stores: x.stores, regOut: x.regOuts()}, x.elemDT, nil
+}
+
+// regOuts snapshots the final symbolic register bindings with the
+// instruction address that produced each — used to rematerialize
+// payload temporaries after speculative (skipped) execution.
+func (x *extractor) regOuts() map[armlite.Reg]RegOut {
+	out := make(map[armlite.Reg]RegOut)
+	for r := armlite.Reg(0); r < armlite.NumRegs; r++ {
+		if x.sym[r] != nil && x.symPC[r] >= 0 {
+			out[r] = RegOut{Node: x.sym[r], PC: x.symPC[r]}
+		}
+	}
+	return out
+}
+
+// bind records a symbolic register definition.
+func (x *extractor) bind(r armlite.Reg, pc int, n *Node) {
+	x.sym[r] = n
+	x.symPC[r] = pc
+}
+
+// extractGuard builds the dataflow of a conditional loop's guard: the
+// header computation feeding the compare at cmpPC. The compare's
+// operands become lane-valued nodes so the branch outcome can be
+// evaluated as a SIMD mask (full conditional speculation). Returns the
+// node DAG (no stores), the two compare operands, whether the compare
+// is a float compare, and the element type.
+func extractGuard(recs []StepRec, env *regEnv, patterns []MemPattern,
+	patIdx map[memKey]int, structural map[int]bool, cmpPC int) (*PayloadDAG, *Node, *Node, bool, armlite.DataType, error) {
+	x := &extractor{
+		env:        env,
+		patterns:   patterns,
+		patIdx:     patIdx,
+		structural: structural,
+		guardPC:    cmpPC,
+		loadNodes:  make(map[int]*Node),
+		constRegs:  make(map[armlite.Reg]*Node),
+		immNodes:   make(map[int32]*Node),
+		occ:        make(map[int]int),
+	}
+	for i := range recs {
+		if err := x.step(&recs[i]); err != nil {
+			return nil, nil, nil, false, 0, err
+		}
+	}
+	if x.guardA == nil {
+		return nil, nil, nil, false, 0, rejectf("guard-compare-not-found")
+	}
+	if x.elemDT == 0 {
+		// Mask would be iteration-invariant; nothing to select on.
+		return nil, nil, nil, false, 0, rejectf("guard-not-lane-varying")
+	}
+	return &PayloadDAG{Nodes: x.nodes}, x.guardA, x.guardB, x.guardWasF, x.elemDT, nil
+}
+
+func (x *extractor) addNode(n *Node) *Node {
+	x.nodes = append(x.nodes, n)
+	return n
+}
+
+// operand resolves a register read to a DAG node.
+func (x *extractor) operand(r armlite.Reg) (*Node, error) {
+	if n := x.sym[r]; n != nil {
+		return n, nil
+	}
+	switch x.env.class(r) {
+	case clInvariant:
+		if n := x.constRegs[r]; n != nil {
+			return n, nil
+		}
+		n := x.addNode(&Node{Kind: NodeConstReg, Reg: r})
+		x.constRegs[r] = n
+		return n, nil
+	case clInduction:
+		return nil, rejectf("induction-value-used-as-data")
+	default:
+		return nil, rejectf("loop-varying-scalar-operand")
+	}
+}
+
+func (x *extractor) immNode(v int32) *Node {
+	if n := x.immNodes[v]; n != nil {
+		return n
+	}
+	n := x.addNode(&Node{Kind: NodeImm, Imm: v})
+	x.immNodes[v] = n
+	return n
+}
+
+// setElem fixes the element type from the first streaming access and
+// enforces the paper's "inconsistent length of members" inhibitor.
+func (x *extractor) setElem(dt armlite.DataType) error {
+	if x.elemDT == 0 {
+		x.elemDT = dt.Vector()
+		x.elemSize = dt.Size()
+		x.isFloat = dt.IsFloat()
+		return nil
+	}
+	if dt.Size() != x.elemSize || dt.IsFloat() != x.isFloat {
+		return rejectf("mixed-element-widths")
+	}
+	return nil
+}
+
+func (x *extractor) step(r *StepRec) error {
+	in := &r.Instr
+	// Memory-site occurrence numbering must advance even for skipped
+	// instructions so patIdx keys stay aligned.
+	var site memKey
+	if r.HasMem {
+		o := x.occ[r.PC]
+		x.occ[r.PC] = o + 1
+		site = memKey{pc: r.PC, occ: o}
+	}
+	if x.structural[r.PC] {
+		return nil
+	}
+	switch in.Op {
+	case armlite.OpNop, armlite.OpBL, armlite.OpBX:
+		// Call/return glue of function loops.
+		return nil
+	case armlite.OpB:
+		if in.Cond == armlite.CondAL {
+			return nil // unconditional control glue (if/else joins)
+		}
+		return rejectf("unhandled-conditional-branch")
+	case armlite.OpHalt:
+		return rejectf("halt-inside-loop")
+	}
+	if in.Cond != armlite.CondAL {
+		return rejectf("predicated-instruction")
+	}
+
+	switch in.Op {
+	case armlite.OpLdr:
+		pi, ok := x.patIdx[site]
+		if !ok {
+			return rejectf("unmatched-memory-site")
+		}
+		p := x.patterns[pi]
+		if p.Stride == 0 {
+			// Loop-invariant load → broadcast.
+			if n := x.loadNodes[pi]; n != nil {
+				x.bind(in.Rd, r.PC, n)
+			} else {
+				n = x.addNode(&Node{Kind: NodeConstMem, Pattern: pi})
+				x.loadNodes[pi] = n
+				x.bind(in.Rd, r.PC, n)
+			}
+			x.afterDef(in)
+			return nil
+		}
+		if p.Stride != int64(p.Size) {
+			return rejectf("non-contiguous-access")
+		}
+		if err := x.setElem(in.DT); err != nil {
+			return err
+		}
+		if x.aliasesStored(pi) {
+			return rejectf("in-iteration-aliasing")
+		}
+		if n := x.loadNodes[pi]; n != nil {
+			x.bind(in.Rd, r.PC, n)
+		} else {
+			n = x.addNode(&Node{Kind: NodeLoad, Pattern: pi})
+			x.loadNodes[pi] = n
+			x.bind(in.Rd, r.PC, n)
+		}
+		x.afterDef(in)
+		return nil
+
+	case armlite.OpStr:
+		pi, ok := x.patIdx[site]
+		if !ok {
+			return rejectf("unmatched-memory-site")
+		}
+		p := x.patterns[pi]
+		if p.Stride != int64(p.Size) {
+			return rejectf("non-contiguous-access")
+		}
+		if err := x.setElem(in.DT); err != nil {
+			return err
+		}
+		v, err := x.operand(in.Rd)
+		if err != nil {
+			return err
+		}
+		x.stores = append(x.stores, StoreSlot{Pattern: pi, Value: v})
+		x.storedPatterns = append(x.storedPatterns, pi)
+		x.afterDef(in)
+		return nil
+
+	case armlite.OpMov:
+		if in.HasImm {
+			x.bind(in.Rd, r.PC, x.immNode(in.Imm))
+		} else {
+			n, err := x.operand(in.Rm)
+			if err != nil {
+				return err
+			}
+			x.bind(in.Rd, r.PC, n)
+		}
+		return nil
+
+	case armlite.OpAdd, armlite.OpSub, armlite.OpRsb, armlite.OpMul,
+		armlite.OpAnd, armlite.OpOrr, armlite.OpEor,
+		armlite.OpFAdd, armlite.OpFSub, armlite.OpFMul:
+		return x.binOp(in, r.PC)
+
+	case armlite.OpMla:
+		a, err := x.operand(in.Rn)
+		if err != nil {
+			return err
+		}
+		b, err := x.operand(in.Rm)
+		if err != nil {
+			return err
+		}
+		c, err := x.operand(in.Ra)
+		if err != nil {
+			return err
+		}
+		mul := x.addNode(&Node{Kind: NodeExpr, Op: armlite.OpMul, A: a, B: b})
+		x.bind(in.Rd, r.PC, x.addNode(&Node{Kind: NodeExpr, Op: armlite.OpAdd, A: mul, B: c}))
+		return nil
+
+	case armlite.OpLsl, armlite.OpLsr, armlite.OpAsr:
+		if !in.HasImm {
+			return rejectf("register-shift-amount")
+		}
+		if x.elemDT != 0 && x.elemSize != 4 {
+			// Lane shifts on narrow elements diverge from the
+			// scalar's 32-bit semantics; reject to stay exact.
+			return rejectf("shift-on-narrow-elements")
+		}
+		if in.Op == armlite.OpLsr {
+			// vshr is arithmetic in our vector subset; logical right
+			// shift only matches on non-negative values, which we
+			// cannot prove — compilers emit asr for the signed case.
+			return rejectf("logical-shift-unsupported")
+		}
+		a, err := x.operand(in.Rn)
+		if err != nil {
+			return err
+		}
+		x.bind(in.Rd, r.PC, x.addNode(&Node{Kind: NodeExpr, Op: in.Op, A: a, Imm: in.Imm}))
+		return nil
+
+	case armlite.OpCmp, armlite.OpCmn, armlite.OpTst, armlite.OpFCmp:
+		if r.PC == x.guardPC && x.guardA == nil &&
+			(in.Op == armlite.OpCmp || in.Op == armlite.OpFCmp) {
+			a, err := x.operand(in.Rn)
+			if err != nil {
+				return err
+			}
+			var b *Node
+			if in.HasImm {
+				b = x.immNode(in.Imm)
+			} else {
+				if b, err = x.operand(in.Rm); err != nil {
+					return err
+				}
+			}
+			x.guardA, x.guardB = a, b
+			x.guardWasF = in.Op == armlite.OpFCmp
+			return nil
+		}
+		return rejectf("compare-in-payload")
+
+	case armlite.OpSdiv, armlite.OpUdiv, armlite.OpFDiv:
+		return rejectf("division-in-payload")
+
+	default:
+		return rejectf("unsupported-op-%s", in.Op)
+	}
+}
+
+// binOp handles two-operand data processing.
+func (x *extractor) binOp(in *armlite.Instr, pc int) error {
+	if in.Op.IsALU() && x.isFloatOp(in.Op) != x.isFloat && x.elemDT != 0 {
+		return rejectf("int-float-mix")
+	}
+	a, err := x.operand(in.Rn)
+	if err != nil {
+		return err
+	}
+	var b *Node
+	if in.HasImm {
+		b = x.immNode(in.Imm)
+	} else {
+		if b, err = x.operand(in.Rm); err != nil {
+			return err
+		}
+	}
+	op := in.Op
+	if op == armlite.OpRsb {
+		op = armlite.OpSub
+		a, b = b, a
+	}
+	if _, ok := armlite.VectorALUOp(op); !ok {
+		return rejectf("unsupported-op-%s", op)
+	}
+	x.bind(in.Rd, pc, x.addNode(&Node{Kind: NodeExpr, Op: op, A: a, B: b}))
+	return nil
+}
+
+func (x *extractor) isFloatOp(op armlite.Op) bool {
+	return op == armlite.OpFAdd || op == armlite.OpFSub || op == armlite.OpFMul || op == armlite.OpFDiv
+}
+
+// afterDef invalidates CSE'd symbols when a memory instruction writes
+// back its base register (the base is induction; handled by deltas).
+func (x *extractor) afterDef(in *armlite.Instr) {
+	// Post-index writeback updates an induction register; nothing to
+	// do for the dataflow, but a destination register that doubles as
+	// a previously CSE'd symbol must be refreshed — handled because
+	// sym[rd] is overwritten at the definition site.
+	_ = in
+}
+
+// aliasesStored reports whether loading stream pi could read bytes an
+// earlier store in the same iteration wrote (store-to-load forwarding
+// would be needed — rejected, keeping vector execution exact).
+func (x *extractor) aliasesStored(pi int) bool {
+	lp := x.patterns[pi]
+	lLo, lHi := lp.Range(lp.RefIterA, lp.RefIterB+64)
+	for _, si := range x.storedPatterns {
+		sp := x.patterns[si]
+		sLo, sHi := sp.Range(sp.RefIterA, sp.RefIterB+64)
+		if rangesOverlap(sLo, sHi, lLo, lHi) {
+			return true
+		}
+	}
+	return false
+}

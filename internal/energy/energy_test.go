@@ -1,0 +1,76 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpu"
+	"repro/internal/mem"
+)
+
+func TestComputeComponents(t *testing.T) {
+	p := DefaultParams()
+	c := cpu.Counts{Total: 100, ALU: 50, Loads: 20, Stores: 10, Branches: 20}
+	l1 := mem.Stats{Hits: 25, Misses: 5}
+	l2 := mem.Stats{Hits: 4, Misses: 1}
+	b := Compute(p, c, l1, l2, DSAEvents{})
+	if b.FrontEnd != 100*p.FrontEnd {
+		t.Errorf("frontend = %v", b.FrontEnd)
+	}
+	wantScalar := 50*p.ALU + 30*p.LdSt + 20*p.Branch
+	if b.Scalar != wantScalar {
+		t.Errorf("scalar = %v, want %v", b.Scalar, wantScalar)
+	}
+	wantCaches := 30*p.L1 + 5*p.L2 + 1*p.DRAM
+	if b.Caches != wantCaches {
+		t.Errorf("caches = %v, want %v", b.Caches, wantCaches)
+	}
+	if b.NEON != 0 || b.DSA != 0 {
+		t.Error("unused components must be zero")
+	}
+	if b.Total() != b.FrontEnd+b.Scalar+b.Caches {
+		t.Error("total mismatch")
+	}
+}
+
+func TestComputeDSAEvents(t *testing.T) {
+	p := DefaultParams()
+	d := DSAEvents{StateTransitions: 10, Observations: 100, DSACacheAccesses: 5,
+		VCacheAccesses: 20, ArrayMapAccesses: 3, CIDPCompares: 7}
+	b := Compute(p, cpu.Counts{}, mem.Stats{}, mem.Stats{}, d)
+	want := 10*p.DSAState + 100*p.DSAObserve + 5*p.DSACache + 20*p.VCache +
+		3*p.ArrayMap + 7*p.CIDPCompare
+	if b.DSA != want {
+		t.Errorf("dsa = %v, want %v", b.DSA, want)
+	}
+}
+
+// TestVectorReplacesScalarEnergy: replacing 4 scalar adds + their
+// front-end slots with one vector op must cost less energy — the core
+// mechanism behind the paper's 45 % savings.
+func TestVectorReplacesScalarEnergy(t *testing.T) {
+	p := DefaultParams()
+	scalar := Compute(p, cpu.Counts{Total: 4, ALU: 4}, mem.Stats{}, mem.Stats{}, DSAEvents{})
+	vector := Compute(p, cpu.Counts{Total: 1, VecOps: 1}, mem.Stats{}, mem.Stats{}, DSAEvents{})
+	if vector.Total() >= scalar.Total() {
+		t.Errorf("vector %v must be cheaper than scalar %v", vector.Total(), scalar.Total())
+	}
+}
+
+// Property: energy is monotone in every counter.
+func TestQuickEnergyMonotone(t *testing.T) {
+	p := DefaultParams()
+	f := func(total, alu, loads uint16, l1h, l1m uint16) bool {
+		c1 := cpu.Counts{Total: uint64(total), ALU: uint64(alu), Loads: uint64(loads)}
+		c2 := c1
+		c2.Total++
+		c2.ALU++
+		s1 := mem.Stats{Hits: uint64(l1h), Misses: uint64(l1m)}
+		b1 := Compute(p, c1, s1, mem.Stats{}, DSAEvents{})
+		b2 := Compute(p, c2, s1, mem.Stats{}, DSAEvents{})
+		return b2.Total() > b1.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,332 @@
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/vectorize"
+)
+
+// randomLoop generates a random elementwise kernel: 1–4 chained ALU
+// operations over up to two input streams plus immediates, a random
+// element width and a random (often non-multiple) trip count; sometimes
+// wrapped in an if/else on a compare.
+type randomLoop struct {
+	src   string
+	trip  int
+	word  bool
+	outSz int
+}
+
+func genRandomLoop(r *rand.Rand) randomLoop {
+	word := r.Intn(3) > 0 // 2/3 word, 1/3 byte
+	suffix, step := "", 4
+	if !word {
+		suffix, step = "b", 1
+	}
+	trip := 5 + r.Intn(120)
+	shape := r.Intn(6) // 0-2 plain, 3-4 conditional, 5 sentinel
+	conditional := shape == 3 || shape == 4
+	sentinel := shape == 5 && !word // sentinel scans bytes
+
+	ops := []string{"add", "sub", "and", "orr", "eor"}
+	if word {
+		ops = append(ops, "mul")
+	}
+
+	body := ""
+	// Value chain on r3, inputs r3 (stream A) and r1 (stream B).
+	nOps := 1 + r.Intn(4)
+	for i := 0; i < nOps; i++ {
+		op := ops[r.Intn(len(ops))]
+		if r.Intn(2) == 0 {
+			body += fmt.Sprintf("        %s   r3, r3, r1\n", op)
+		} else {
+			body += fmt.Sprintf("        %s   r3, r3, #%d\n", op, 1+r.Intn(100))
+		}
+	}
+
+	var src string
+	if sentinel {
+		// Zero-terminated scan: stop check first, payload after.
+		body = ""
+		for i := 0; i < nOps; i++ {
+			op := ops[r.Intn(len(ops))]
+			body += fmt.Sprintf("        %s   r4, r4, #%d\n", op, 1+r.Intn(100))
+		}
+		src = fmt.Sprintf(`
+        mov   r5, #0x10000
+        mov   r2, #0x30000
+loop:   ldrb  r3, [r5], #1
+        cmp   r3, #0
+        beq   done
+        mov   r4, r3
+%s        strb  r4, [r2], #1
+        b     loop
+done:   halt
+`, body)
+		return randomLoop{src: src, trip: trip, word: word, outSz: 1024}
+	}
+	if conditional {
+		src = fmt.Sprintf(`
+        mov   r5, #0x10000
+        mov   r10, #0x20000
+        mov   r2, #0x30000
+        mov   r0, #0
+        mov   r4, #%d
+loop:   ldr%s  r3, [r5, r0%s]
+        ldr%s  r1, [r10, r0%s]
+        cmp   r3, r1
+        ble   elseL
+%s        str%s  r3, [r2, r0%s]
+        b     endif
+elseL:  str%s  r1, [r2, r0%s]
+endif:  add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt
+`, trip,
+			suffix, idxSuffix(word), suffix, idxSuffix(word),
+			body, suffix, idxSuffix(word), suffix, idxSuffix(word))
+	} else {
+		src = fmt.Sprintf(`
+        mov   r5, #0x10000
+        mov   r10, #0x20000
+        mov   r2, #0x30000
+        mov   r0, #0
+        mov   r4, #%d
+loop:   ldr%s  r3, [r5], #%d
+        ldr%s  r1, [r10], #%d
+%s        str%s  r3, [r2], #%d
+        add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt
+`, trip, suffix, step, suffix, step, body, suffix, step)
+	}
+	return randomLoop{src: src, trip: trip, word: word, outSz: trip * step}
+}
+
+func idxSuffix(word bool) string {
+	if word {
+		return ", lsl #2"
+	}
+	return ""
+}
+
+func seedRandom(r *rand.Rand) func(*cpu.Machine) {
+	a := make([]byte, 1024)
+	b := make([]byte, 1024)
+	r.Read(a)
+	r.Read(b)
+	return func(m *cpu.Machine) {
+		m.Mem.WriteBytes(0x10000, a)
+		m.Mem.WriteBytes(0x20000, b)
+	}
+}
+
+// TestRandomLoopsDifferential cross-checks 200 random kernels: the DSA
+// run and the statically vectorized run must both produce memory
+// byte-identical to the scalar run.
+func TestRandomLoopsDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(20190222)) // the dissertation's defense date
+	for i := 0; i < 200; i++ {
+		lp := genRandomLoop(r)
+		prog, err := asm.Assemble(fmt.Sprintf("rand%d", i), lp.src)
+		if err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, lp.src)
+		}
+		setup := seedRandom(r)
+
+		scalar := cpu.MustNew(prog, cpu.DefaultConfig())
+		setup(scalar)
+		if err := scalar.Run(nil); err != nil {
+			t.Fatalf("case %d scalar: %v\n%s", i, err, lp.src)
+		}
+		want, _ := scalar.Mem.ReadBytes(0x30000, lp.outSz)
+
+		// DSA run.
+		sys, err := dsa.NewSystem(prog, cpu.DefaultConfig(), dsa.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup(sys.M)
+		if err := sys.Run(); err != nil {
+			t.Fatalf("case %d dsa: %v\n%s", i, err, lp.src)
+		}
+		got, _ := sys.M.Mem.ReadBytes(0x30000, lp.outSz)
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("case %d: DSA byte %d = %d, want %d\nkinds=%v rejections=%v\n%s",
+					i, j, got[j], want[j], sys.Stats().ByKind, sys.Stats().RejectedReasons, lp.src)
+			}
+		}
+		// Scalar register state must match too (resume correctness).
+		for reg := 0; reg < 13; reg++ {
+			if sys.M.R[reg] != scalar.R[reg] {
+				t.Fatalf("case %d: DSA r%d = %#x, want %#x\n%s",
+					i, reg, sys.M.R[reg], scalar.R[reg], lp.src)
+			}
+		}
+
+		// AutoVec run.
+		vprog, _, err := vectorize.AutoVectorize(prog, vectorize.Options{NoAlias: true})
+		if err != nil {
+			t.Fatalf("case %d autovec: %v", i, err)
+		}
+		vm := cpu.MustNew(vprog, cpu.DefaultConfig())
+		setup(vm)
+		if err := vm.Run(nil); err != nil {
+			t.Fatalf("case %d autovec run: %v\n%s", i, err, vprog)
+		}
+		vgot, _ := vm.Mem.ReadBytes(0x30000, lp.outSz)
+		for j := range want {
+			if want[j] != vgot[j] {
+				t.Fatalf("case %d: autovec byte %d = %d, want %d\n%s\n--- compiled:\n%s",
+					i, j, vgot[j], want[j], lp.src, vprog)
+			}
+		}
+	}
+}
+
+// TestRandomLoopsNeverSlower: across the random corpus the DSA must
+// never lose meaningfully to scalar (the no-penalty claim under fuzz).
+func TestRandomLoopsNeverSlower(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 60; i++ {
+		lp := genRandomLoop(r)
+		prog, err := asm.Assemble(fmt.Sprintf("perf%d", i), lp.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup := seedRandom(r)
+		scalar := cpu.MustNew(prog, cpu.DefaultConfig())
+		setup(scalar)
+		if err := scalar.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		sys, err := dsa.NewSystem(prog, cpu.DefaultConfig(), dsa.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup(sys.M)
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if float64(sys.M.Ticks) > float64(scalar.Ticks)*1.02 {
+			t.Errorf("case %d: DSA %d ticks vs scalar %d (>2%% penalty)\n%s",
+				i, sys.M.Ticks, scalar.Ticks, lp.src)
+		}
+	}
+}
+
+// TestDSAOnCompiledBinary: running the DSA over an already
+// auto-vectorized binary must stay correct and neutral — the vector
+// loops are not re-vectorizable (they contain NEON ops) and the scalar
+// remainders are below the profitability guard.
+func TestDSAOnCompiledBinary(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 40; i++ {
+		lp := genRandomLoop(r)
+		prog, err := asm.Assemble(fmt.Sprintf("c%d", i), lp.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compiled, _, err := vectorize.AutoVectorize(prog, vectorize.Options{NoAlias: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup := seedRandom(r)
+
+		ref := cpu.MustNew(prog, cpu.DefaultConfig())
+		setup(ref)
+		if err := ref.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := ref.Mem.ReadBytes(0x30000, lp.outSz)
+
+		sys, err := dsa.NewSystem(compiled, cpu.DefaultConfig(), dsa.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		setup(sys.M)
+		if err := sys.Run(); err != nil {
+			t.Fatalf("case %d: %v\n%s", i, err, compiled)
+		}
+		got, _ := sys.M.Mem.ReadBytes(0x30000, lp.outSz)
+		for j := range want {
+			if want[j] != got[j] {
+				t.Fatalf("case %d: byte %d = %d, want %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestTwoLoopsOneProgram: independent vectorizable loops in sequence
+// both get detected, cached and taken over.
+func TestTwoLoopsOneProgram(t *testing.T) {
+	const src = `
+        mov   r5, #0x10000
+        mov   r2, #0x30000
+        mov   r0, #0
+l1:     ldr   r3, [r5], #4
+        add   r3, r3, #5
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #40
+        blt   l1
+        mov   r5, #0x20000
+        mov   r2, #0x40000
+        mov   r0, #0
+l2:     ldrb  r3, [r5], #1
+        eor   r3, r3, #0x5A
+        strb  r3, [r2], #1
+        add   r0, r0, #1
+        cmp   r0, #100
+        blt   l2
+        halt
+`
+	prog, err := asm.Assemble("two", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(9))
+	setup := seedRandom(r)
+
+	ref := cpu.MustNew(prog, cpu.DefaultConfig())
+	setup(ref)
+	if err := ref.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := dsa.NewSystem(prog, cpu.DefaultConfig(), dsa.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup(sys.M)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, region := range []struct {
+		addr uint32
+		n    int
+	}{{0x30000, 160}, {0x40000, 100}} {
+		w, _ := ref.Mem.ReadBytes(region.addr, region.n)
+		g, _ := sys.M.Mem.ReadBytes(region.addr, region.n)
+		for j := range w {
+			if w[j] != g[j] {
+				t.Fatalf("region %#x byte %d = %d, want %d", region.addr, j, g[j], w[j])
+			}
+		}
+	}
+	st := sys.Stats()
+	if st.Takeovers != 2 {
+		t.Errorf("takeovers = %d, want 2", st.Takeovers)
+	}
+	if len(sys.E.Report()) != 2 {
+		t.Errorf("cached loops = %d, want 2", len(sys.E.Report()))
+	}
+}

@@ -1,0 +1,198 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreSizes(t *testing.T) {
+	m := New(1024)
+	if err := m.Store(0, 4, 0xDEADBEEF); err != nil {
+		t.Fatal(err)
+	}
+	// Little-endian byte order.
+	for i, want := range []uint32{0xEF, 0xBE, 0xAD, 0xDE} {
+		got, err := m.Load(uint32(i), 1)
+		if err != nil || got != want {
+			t.Errorf("byte %d = %#x, want %#x (err %v)", i, got, want, err)
+		}
+	}
+	h, _ := m.Load(2, 2)
+	if h != 0xDEAD {
+		t.Errorf("half = %#x", h)
+	}
+	w, _ := m.Load(0, 4)
+	if w != 0xDEADBEEF {
+		t.Errorf("word = %#x", w)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	m := New(16)
+	if _, err := m.Load(13, 4); err == nil {
+		t.Error("load straddling end must fail")
+	}
+	if err := m.Store(16, 1, 0); err == nil {
+		t.Error("store past end must fail")
+	}
+	if _, err := m.Load(12, 4); err != nil {
+		t.Errorf("last word load failed: %v", err)
+	}
+	if _, err := m.Load(0, 3); err == nil {
+		t.Error("bad size must fail")
+	}
+	if err := m.Store(0, 8, 0); err == nil {
+		t.Error("bad store size must fail")
+	}
+}
+
+func TestTypedAccessors(t *testing.T) {
+	m := New(4096)
+	words := []int32{1, -2, 3, -2147483648}
+	if err := m.WriteWords(100, words); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadWords(100, len(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range words {
+		if got[i] != words[i] {
+			t.Errorf("word %d = %d, want %d", i, got[i], words[i])
+		}
+	}
+	fl := []float32{1.5, -0.25, 3e8}
+	if err := m.WriteFloats(200, fl); err != nil {
+		t.Fatal(err)
+	}
+	gf, err := m.ReadFloats(200, len(fl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fl {
+		if gf[i] != fl[i] {
+			t.Errorf("float %d = %v, want %v", i, gf[i], fl[i])
+		}
+	}
+	bs := []byte{9, 8, 7}
+	if err := m.WriteBytes(300, bs); err != nil {
+		t.Fatal(err)
+	}
+	gb, _ := m.ReadBytes(300, 3)
+	if gb[0] != 9 || gb[2] != 7 {
+		t.Errorf("bytes = %v", gb)
+	}
+}
+
+func TestQuickWordRoundTrip(t *testing.T) {
+	m := New(1 << 16)
+	f := func(addr uint16, v uint32) bool {
+		a := uint32(addr) &^ 3
+		if err := m.Store(a, 4, v); err != nil {
+			return a+4 > uint32(m.Size())
+		}
+		got, err := m.Load(a, 4)
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	cold := h.Access(0x1000, 4)
+	warm := h.Access(0x1000, 4)
+	if cold <= warm {
+		t.Errorf("cold access (%d) must cost more than warm (%d)", cold, warm)
+	}
+	if warm != DefaultHierarchy().L1.HitTicks {
+		t.Errorf("warm hit = %d ticks, want %d", warm, DefaultHierarchy().L1.HitTicks)
+	}
+	s := h.L1Stats()
+	if s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("L1 stats = %+v", s)
+	}
+}
+
+func TestCacheSameLine(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	h.Access(0x2000, 4)
+	// Same 64-byte line → hit.
+	if got := h.Access(0x2030, 4); got != DefaultHierarchy().L1.HitTicks {
+		t.Errorf("same-line access = %d ticks", got)
+	}
+}
+
+func TestCacheLineStraddle(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	h.Access(0x0, 4)
+	h.Access(0x40, 4) // warm both lines
+	straddle := h.Access(0x38, 16)
+	if straddle != 2*DefaultHierarchy().L1.HitTicks {
+		t.Errorf("straddling warm access = %d ticks, want %d", straddle, 2*DefaultHierarchy().L1.HitTicks)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	cfg := HierarchyConfig{
+		L1:       CacheConfig{SizeBytes: 256, LineBytes: 64, Ways: 2, HitTicks: 1}, // 2 sets × 2 ways
+		L2:       CacheConfig{SizeBytes: 1024, LineBytes: 64, Ways: 4, HitTicks: 10},
+		MemTicks: 100,
+	}
+	h := NewHierarchy(cfg)
+	// Three lines mapping to set 0 (stride = 2 sets × 64 B = 128 B).
+	h.Access(0x000, 4) // miss
+	h.Access(0x080, 4) // miss, set now {0x080, 0x000}
+	h.Access(0x100, 4) // miss, evicts LRU 0x000
+	if got := h.Access(0x080, 4); got != 1 {
+		t.Errorf("0x080 should still hit L1, got %d ticks", got)
+	}
+	got := h.Access(0x000, 4) // evicted from L1, but present in L2
+	if got != 1+10 {
+		t.Errorf("0x000 should hit L2, got %d ticks", got)
+	}
+}
+
+func TestL2MissCost(t *testing.T) {
+	cfg := DefaultHierarchy()
+	h := NewHierarchy(cfg)
+	got := h.Access(0x123400, 4)
+	want := cfg.L1.HitTicks + cfg.L2.HitTicks + cfg.MemTicks
+	if got != want {
+		t.Errorf("cold miss = %d, want %d", got, want)
+	}
+}
+
+func TestHierarchyReset(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchy())
+	h.Access(0x100, 4)
+	h.Reset()
+	if h.Accesses != 0 || h.L1Stats().Misses != 0 {
+		t.Error("reset did not clear counters")
+	}
+	if got := h.Access(0x100, 4); got == DefaultHierarchy().L1.HitTicks {
+		t.Error("reset did not clear cache contents")
+	}
+}
+
+func TestAccessWriteBuffered(t *testing.T) {
+	cfg := DefaultHierarchy()
+	h := NewHierarchy(cfg)
+	// A cold store costs only the L1 port (write buffer hides the miss)…
+	if got := h.AccessWrite(0x9000, 4); got != cfg.L1.HitTicks {
+		t.Errorf("cold store = %d ticks, want %d", got, cfg.L1.HitTicks)
+	}
+	// …but still allocates the line, so the following load hits.
+	if got := h.Access(0x9000, 4); got != cfg.L1.HitTicks {
+		t.Errorf("load after store = %d ticks, want %d (write-allocate)", got, cfg.L1.HitTicks)
+	}
+}
+
+func TestAccessWriteStraddle(t *testing.T) {
+	cfg := DefaultHierarchy()
+	h := NewHierarchy(cfg)
+	if got := h.AccessWrite(0x38, 16); got != 2*cfg.L1.HitTicks {
+		t.Errorf("straddling store = %d ticks, want %d", got, 2*cfg.L1.HitTicks)
+	}
+}

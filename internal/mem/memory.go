@@ -1,0 +1,151 @@
+// Package mem provides the data-memory substrate shared by the scalar
+// core, the NEON engine and the DSA: a flat little-endian byte memory
+// for functional state plus a two-level set-associative LRU cache model
+// for timing (64 KB L1 / 512 KB L2, matching the dissertation's systems
+// setup).
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// DefaultSize is the simulated physical memory size (16 MiB), ample for
+// every workload in the suite.
+const DefaultSize = 16 << 20
+
+// Memory is flat, byte-addressable, little-endian storage.
+type Memory struct {
+	data []byte
+}
+
+// New returns a zeroed memory of size bytes (DefaultSize if size <= 0).
+func New(size int) *Memory {
+	if size <= 0 {
+		size = DefaultSize
+	}
+	return &Memory{data: make([]byte, size)}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+func (m *Memory) check(addr uint32, n int) error {
+	if int(addr)+n > len(m.data) {
+		return fmt.Errorf("mem: access [%#x, %#x) out of range (size %#x)", addr, int(addr)+n, len(m.data))
+	}
+	return nil
+}
+
+// Load reads size (1, 2 or 4) bytes at addr, zero-extended.
+func (m *Memory) Load(addr uint32, size int) (uint32, error) {
+	if err := m.check(addr, size); err != nil {
+		return 0, err
+	}
+	switch size {
+	case 1:
+		return uint32(m.data[addr]), nil
+	case 2:
+		return uint32(binary.LittleEndian.Uint16(m.data[addr:])), nil
+	case 4:
+		return binary.LittleEndian.Uint32(m.data[addr:]), nil
+	default:
+		return 0, fmt.Errorf("mem: bad access size %d", size)
+	}
+}
+
+// Store writes the low size bytes of v at addr.
+func (m *Memory) Store(addr uint32, size int, v uint32) error {
+	if err := m.check(addr, size); err != nil {
+		return err
+	}
+	switch size {
+	case 1:
+		m.data[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.data[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.data[addr:], v)
+	default:
+		return fmt.Errorf("mem: bad access size %d", size)
+	}
+	return nil
+}
+
+// LoadBlock copies n bytes starting at addr into a fresh slice.
+func (m *Memory) LoadBlock(addr uint32, n int) ([]byte, error) {
+	if err := m.check(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:])
+	return out, nil
+}
+
+// StoreBlock writes b at addr.
+func (m *Memory) StoreBlock(addr uint32, b []byte) error {
+	if err := m.check(addr, len(b)); err != nil {
+		return err
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// --- typed convenience accessors (workload setup and verification) ---
+
+// WriteWords stores 32-bit values starting at addr.
+func (m *Memory) WriteWords(addr uint32, vals []int32) error {
+	for i, v := range vals {
+		if err := m.Store(addr+uint32(4*i), 4, uint32(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadWords loads n 32-bit values starting at addr.
+func (m *Memory) ReadWords(addr uint32, n int) ([]int32, error) {
+	out := make([]int32, n)
+	for i := range out {
+		v, err := m.Load(addr+uint32(4*i), 4)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int32(v)
+	}
+	return out, nil
+}
+
+// WriteBytes stores 8-bit values starting at addr.
+func (m *Memory) WriteBytes(addr uint32, vals []byte) error {
+	return m.StoreBlock(addr, vals)
+}
+
+// ReadBytes loads n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint32, n int) ([]byte, error) {
+	return m.LoadBlock(addr, n)
+}
+
+// WriteFloats stores float32 values starting at addr.
+func (m *Memory) WriteFloats(addr uint32, vals []float32) error {
+	for i, v := range vals {
+		if err := m.Store(addr+uint32(4*i), 4, math.Float32bits(v)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFloats loads n float32 values starting at addr.
+func (m *Memory) ReadFloats(addr uint32, n int) ([]float32, error) {
+	out := make([]float32, n)
+	for i := range out {
+		v, err := m.Load(addr+uint32(4*i), 4)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = math.Float32frombits(v)
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+// Package stats provides the small numeric helpers the experiment
+// harness uses for aggregate rows (geometric means, percentages).
+package stats
+
+import "math"
+
+// GeoMean returns the geometric mean of xs (1.0 for empty input).
+// Non-positive entries are skipped, matching how speedup tables treat
+// missing configurations.
+func GeoMean(xs []float64) float64 {
+	sum, n := 0.0, 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Pct formats a ratio as a percentage improvement: 1.31 → 31.0.
+func Pct(ratio float64) float64 { return (ratio - 1) * 100 }
+
+// SavingsPct converts a cost ratio into savings: new/old = 0.55 → 45.0.
+func SavingsPct(newCost, oldCost float64) float64 {
+	if oldCost == 0 {
+		return 0
+	}
+	return (1 - newCost/oldCost) * 100
+}

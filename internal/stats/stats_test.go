@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean(2,8) = %v", got)
+	}
+	if got := GeoMean(nil); got != 1 {
+		t.Errorf("GeoMean(nil) = %v", got)
+	}
+	// Non-positive entries skipped.
+	if got := GeoMean([]float64{0, -3, 4}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean with junk = %v", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(1.31); math.Abs(got-31) > 1e-9 {
+		t.Errorf("Pct = %v", got)
+	}
+}
+
+func TestSavingsPct(t *testing.T) {
+	if got := SavingsPct(55, 100); math.Abs(got-45) > 1e-9 {
+		t.Errorf("SavingsPct = %v", got)
+	}
+	if got := SavingsPct(10, 0); got != 0 {
+		t.Errorf("SavingsPct div0 = %v", got)
+	}
+}
+
+// Property: the geomean of positive values lies between min and max.
+func TestQuickGeoMeanBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range raw {
+			x := float64(v%1000) + 1
+			xs = append(xs, x)
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		if len(xs) == 0 {
+			return GeoMean(xs) == 1
+		}
+		g := GeoMean(xs)
+		return g >= lo-1e-9 && g <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

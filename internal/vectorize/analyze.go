@@ -1,0 +1,310 @@
+package vectorize
+
+import (
+	"repro/internal/armlite"
+	"repro/internal/dsa"
+)
+
+// snode is a static dataflow node over one loop body.
+type snode struct {
+	kind sKind
+	pc   int         // sLoad: stream's instruction index
+	reg  armlite.Reg // sInit: loop-invariant register
+	imm  int32
+	op   armlite.Op
+	a, b *snode
+
+	vreg armlite.VReg
+}
+
+type sKind int
+
+const (
+	sLoad sKind = iota
+	sInit
+	sImm
+	sExpr
+)
+
+// stream is one memory access stream of the loop.
+type stream struct {
+	pc     int
+	store  bool
+	dt     armlite.DataType
+	size   int
+	mode   armlite.AddrKind
+	base   armlite.Reg
+	idx    armlite.Reg
+	shift  uint8
+	offset int32
+	stride int64
+
+	// Provenance for alias checks: resolved constant start address,
+	// when derivable.
+	constBase   int64
+	hasConst    bool
+	value       *snode // stores
+	node        *snode // loads (CSE)
+	bodyOrder   int    // position within the body
+	cursorIsVec bool   // post-index base doubles as the vector cursor
+}
+
+// analysis is a fully verified, vectorizable loop.
+type analysis struct {
+	lp   loopRange
+	prog *armlite.Program
+
+	counter  armlite.Reg
+	delta    int64
+	startVal int64
+	limitVal int64
+	cmpPC    int
+	trip     int
+
+	induction map[armlite.Reg]int64
+	streams   []*stream
+	nodes     []*snode
+	stores    []*stream
+	elemDT    armlite.DataType
+	lanes     int
+	freeRegs  []armlite.Reg
+}
+
+// analyzeLoop runs every static check of Table 1 against one loop.
+func analyzeLoop(p *armlite.Program, lp loopRange, opts Options) (*analysis, string) {
+	code := p.Code
+	body := code[lp.start : lp.branch+1]
+
+	// --- control-flow checks -----------------------------------------
+	for i, in := range body {
+		pc := lp.start + i
+		switch in.Op {
+		case armlite.OpBL, armlite.OpBX:
+			return nil, InhibitFunctionCall // Table 1 line 10
+		case armlite.OpHalt:
+			return nil, InhibitControlFlow
+		case armlite.OpB:
+			if pc == lp.branch {
+				continue
+			}
+			if in.Target >= lp.start && in.Target <= lp.branch {
+				return nil, InhibitConditional // line 12
+			}
+			return nil, InhibitDynamicCount // sentinel exit: line 4
+		}
+	}
+	// Branches into the middle of the body from outside.
+	for pc, in := range code {
+		if (pc < lp.start || pc > lp.branch) && in.Op.IsBranch() &&
+			in.Target > lp.start && in.Target <= lp.branch {
+			return nil, InhibitControlFlow
+		}
+	}
+
+	// --- induction deltas ---------------------------------------------
+	induction := make(map[armlite.Reg]int64)
+	otherDef := make(map[armlite.Reg]bool)
+	for _, in := range body {
+		if in.Op.IsMem() && in.Mem.Writeback {
+			induction[in.Mem.Base] += int64(in.Mem.Offset)
+			if in.Mem.Kind == armlite.AddrOffset { // vector "[rn]!" form
+				induction[in.Mem.Base] += armlite.VectorBytes
+			}
+			if in.Op == armlite.OpLdr || in.Op == armlite.OpVld1 {
+				if in.Rd.Valid() && in.Rd != in.Mem.Base {
+					otherDef[in.Rd] = true
+				}
+			}
+			continue
+		}
+		switch {
+		case (in.Op == armlite.OpAdd || in.Op == armlite.OpSub) &&
+			in.HasImm && in.Rd == in.Rn:
+			d := int64(in.Imm)
+			if in.Op == armlite.OpSub {
+				d = -d
+			}
+			induction[in.Rd] += d
+		default:
+			for _, r := range in.Defs().Regs() {
+				otherDef[r] = true
+			}
+		}
+	}
+	for r := range otherDef {
+		delete(induction, r) // mixed defs disqualify induction
+	}
+
+	// --- trip count (must be static: line 4) ---------------------------
+	an := &analysis{lp: lp, prog: p, induction: induction}
+	if inh := an.deriveStaticTrip(body, opts); inh != InhibitNone {
+		return nil, inh
+	}
+
+	// --- symbolic dataflow ---------------------------------------------
+	if inh := an.extract(body); inh != InhibitNone {
+		return nil, inh
+	}
+
+	// --- dependence / aliasing -----------------------------------------
+	if inh := an.checkDependence(opts); inh != InhibitNone {
+		return nil, inh
+	}
+
+	if an.trip-1 < an.lanes {
+		return nil, InhibitTooShort
+	}
+	an.freeRegs = freeRegisters(p)
+	return an, InhibitNone
+}
+
+// resolveConst chases a register's value backwards from instruction
+// index at (exclusive) through mov/add/sub/lsl immediates. It fails
+// when a branch target lands between the definition and the use (some
+// other path could produce a different value).
+func resolveConst(p *armlite.Program, r armlite.Reg, at int, depth int) (int64, bool) {
+	if depth > 8 || !r.Valid() {
+		return 0, false
+	}
+	for pc := at - 1; pc >= 0; pc-- {
+		in := p.Code[pc]
+		if !in.Defs().Has(r) {
+			continue
+		}
+		// Any branch targeting (pc, at) could bypass this definition.
+		// A branch to `at` itself (e.g. the loop's own back-branch)
+		// re-enters after the definition executed at least once.
+		for _, b := range p.Code {
+			if b.Op.IsBranch() && b.Op != armlite.OpBX && b.Target > pc && b.Target < at {
+				return 0, false
+			}
+		}
+		switch {
+		case in.Op == armlite.OpMov && in.HasImm:
+			return int64(in.Imm), true
+		case in.Op == armlite.OpAdd && in.HasImm:
+			v, ok := resolveConst(p, in.Rn, pc, depth+1)
+			return v + int64(in.Imm), ok
+		case in.Op == armlite.OpSub && in.HasImm:
+			v, ok := resolveConst(p, in.Rn, pc, depth+1)
+			return v - int64(in.Imm), ok
+		case in.Op == armlite.OpLsl && in.HasImm:
+			v, ok := resolveConst(p, in.Rn, pc, depth+1)
+			return v << uint(in.Imm), ok
+		default:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// deriveStaticTrip finds the compare/branch mechanism and computes the
+// compile-time trip count.
+func (an *analysis) deriveStaticTrip(body []armlite.Instr, opts Options) string {
+	lp := an.lp
+	br := body[len(body)-1]
+	if br.Cond == armlite.CondAL {
+		return InhibitDynamicCount
+	}
+	// Last flag-setter in the body.
+	fsIdx := -1
+	for i := len(body) - 2; i >= 0; i-- {
+		if body[i].Op.SetsFlagsAlways() || body[i].SetFlags {
+			fsIdx = i
+			break
+		}
+	}
+	if fsIdx < 0 {
+		return InhibitDynamicCount
+	}
+	fs := body[fsIdx]
+	an.cmpPC = lp.start + fsIdx
+
+	ti := dsa.TripInfo{Cond: br.Cond, CmpPC: an.cmpPC, CounterIsRn: true}
+	switch {
+	case fs.Op == armlite.OpCmp && fs.HasImm:
+		d, ok := an.induction[fs.Rn]
+		if !ok || d == 0 {
+			return InhibitDynamicCount
+		}
+		an.counter, an.delta = fs.Rn, d
+		an.limitVal = int64(fs.Imm)
+	case fs.Op == armlite.OpCmp:
+		dn, okN := an.induction[fs.Rn]
+		dm, okM := an.induction[fs.Rm]
+		switch {
+		case okN && dn != 0 && !okM:
+			an.counter, an.delta = fs.Rn, dn
+			lv, ok := resolveConst(an.prog, fs.Rm, lp.start, 0)
+			if !ok {
+				return InhibitDynamicCount
+			}
+			an.limitVal = lv
+		case okM && dm != 0 && !okN:
+			an.counter, an.delta = fs.Rm, dm
+			lv, ok := resolveConst(an.prog, fs.Rn, lp.start, 0)
+			if !ok {
+				return InhibitDynamicCount
+			}
+			an.limitVal = lv
+			ti.CounterIsRn = false
+		default:
+			return InhibitDynamicCount
+		}
+	case (fs.Op == armlite.OpSub || fs.Op == armlite.OpAdd) && fs.SetFlags && fs.Rd == fs.Rn:
+		d, ok := an.induction[fs.Rd]
+		if !ok || d == 0 {
+			return InhibitDynamicCount
+		}
+		an.counter, an.delta = fs.Rd, d
+		an.limitVal = 0
+	default:
+		return InhibitDynamicCount
+	}
+	ti.CounterReg = an.counter
+	ti.Delta = an.delta
+	ti.LimitIsImm = true
+	ti.Unsigned = br.Cond == armlite.CondHS || br.Cond == armlite.CondLO ||
+		br.Cond == armlite.CondHI || br.Cond == armlite.CondLS
+
+	sv, ok := resolveConst(an.prog, an.counter, lp.start, 0)
+	if !ok {
+		return InhibitDynamicCount
+	}
+	an.startVal = sv
+
+	// The body runs once, then the branch tests cond(counter, limit).
+	c := sv + an.delta
+	rem, ok := ti.Remaining(uint32(c), uint32(an.limitVal))
+	if !ok {
+		return InhibitDynamicCount
+	}
+	an.trip = 1 + rem
+	return InhibitNone
+}
+
+// freeRegisters returns general-purpose registers never referenced by
+// the program (available to emitted code).
+func freeRegisters(p *armlite.Program) []armlite.Reg {
+	var used armlite.RegSet
+	for _, in := range p.Code {
+		used = used.Union(in.Uses()).Union(in.Defs())
+		if in.Op.IsMem() {
+			used.Add(in.Mem.Base)
+			used.Add(in.Mem.Index)
+		}
+		if in.Op == armlite.OpVdup {
+			used.Add(in.Rn)
+		}
+	}
+	used.Add(armlite.PC)
+	used.Add(armlite.SP)
+	used.Add(armlite.LR)
+	var free []armlite.Reg
+	for r := armlite.Reg(0); r < armlite.NumRegs; r++ {
+		if !used.Has(r) {
+			free = append(free, r)
+		}
+	}
+	return free
+}

@@ -1,0 +1,192 @@
+package vectorize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+func TestResolveConst(t *testing.T) {
+	p := asm.MustAssemble("rc", `
+        mov   r0, #100
+        add   r1, r0, #28
+        lsl   r2, r1, #2
+        sub   r3, r2, #12
+        halt
+`)
+	cases := []struct {
+		reg  armlite.Reg
+		at   int
+		want int64
+		ok   bool
+	}{
+		{armlite.R0, 4, 100, true},
+		{armlite.R1, 4, 128, true},
+		{armlite.R2, 4, 512, true},
+		{armlite.R3, 4, 500, true},
+		{armlite.R4, 4, 0, false}, // never defined
+	}
+	for _, c := range cases {
+		got, ok := resolveConst(p, c.reg, c.at, 0)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("resolveConst(%v) = %d,%v want %d,%v", c.reg, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestResolveConstBranchBypass(t *testing.T) {
+	// A branch can land between the definition and the use: the value
+	// is no longer a unique compile-time constant.
+	p := asm.MustAssemble("rb", `
+        cmp   r9, #0
+        beq   skip
+        mov   r0, #1
+skip:   mov   r1, #2
+        add   r1, r1, r0
+        halt
+`)
+	if _, ok := resolveConst(p, armlite.R0, 4, 0); ok {
+		t.Error("bypassable definition must not resolve")
+	}
+	// r1's def at `skip` is below every branch target → resolvable.
+	if v, ok := resolveConst(p, armlite.R1, 4, 0); !ok || v != 2 {
+		t.Errorf("r1 = %d,%v", v, ok)
+	}
+}
+
+func TestFreeRegisters(t *testing.T) {
+	p := asm.MustAssemble("fr", `
+        mov   r0, #1
+        add   r1, r0, #2
+        ldr   r2, [r1]
+        halt
+`)
+	free := freeRegisters(p)
+	for _, r := range free {
+		if r == armlite.R0 || r == armlite.R1 || r == armlite.R2 ||
+			r == armlite.SP || r == armlite.LR || r == armlite.PC {
+			t.Errorf("register %v should not be free", r)
+		}
+	}
+	if len(free) != 10 { // r3..r12
+		t.Errorf("free count = %d (%v)", len(free), free)
+	}
+}
+
+func TestGuardsEmittedForUnknownBases(t *testing.T) {
+	// Base arrives in a register: versioning guards (tst/bne) must
+	// appear in the compiled preamble.
+	src := `
+        mov   r0, #0
+        lsl   r5, r9, #4
+        add   r5, r5, #0x1000
+        mov   r2, #0x3000
+loop:   ldr   r3, [r5], #4
+        add   r3, r3, #1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #32
+        blt   loop
+        halt
+`
+	p := asm.MustAssemble("g", src)
+	out, rep, err := AutoVectorize(p, Options{NoAlias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VectorizedCount() != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	text := out.String()
+	if !strings.Contains(text, "tst") {
+		t.Errorf("no alignment guard emitted:\n%s", text)
+	}
+	// Constant bases: no guards.
+	src2 := strings.Replace(src, "lsl   r5, r9, #4\n        add   r5, r5, #0x1000", "mov   r5, #0x1000", 1)
+	p2 := asm.MustAssemble("g2", src2)
+	out2, rep2, err := AutoVectorize(p2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.VectorizedCount() != 1 {
+		t.Fatalf("report2: %+v", rep2)
+	}
+	if strings.Contains(out2.String(), "tst") {
+		t.Errorf("guard emitted for statically known bases:\n%s", out2.String())
+	}
+}
+
+func TestMisalignedBailsToScalar(t *testing.T) {
+	// The runtime base is misaligned: the guard must route every entry
+	// to the scalar loop, and results stay correct.
+	src := `
+        mov   r0, #0
+        lsl   r5, r9, #2
+        add   r5, r5, #0x1000
+        mov   r2, #0x3000
+loop:   ldr   r3, [r5], #4
+        add   r3, r3, #1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #32
+        blt   loop
+        halt
+`
+	p := asm.MustAssemble("mis", src)
+	out, _, err := AutoVectorize(p, Options{NoAlias: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, m, _ := compileRunPrograms(t, p, out, func(mch regSetter) {
+		mch.SetReg(armlite.R9, 1) // base 0x1004: misaligned
+		seedWords(mch, 0x1000, 64)
+	})
+	w, _ := ref.Mem.ReadWords(0x3000, 32)
+	g, _ := m.Mem.ReadWords(0x3000, 32)
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("word %d = %d, want %d", i, g[i], w[i])
+		}
+	}
+	if m.Counts.VecOps != 0 {
+		t.Error("misaligned run must bail to scalar (no NEON ops)")
+	}
+}
+
+// --- small helpers for the misalignment test --------------------------
+
+type regSetter interface {
+	SetReg(r armlite.Reg, v uint32)
+	WriteWords(addr uint32, vals []int32)
+}
+
+type machineSetter struct{ m *cpu.Machine }
+
+func (s machineSetter) SetReg(r armlite.Reg, v uint32)       { s.m.R[r] = v }
+func (s machineSetter) WriteWords(addr uint32, vals []int32) { s.m.Mem.WriteWords(addr, vals) }
+
+func seedWords(s regSetter, addr uint32, n int) {
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = int32(i * 3)
+	}
+	s.WriteWords(addr, vals)
+}
+
+func compileRunPrograms(t *testing.T, ref, vec *armlite.Program, setup func(regSetter)) (*cpu.Machine, *cpu.Machine, struct{}) {
+	t.Helper()
+	a := cpu.MustNew(ref, cpu.DefaultConfig())
+	setup(machineSetter{a})
+	if err := a.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	b := cpu.MustNew(vec, cpu.DefaultConfig())
+	setup(machineSetter{b})
+	if err := b.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, struct{}{}
+}

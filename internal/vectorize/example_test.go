@@ -1,0 +1,49 @@
+package vectorize_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/vectorize"
+)
+
+// ExampleAutoVectorize compiles a count loop statically and shows both
+// the success and a Table 1 inhibitor on a dynamic-range loop.
+func ExampleAutoVectorize() {
+	prog, err := asm.Assemble("kernel", `
+        mov   r5, #0x1000
+        mov   r2, #0x2000
+        mov   r0, #0
+loop:   ldr   r3, [r5], #4
+        add   r3, r3, #1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #64
+        blt   loop
+        ldr   r4, [r2]        ; runtime value…
+        mov   r0, #0
+loop2:  ldr   r3, [r5], #4
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, r4          ; …bounds this loop: not fixed at compile time
+        blt   loop2
+        halt`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, report, err := vectorize.AutoVectorize(prog, vectorize.Options{NoAlias: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, l := range report.Loops {
+		if l.Vectorized {
+			fmt.Printf("loop @%d: vectorized ×%d (trip %d)\n", l.Start, l.Lanes, l.TripCount)
+		} else {
+			fmt.Printf("loop @%d: %s\n", l.Start, l.Inhibitor)
+		}
+	}
+	// Unordered output:
+	// loop @11: iteration-count-not-fixed
+	// loop @3: vectorized ×4 (trip 64)
+}

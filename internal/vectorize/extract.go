@@ -1,0 +1,329 @@
+package vectorize
+
+import (
+	"repro/internal/armlite"
+)
+
+// extract runs the symbolic dataflow pass over the loop body, building
+// streams and the operation DAG.
+func (an *analysis) extract(body []armlite.Instr) string {
+	lp := an.lp
+	sym := make(map[armlite.Reg]*snode)
+	loadCSE := make(map[int]*snode)
+	initCSE := make(map[armlite.Reg]*snode)
+	immCSE := make(map[int32]*snode)
+	elemSize := 0
+	isFloat := false
+
+	addNode := func(n *snode) *snode {
+		an.nodes = append(an.nodes, n)
+		return n
+	}
+	operand := func(r armlite.Reg, idx int) (*snode, string) {
+		if n := sym[r]; n != nil {
+			return n, InhibitNone
+		}
+		if _, isInd := an.induction[r]; isInd {
+			return nil, InhibitNoPattern // induction value used as data
+		}
+		// Read-before-write of a computed register: last iteration's
+		// value carried around (Table 1 line 5).
+		for j := idx; j < len(body); j++ {
+			if body[j].Defs().Has(r) {
+				return nil, InhibitCarryAround
+			}
+		}
+		if n := initCSE[r]; n != nil {
+			return n, InhibitNone
+		}
+		n := addNode(&snode{kind: sInit, reg: r})
+		initCSE[r] = n
+		return n, InhibitNone
+	}
+	immNode := func(v int32) *snode {
+		if n := immCSE[v]; n != nil {
+			return n
+		}
+		n := addNode(&snode{kind: sImm, imm: v})
+		immCSE[v] = n
+		return n
+	}
+	setElem := func(dt armlite.DataType) string {
+		if elemSize == 0 {
+			elemSize = dt.Size()
+			isFloat = dt.IsFloat()
+			an.elemDT = dt.Vector()
+			an.lanes = an.elemDT.Lanes()
+			return InhibitNone
+		}
+		if dt.Size() != elemSize || dt.IsFloat() != isFloat {
+			return InhibitMixedWidth
+		}
+		return InhibitNone
+	}
+
+	for i, in := range body {
+		pc := lp.start + i
+		if pc == an.cmpPC || pc == lp.branch {
+			continue
+		}
+		// Structural induction updates.
+		if (in.Op == armlite.OpAdd || in.Op == armlite.OpSub) && in.HasImm && in.Rd == in.Rn {
+			if _, ok := an.induction[in.Rd]; ok {
+				continue
+			}
+		}
+		if in.Cond != armlite.CondAL {
+			return InhibitConditional
+		}
+		switch in.Op {
+		case armlite.OpNop:
+			continue
+
+		case armlite.OpLdr:
+			st, inh := an.classifyStream(&in, pc, false, i)
+			if inh != InhibitNone {
+				return inh
+			}
+			if inh := setElem(in.DT); inh != InhibitNone {
+				return inh
+			}
+			if n := loadCSE[pc]; n != nil {
+				sym[in.Rd] = n
+			} else {
+				n = addNode(&snode{kind: sLoad, pc: pc})
+				loadCSE[pc] = n
+				st.node = n
+				sym[in.Rd] = n
+			}
+			an.streams = append(an.streams, st)
+
+		case armlite.OpStr:
+			st, inh := an.classifyStream(&in, pc, true, i)
+			if inh != InhibitNone {
+				return inh
+			}
+			if inh := setElem(in.DT); inh != InhibitNone {
+				return inh
+			}
+			v, inh := operand(in.Rd, i)
+			if inh != InhibitNone {
+				return inh
+			}
+			st.value = v
+			an.streams = append(an.streams, st)
+			an.stores = append(an.stores, st)
+
+		case armlite.OpMov:
+			if in.HasImm {
+				sym[in.Rd] = immNode(in.Imm)
+			} else {
+				n, inh := operand(in.Rm, i)
+				if inh != InhibitNone {
+					return inh
+				}
+				sym[in.Rd] = n
+			}
+
+		case armlite.OpAdd, armlite.OpSub, armlite.OpRsb, armlite.OpMul,
+			armlite.OpAnd, armlite.OpOrr, armlite.OpEor,
+			armlite.OpFAdd, armlite.OpFSub, armlite.OpFMul:
+			a, inh := operand(in.Rn, i)
+			if inh != InhibitNone {
+				return inh
+			}
+			var b *snode
+			if in.HasImm {
+				b = immNode(in.Imm)
+			} else {
+				if b, inh = operand(in.Rm, i); inh != InhibitNone {
+					return inh
+				}
+			}
+			op := in.Op
+			if op == armlite.OpRsb {
+				op = armlite.OpSub
+				a, b = b, a
+			}
+			if _, ok := armlite.VectorALUOp(op); !ok {
+				return InhibitUnsupportedOp
+			}
+			sym[in.Rd] = addNode(&snode{kind: sExpr, op: op, a: a, b: b})
+
+		case armlite.OpMla:
+			a, inh := operand(in.Rn, i)
+			if inh != InhibitNone {
+				return inh
+			}
+			b, inh := operand(in.Rm, i)
+			if inh != InhibitNone {
+				return inh
+			}
+			c, inh := operand(in.Ra, i)
+			if inh != InhibitNone {
+				return inh
+			}
+			mul := addNode(&snode{kind: sExpr, op: armlite.OpMul, a: a, b: b})
+			sym[in.Rd] = addNode(&snode{kind: sExpr, op: armlite.OpAdd, a: mul, b: c})
+
+		case armlite.OpLsl, armlite.OpAsr:
+			if !in.HasImm || (elemSize != 0 && elemSize != 4) {
+				return InhibitUnsupportedOp
+			}
+			a, inh := operand(in.Rn, i)
+			if inh != InhibitNone {
+				return inh
+			}
+			sym[in.Rd] = addNode(&snode{kind: sExpr, op: in.Op, a: a, imm: in.Imm})
+
+		default:
+			return InhibitUnsupportedOp
+		}
+	}
+	if len(an.stores) == 0 {
+		return InhibitNoPattern
+	}
+	return InhibitNone
+}
+
+// classifyStream derives the stride and provenance of one memory
+// operand.
+func (an *analysis) classifyStream(in *armlite.Instr, pc int, store bool, order int) (*stream, string) {
+	st := &stream{pc: pc, store: store, dt: in.DT, size: in.DT.Size(),
+		mode: in.Mem.Kind, base: in.Mem.Base, idx: in.Mem.Index,
+		shift: in.Mem.Shift, offset: in.Mem.Offset, bodyOrder: order}
+	switch in.Mem.Kind {
+	case armlite.AddrPostIndex:
+		d, ok := an.induction[in.Mem.Base]
+		if !ok || d == 0 {
+			return nil, InhibitNoPattern
+		}
+		if d != int64(st.size) {
+			return nil, InhibitIndirect // non-unit stride: line 7
+		}
+		st.stride = d
+		st.cursorIsVec = true
+	case armlite.AddrRegOffset:
+		d, ok := an.induction[in.Mem.Index]
+		if !ok || d == 0 {
+			return nil, InhibitNoPattern
+		}
+		if _, baseInd := an.induction[in.Mem.Base]; baseInd {
+			return nil, InhibitNoPattern
+		}
+		st.stride = d << in.Mem.Shift
+		if st.stride != int64(st.size) {
+			return nil, InhibitIndirect
+		}
+	case armlite.AddrOffset:
+		d, ok := an.induction[in.Mem.Base]
+		if !ok || d == 0 {
+			return nil, InhibitNoPattern
+		}
+		if d != int64(st.size) {
+			return nil, InhibitIndirect
+		}
+		st.stride = d
+	default:
+		return nil, InhibitNoPattern
+	}
+	// Provenance for alias reasoning.
+	if bv, ok := resolveConst(an.prog, st.base, an.lp.start, 0); ok {
+		off := int64(0)
+		switch st.mode {
+		case armlite.AddrRegOffset:
+			iv, ok := resolveConst(an.prog, st.idx, an.lp.start, 0)
+			if !ok {
+				return st, InhibitNone
+			}
+			off = iv << st.shift
+		case armlite.AddrOffset:
+			off = int64(st.offset)
+		}
+		st.constBase = bv + off
+		st.hasConst = true
+	}
+	return st, InhibitNone
+}
+
+// checkDependence applies the static dependence rules: provable RAW
+// distances inhibit vectorization (the static compiler has no partial
+// vectorization); unprovable aliasing inhibits unless asserted away.
+func (an *analysis) checkDependence(opts Options) string {
+	n := an.trip
+	for _, s := range an.streams {
+		if !s.store {
+			continue
+		}
+		for _, l := range an.streams {
+			if l.store {
+				continue
+			}
+			inh := an.pairCheck(s, l, n, opts)
+			if inh != InhibitNone {
+				return inh
+			}
+		}
+	}
+	return InhibitNone
+}
+
+func (an *analysis) pairCheck(s, l *stream, n int, opts Options) string {
+	sameShape := s.base == l.base && s.idx == l.idx && s.shift == l.shift &&
+		s.mode == l.mode
+	switch {
+	case s.hasConst && l.hasConst:
+		// Fully resolved: exact range math over n iterations.
+		sLo, sHi := s.constBase, s.constBase+int64(n-1)*s.stride+int64(s.size)-1
+		lLo, lHi := l.constBase, l.constBase+int64(n-1)*l.stride+int64(l.size)-1
+		if sLo > sHi {
+			sLo, sHi = sHi-int64(s.size)+1, sLo+int64(s.size)-1
+		}
+		if lLo > lHi {
+			lLo, lHi = lHi-int64(l.size)+1, lLo+int64(l.size)-1
+		}
+		if sHi < lLo || lHi < sLo {
+			return InhibitNone
+		}
+		return an.distanceCheck(s.constBase, l.constBase, s, l)
+	case sameShape:
+		// Same symbolic base: constant relative offset.
+		dOff := int64(s.offset) - int64(l.offset)
+		return an.distanceCheck(dOff, 0, s, l)
+	default:
+		if opts.NoAlias {
+			return InhibitNone // asserted restrict semantics
+		}
+		return InhibitAliasing // Table 1 lines 2/6
+	}
+}
+
+// distanceCheck evaluates the RAW distance between a store stream at
+// base sAddr and a load stream at base lAddr with equal strides.
+func (an *analysis) distanceCheck(sAddr, lAddr int64, s, l *stream) string {
+	if s.stride != l.stride {
+		return InhibitDependency
+	}
+	d := sAddr - lAddr
+	if d == 0 {
+		// Same element each iteration: fine only if the load precedes
+		// the store in the body (read-modify-write).
+		if l.bodyOrder < s.bodyOrder {
+			return InhibitNone
+		}
+		return InhibitDependency
+	}
+	dist := d / s.stride
+	if d%s.stride != 0 {
+		// Overlapping but misaligned streams: unprovable, reject.
+		return InhibitDependency
+	}
+	if dist > 0 {
+		// A future load reads this store: loop-carried RAW.
+		return InhibitDependency
+	}
+	// dist < 0: loads run ahead of stores (WAR) — safe, because the
+	// generated chunk performs all loads before its stores and chunks
+	// execute in order.
+	return InhibitNone
+}

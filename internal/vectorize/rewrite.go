@@ -1,0 +1,224 @@
+package vectorize
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+)
+
+// rewriteLoop replaces a verified loop with:
+//
+//	preamble   — cursor setup, vdup broadcasts, chunk counter
+//	vector loop — vld1 / vector ops / vst1, subs/bne
+//	fixups     — advance induction registers past the vector part
+//	remainder  — the original scalar body (1..lanes iterations)
+//
+// The chunk count is (trip-1)/lanes so the remainder loop always runs
+// at least once, preserving the original exit flags and register
+// state exactly.
+func rewriteLoop(p *armlite.Program, an *analysis) (*armlite.Program, error) {
+	lanes := an.lanes
+	chunks := (an.trip - 1) / lanes
+	if chunks < 1 {
+		return nil, fmt.Errorf("too few iterations")
+	}
+
+	free := append([]armlite.Reg(nil), an.freeRegs...)
+	takeFree := func() (armlite.Reg, error) {
+		if len(free) == 0 {
+			return armlite.NoReg, fmt.Errorf("no free scalar registers")
+		}
+		r := free[0]
+		free = free[1:]
+		return r, nil
+	}
+
+	// Vector register assignment.
+	if len(an.nodes) > armlite.NumVRegs {
+		return nil, fmt.Errorf("vector register pressure")
+	}
+	for i, n := range an.nodes {
+		n.vreg = armlite.VReg(i)
+	}
+
+	var pre, vbody, fix []armlite.Instr
+	dt := an.elemDT
+
+	// Cursors.
+	cursorOf := make(map[*stream]armlite.Reg)
+	vecAdvanced := make(map[armlite.Reg]bool) // bases advanced by writeback
+	for _, st := range an.streams {
+		if st.node == nil && st.value == nil {
+			continue // CSE'd duplicate load
+		}
+		if st.cursorIsVec {
+			cursorOf[st] = st.base
+			vecAdvanced[st.base] = true
+			continue
+		}
+		cur, err := takeFree()
+		if err != nil {
+			return nil, err
+		}
+		cursorOf[st] = cur
+		switch st.mode {
+		case armlite.AddrRegOffset:
+			if st.shift != 0 {
+				pre = append(pre, armlite.ALUImm(armlite.OpLsl, cur, st.idx, int32(st.shift)))
+				pre = append(pre, armlite.ALUReg(armlite.OpAdd, cur, st.base, cur))
+			} else {
+				pre = append(pre, armlite.ALUReg(armlite.OpAdd, cur, st.base, st.idx))
+			}
+		case armlite.AddrOffset:
+			pre = append(pre, armlite.ALUImm(armlite.OpAdd, cur, st.base, st.offset))
+		default:
+			return nil, fmt.Errorf("unexpected cursor mode")
+		}
+	}
+
+	// Broadcast setup (invariants and immediates).
+	var immTemp armlite.Reg = armlite.NoReg
+	for _, n := range an.nodes {
+		switch n.kind {
+		case sInit:
+			pre = append(pre, armlite.VDup(dt, n.vreg, n.reg))
+		case sImm:
+			if immTemp == armlite.NoReg {
+				r, err := takeFree()
+				if err != nil {
+					return nil, err
+				}
+				immTemp = r
+			}
+			pre = append(pre, armlite.MovImm(immTemp, n.imm))
+			pre = append(pre, armlite.VDup(dt, n.vreg, immTemp))
+		}
+	}
+
+	// Runtime versioning guards, as the NEON-era auto-vectorizer
+	// emits: each stream's cursor is tested for 16-byte alignment and
+	// misaligned entries fall back to the untouched scalar loop (the
+	// remainder copy runs the full trip because no fixup has executed
+	// yet). These guards are the per-entry cost behind the paper's
+	// small auto-vectorization penalties on short loops.
+	var guards []armlite.Instr
+	for _, st := range an.streams {
+		if st.node == nil && st.value == nil {
+			continue
+		}
+		if st.hasConst {
+			continue // alignment statically known: no runtime check
+		}
+		tst := armlite.NewInstr(armlite.OpTst)
+		tst.Rn = cursorOf[st]
+		tst.Imm, tst.HasImm = armlite.VectorBytes-1, true
+		guards = append(guards, tst, armlite.BranchLabel(armlite.CondNE, ""))
+	}
+	pre = append(pre, guards...)
+
+	// Chunk counter.
+	rChunk, err := takeFree()
+	if err != nil {
+		return nil, err
+	}
+	pre = append(pre, armlite.MovImm(rChunk, int32(chunks)))
+
+	// Vector body: loads (body order), expressions (topological),
+	// stores (body order).
+	for _, st := range an.streams {
+		if st.node != nil {
+			vbody = append(vbody, armlite.VLoad(dt, st.node.vreg, cursorOf[st], true))
+		}
+	}
+	for _, n := range an.nodes {
+		if n.kind != sExpr {
+			continue
+		}
+		vop, ok := armlite.VectorALUOp(n.op)
+		if !ok {
+			return nil, fmt.Errorf("no vector form for %v", n.op)
+		}
+		if vop == armlite.OpVshl || vop == armlite.OpVshr {
+			vbody = append(vbody, armlite.VShiftImm(vop, dt, n.vreg, n.a.vreg, n.imm))
+		} else {
+			vbody = append(vbody, armlite.VALU(vop, dt, n.vreg, n.a.vreg, n.b.vreg))
+		}
+	}
+	for _, st := range an.streams {
+		if st.value != nil {
+			vbody = append(vbody, armlite.VStore(dt, st.value.vreg, cursorOf[st], true))
+		}
+	}
+	sub := armlite.ALUImm(armlite.OpSub, rChunk, rChunk, 1)
+	sub.SetFlags = true
+	vbody = append(vbody, sub)
+	// Back-branch target patched after layout.
+	vbody = append(vbody, armlite.Branch(armlite.CondNE, -1))
+
+	// Fixups: advance induction registers the vector loop did not.
+	advanced := int64(chunks * lanes)
+	for r, d := range an.induction {
+		if vecAdvanced[r] {
+			continue
+		}
+		fix = append(fix, armlite.ALUImm(armlite.OpAdd, r, r, int32(d*advanced)))
+	}
+
+	// Remainder: the original scalar body.
+	remainder := append([]armlite.Instr(nil), p.Code[an.lp.start:an.lp.branch+1]...)
+
+	// --- splice ---------------------------------------------------------
+	start, branch := an.lp.start, an.lp.branch
+	vecStart := start + len(pre)
+	remStart := vecStart + len(vbody) + len(fix)
+	vbody[len(vbody)-1].Target = vecStart
+	remainder[len(remainder)-1].Target = remStart
+	remainder[len(remainder)-1].Label = ""
+	// Alignment guards bail out to the full scalar loop.
+	for i := range pre {
+		if pre[i].Op == armlite.OpB && pre[i].Target < 0 {
+			pre[i].Target = remStart
+		}
+	}
+
+	block := make([]armlite.Instr, 0, len(pre)+len(vbody)+len(fix)+len(remainder))
+	block = append(block, pre...)
+	block = append(block, vbody...)
+	block = append(block, fix...)
+	block = append(block, remainder...)
+
+	oldLen := branch - start + 1
+	delta := len(block) - oldLen
+
+	out := &armlite.Program{Name: p.Name, Labels: make(map[string]int, len(p.Labels))}
+	out.Code = append(out.Code, p.Code[:start]...)
+	out.Code = append(out.Code, block...)
+	out.Code = append(out.Code, p.Code[branch+1:]...)
+
+	// Fix branch targets outside the replaced block.
+	adjust := func(tgt int) int {
+		switch {
+		case tgt <= start:
+			return tgt
+		case tgt > branch:
+			return tgt + delta
+		default:
+			// Into the old body: redirect to the remainder copy.
+			return remStart + (tgt - start)
+		}
+	}
+	for pc := range out.Code {
+		inBlock := pc >= start && pc < start+len(block)
+		if inBlock {
+			continue // block targets already absolute
+		}
+		in := &out.Code[pc]
+		if in.Op == armlite.OpB || in.Op == armlite.OpBL {
+			in.Target = adjust(in.Target)
+		}
+	}
+	for name, idx := range p.Labels {
+		out.Labels[name] = adjust(idx)
+	}
+	return out, nil
+}

@@ -1,0 +1,189 @@
+// Package vectorize implements the static auto-vectorizing compiler
+// the DSA is evaluated against — a model of the ARM NEON
+// auto-vectorization the dissertation's Table 1 characterizes. It
+// rewrites armlite programs at "compile time": loops that pass every
+// static check are replaced by a NEON vector loop plus a scalar
+// remainder; loops that fail are left scalar and the failure is
+// reported with the corresponding Table 1 inhibitor.
+//
+// The static limits are the point: trip counts must be compile-time
+// constants (inhibitor 4), bodies must be branch-free (12) and
+// call-free (10), strides must be unit (7), element widths consistent
+// (9), and cross-stream independence must be provable or asserted via
+// the NoAlias option — the moral equivalent of C99 restrict (2, 6).
+// Everything the DSA wins on — dynamic ranges, sentinels, conditional
+// code, partial vectorization — is exactly what these checks reject.
+package vectorize
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+)
+
+// Inhibitor labels follow dissertation Table 1.
+const (
+	InhibitNone          = ""
+	InhibitNoPattern     = "no-vector-access-pattern"        // line 1
+	InhibitDependency    = "cross-iteration-data-dependency" // line 2
+	InhibitDynamicCount  = "iteration-count-not-fixed"       // line 4
+	InhibitCarryAround   = "carry-around-scalar"             // line 5
+	InhibitAliasing      = "pointer-aliasing"                // line 6
+	InhibitIndirect      = "indirect-addressing"             // line 7
+	InhibitMixedWidth    = "inconsistent-member-length"      // line 9
+	InhibitFunctionCall  = "call-to-non-inline-function"     // line 10
+	InhibitConditional   = "if-switch-statements"            // line 12
+	InhibitUnsupportedOp = "unsupported-operation"
+	InhibitRegisters     = "register-pressure"
+	InhibitTooShort      = "too-few-iterations"
+	InhibitControlFlow   = "irregular-control-flow"
+)
+
+// Options controls the compilation.
+type Options struct {
+	// NoAlias asserts that distinct base pointers never overlap (the
+	// kernels were "compiled with restrict"). Without it, streams
+	// with unprovable bases inhibit vectorization (Table 1 line 6).
+	NoAlias bool
+}
+
+// LoopReport describes one loop the compiler considered.
+type LoopReport struct {
+	Start      int // original loop-start instruction index
+	BranchPC   int
+	Vectorized bool
+	Inhibitor  string
+	Lanes      int
+	TripCount  int
+}
+
+// Report is the compilation summary.
+type Report struct {
+	Loops []LoopReport
+}
+
+// VectorizedCount returns how many loops were vectorized.
+func (r *Report) VectorizedCount() int {
+	n := 0
+	for _, l := range r.Loops {
+		if l.Vectorized {
+			n++
+		}
+	}
+	return n
+}
+
+// Inhibitors returns the census of rejection reasons.
+func (r *Report) Inhibitors() map[string]int {
+	m := make(map[string]int)
+	for _, l := range r.Loops {
+		if !l.Vectorized && l.Inhibitor != "" {
+			m[l.Inhibitor]++
+		}
+	}
+	return m
+}
+
+// AutoVectorize compiles prog, returning the rewritten program and the
+// per-loop report. The input program is not modified.
+func AutoVectorize(prog *armlite.Program, opts Options) (*armlite.Program, *Report, error) {
+	out := prog.Clone()
+	report := &Report{}
+	seen := make(map[string]bool) // loop fingerprints already reported
+
+	for pass := 0; pass < 64; pass++ {
+		loops := findLoops(out)
+		progressed := false
+		for _, lp := range loops {
+			fp := fingerprint(out, lp)
+			if seen[fp] {
+				continue
+			}
+			if containsVector(out, lp) {
+				// One of our own generated vector loops: not a
+				// candidate, and not worth a diagnostic.
+				seen[fp] = true
+				continue
+			}
+			an, inhibitor := analyzeLoop(out, lp, opts)
+			if inhibitor != InhibitNone {
+				seen[fp] = true
+				report.Loops = append(report.Loops, LoopReport{
+					Start: lp.start, BranchPC: lp.branch, Inhibitor: inhibitor})
+				continue
+			}
+			newProg, err := rewriteLoop(out, an)
+			if err != nil {
+				seen[fp] = true
+				report.Loops = append(report.Loops, LoopReport{
+					Start: lp.start, BranchPC: lp.branch, Inhibitor: InhibitRegisters})
+				continue
+			}
+			seen[fp] = true
+			report.Loops = append(report.Loops, LoopReport{
+				Start: lp.start, BranchPC: lp.branch, Vectorized: true,
+				Lanes: an.lanes, TripCount: an.trip})
+			out = newProg
+			progressed = true
+			break // indices changed; rescan
+		}
+		if !progressed {
+			break
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("vectorize: produced invalid program: %w", err)
+	}
+	return out, report, nil
+}
+
+type loopRange struct {
+	start, branch int
+}
+
+// findLoops locates backward conditional branches, innermost first.
+func findLoops(p *armlite.Program) []loopRange {
+	var loops []loopRange
+	for pc, in := range p.Code {
+		if in.Op == armlite.OpB && in.Target >= 0 && in.Target < pc {
+			loops = append(loops, loopRange{start: in.Target, branch: pc})
+		}
+	}
+	// Innermost first: smaller bodies first.
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			if loops[j].branch-loops[j].start < loops[i].branch-loops[i].start {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	return loops
+}
+
+// fingerprint identifies a loop by its body text so rewritten
+// remainders are not reprocessed endlessly across passes. Branch
+// targets are rebased to the loop start so the fingerprint survives
+// instruction-index shifts caused by earlier rewrites.
+func fingerprint(p *armlite.Program, lp loopRange) string {
+	s := ""
+	for pc := lp.start; pc <= lp.branch && pc < len(p.Code); pc++ {
+		in := p.Code[pc]
+		if in.Op == armlite.OpB || in.Op == armlite.OpBL {
+			in.Target -= lp.start
+			in.Label = ""
+		}
+		s += in.String() + ";"
+	}
+	return s
+}
+
+// containsVector reports whether the loop body already holds NEON
+// instructions (i.e. it is one of our generated vector loops).
+func containsVector(p *armlite.Program, lp loopRange) bool {
+	for pc := lp.start; pc <= lp.branch && pc < len(p.Code); pc++ {
+		if p.Code[pc].Op.IsVector() {
+			return true
+		}
+	}
+	return false
+}

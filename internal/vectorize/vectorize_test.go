@@ -1,0 +1,446 @@
+package vectorize
+
+import (
+	"testing"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+const sumSrc = `
+        mov   r5, #0x1000
+        mov   r10, #0x2000
+        mov   r2, #0x3000
+        mov   r0, #0
+        mov   r4, #100
+loop:   ldr   r3, [r5], #4
+        ldr   r1, [r10], #4
+        add   r3, r3, r1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt
+`
+
+func seed(m *cpu.Machine) {
+	a := make([]int32, 128)
+	b := make([]int32, 128)
+	for i := range a {
+		a[i] = int32(i*i - 7)
+		b[i] = int32(300 - 2*i)
+	}
+	m.Mem.WriteWords(0x1000, a)
+	m.Mem.WriteWords(0x2000, b)
+}
+
+func compileRun(t *testing.T, src string, opts Options, setup func(*cpu.Machine)) (*cpu.Machine, *cpu.Machine, *Report) {
+	t.Helper()
+	prog := asm.MustAssemble("t", src)
+	ref := cpu.MustNew(prog, cpu.DefaultConfig())
+	if setup != nil {
+		setup(ref)
+	}
+	if err := ref.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	vec, rep, err := AutoVectorize(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cpu.MustNew(vec, cpu.DefaultConfig())
+	if setup != nil {
+		setup(m)
+	}
+	if err := m.Run(nil); err != nil {
+		t.Fatalf("vectorized program failed: %v\n%s", err, vec)
+	}
+	return ref, m, rep
+}
+
+func wordsEqual(t *testing.T, ref, got *cpu.Machine, addr uint32, n int, what string) {
+	t.Helper()
+	w, _ := ref.Mem.ReadWords(addr, n)
+	g, _ := got.Mem.ReadWords(addr, n)
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("%s: word %d = %d, want %d", what, i, g[i], w[i])
+		}
+	}
+}
+
+func TestVectorizeSum(t *testing.T) {
+	ref, m, rep := compileRun(t, sumSrc, Options{}, seed)
+	wordsEqual(t, ref, m, 0x3000, 100, "sum out")
+	if rep.VectorizedCount() != 1 {
+		t.Fatalf("vectorized %d loops; report %+v", rep.VectorizedCount(), rep)
+	}
+	if m.Counts.VecOps == 0 || m.Counts.VecLoads == 0 {
+		t.Error("no NEON activity in compiled program")
+	}
+	if m.Ticks >= ref.Ticks {
+		t.Errorf("compiled %d ticks, scalar %d", m.Ticks, ref.Ticks)
+	}
+	// Register architectural state must match the scalar run.
+	for _, r := range []armlite.Reg{armlite.R0, armlite.R2, armlite.R5, armlite.R10} {
+		if m.R[r] != ref.R[r] {
+			t.Errorf("final %v = %#x, want %#x", r, m.R[r], ref.R[r])
+		}
+	}
+}
+
+func TestVectorizeNonMultipleTrip(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #0
+loop:   ldr   r3, [r5], #4
+        add   r3, r3, #5
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #23
+        blt   loop
+        halt
+`
+	ref, m, rep := compileRun(t, src, Options{}, seed)
+	wordsEqual(t, ref, m, 0x3000, 23, "out")
+	if rep.VectorizedCount() != 1 {
+		t.Fatalf("report %+v", rep)
+	}
+	if m.R[armlite.R0] != 23 {
+		t.Errorf("counter = %d", m.R[armlite.R0])
+	}
+}
+
+func TestInhibitorConditional(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #0
+loop:   ldr   r3, [r5, r0, lsl #2]
+        cmp   r3, #0
+        blt   skip
+        str   r3, [r2, r0, lsl #2]
+skip:   add   r0, r0, #1
+        cmp   r0, #50
+        blt   loop
+        halt
+`
+	_, _, rep := compileRun(t, src, Options{NoAlias: true}, seed)
+	if rep.VectorizedCount() != 0 {
+		t.Fatal("conditional loop must not vectorize statically")
+	}
+	if rep.Inhibitors()[InhibitConditional] == 0 {
+		t.Errorf("inhibitors = %v", rep.Inhibitors())
+	}
+}
+
+func TestInhibitorDynamicCount(t *testing.T) {
+	// The limit register is loaded from memory: not a compile-time
+	// constant (Table 1 line 4).
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #0
+        ldr   r4, [r5, #512]
+loop:   ldr   r3, [r5], #4
+        add   r3, r3, #1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, r4
+        blt   loop
+        halt
+`
+	setup := func(m *cpu.Machine) {
+		seed(m)
+		m.Mem.Store(0x1200, 4, 10)
+	}
+	_, _, rep := compileRun(t, src, Options{NoAlias: true}, setup)
+	if rep.VectorizedCount() != 0 {
+		t.Fatal("dynamic-range loop must not vectorize statically")
+	}
+	if rep.Inhibitors()[InhibitDynamicCount] == 0 {
+		t.Errorf("inhibitors = %v", rep.Inhibitors())
+	}
+}
+
+func TestInhibitorSentinel(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+loop:   ldrb  r3, [r5], #1
+        cmp   r3, #0
+        beq   done
+        strb  r3, [r2], #1
+        b     loop
+done:   halt
+`
+	setup := func(m *cpu.Machine) {
+		m.Mem.WriteBytes(0x1000, append(make([]byte, 0), 5, 6, 7, 0))
+	}
+	_, _, rep := compileRun(t, src, Options{NoAlias: true}, setup)
+	if rep.VectorizedCount() != 0 {
+		t.Fatal("sentinel loop must not vectorize statically")
+	}
+}
+
+func TestInhibitorFunctionCall(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #0
+loop:   ldr   r3, [r5], #4
+        bl    f
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #30
+        blt   loop
+        halt
+f:      add   r3, r3, #1
+        bx    lr
+`
+	_, _, rep := compileRun(t, src, Options{NoAlias: true}, seed)
+	if rep.VectorizedCount() != 0 {
+		t.Fatal("function loop must not vectorize statically")
+	}
+	if rep.Inhibitors()[InhibitFunctionCall] == 0 {
+		t.Errorf("inhibitors = %v", rep.Inhibitors())
+	}
+}
+
+func TestInhibitorAliasing(t *testing.T) {
+	// Bases come from registers the compiler cannot resolve.
+	src := `
+        mov   r0, #0
+loop:   ldr   r3, [r5], #4
+        add   r3, r3, #1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #30
+        blt   loop
+        halt
+`
+	setup := func(m *cpu.Machine) {
+		seed(m)
+		m.R[armlite.R5] = 0x1000
+		m.R[armlite.R2] = 0x3000
+	}
+	ref, m, rep := compileRun(t, src, Options{}, setup)
+	if rep.VectorizedCount() != 0 {
+		t.Fatal("unknown bases must inhibit without NoAlias")
+	}
+	if rep.Inhibitors()[InhibitAliasing] == 0 {
+		t.Errorf("inhibitors = %v", rep.Inhibitors())
+	}
+	// With restrict semantics asserted it vectorizes.
+	ref2, m2, rep2 := compileRun(t, src, Options{NoAlias: true}, setup)
+	if rep2.VectorizedCount() != 1 {
+		t.Fatalf("NoAlias run: %+v", rep2)
+	}
+	wordsEqual(t, ref2, m2, 0x3000, 30, "noalias out")
+	_ = ref
+	_ = m
+}
+
+func TestInhibitorDependency(t *testing.T) {
+	// v[i+2] = v[i] + 1 on the same (resolved) base: provable RAW.
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x1008
+        mov   r0, #0
+loop:   ldr   r3, [r5], #4
+        add   r3, r3, #1
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #30
+        blt   loop
+        halt
+`
+	_, _, rep := compileRun(t, src, Options{NoAlias: true}, seed)
+	if rep.VectorizedCount() != 0 {
+		t.Fatal("provable RAW must inhibit")
+	}
+	if rep.Inhibitors()[InhibitDependency] == 0 {
+		t.Errorf("inhibitors = %v", rep.Inhibitors())
+	}
+}
+
+func TestInPlaceUpdateVectorizes(t *testing.T) {
+	// v[i] = v[i]*3 in place: same base, load precedes store.
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x1000
+        mov   r6, #3
+        mov   r0, #0
+loop:   ldr   r3, [r5], #4
+        mul   r3, r3, r6
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #40
+        blt   loop
+        halt
+`
+	ref, m, rep := compileRun(t, src, Options{}, seed)
+	if rep.VectorizedCount() != 1 {
+		t.Fatalf("in-place update should vectorize: %+v", rep)
+	}
+	wordsEqual(t, ref, m, 0x1000, 40, "in-place out")
+}
+
+func TestNestedLoopInnerVectorized(t *testing.T) {
+	// Matrix-ish: outer over rows, inner over columns with reg-offset
+	// addressing; the inner loop vectorizes once, and the rewritten
+	// program stays correct across outer iterations.
+	src := `
+        mov   r8, #0          ; row
+outer:  mov   r0, #0          ; col
+loop:   ldr   r3, [r5, r0, lsl #2]
+        ldr   r1, [r10, r0, lsl #2]
+        add   r3, r3, r1
+        str   r3, [r2, r0, lsl #2]
+        add   r0, r0, #1
+        cmp   r0, #32
+        blt   loop
+        add   r5, r5, #128
+        add   r10, r10, #128
+        add   r2, r2, #128
+        add   r8, r8, #1
+        cmp   r8, #4
+        blt   outer
+        halt
+`
+	setup := func(m *cpu.Machine) {
+		seed(m)
+		m.R[armlite.R5] = 0x1000
+		m.R[armlite.R10] = 0x2000
+		m.R[armlite.R2] = 0x3000
+	}
+	ref, m, rep := compileRun(t, src, Options{NoAlias: true}, setup)
+	if rep.VectorizedCount() != 1 {
+		t.Fatalf("inner loop should vectorize: %+v", rep)
+	}
+	wordsEqual(t, ref, m, 0x3000, 128, "nested out")
+	if m.Ticks >= ref.Ticks {
+		t.Errorf("no speedup: %d vs %d", m.Ticks, ref.Ticks)
+	}
+}
+
+func TestVectorizeBytes(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #0
+loop:   ldrb  r3, [r5], #1
+        add   r3, r3, #1
+        strb  r3, [r2], #1
+        add   r0, r0, #1
+        cmp   r0, #100
+        blt   loop
+        halt
+`
+	setup := func(m *cpu.Machine) {
+		b := make([]byte, 128)
+		for i := range b {
+			b[i] = byte(i * 3)
+		}
+		m.Mem.WriteBytes(0x1000, b)
+	}
+	ref, m, rep := compileRun(t, src, Options{NoAlias: true}, setup)
+	if rep.VectorizedCount() != 1 {
+		t.Fatalf("byte loop should vectorize: %+v", rep)
+	}
+	w, _ := ref.Mem.ReadBytes(0x3000, 100)
+	g, _ := m.Mem.ReadBytes(0x3000, 100)
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("byte %d = %d, want %d", i, g[i], w[i])
+		}
+	}
+	if rep.Loops[0].Lanes != 16 {
+		t.Errorf("lanes = %d, want 16", rep.Loops[0].Lanes)
+	}
+}
+
+func TestVectorizeFloat(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r10, #0x2000
+        mov   r2, #0x3000
+        mov   r0, #0
+loop:   ldrf  r3, [r5], #4
+        ldrf  r1, [r10], #4
+        fmul  r3, r3, r1
+        strf  r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #50
+        blt   loop
+        halt
+`
+	setup := func(m *cpu.Machine) {
+		a := make([]float32, 64)
+		b := make([]float32, 64)
+		for i := range a {
+			a[i] = float32(i) + 0.25
+			b[i] = 1.5
+		}
+		m.Mem.WriteFloats(0x1000, a)
+		m.Mem.WriteFloats(0x2000, b)
+	}
+	ref, m, rep := compileRun(t, src, Options{NoAlias: true}, setup)
+	if rep.VectorizedCount() != 1 {
+		t.Fatalf("float loop should vectorize: %+v", rep)
+	}
+	w, _ := ref.Mem.ReadFloats(0x3000, 50)
+	g, _ := m.Mem.ReadFloats(0x3000, 50)
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("float %d = %v, want %v", i, g[i], w[i])
+		}
+	}
+}
+
+func TestRewrittenProgramValidates(t *testing.T) {
+	prog := asm.MustAssemble("t", sumSrc)
+	vec, _, err := AutoVectorize(prog, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The original must be untouched.
+	if len(prog.Code) == len(vec.Code) {
+		t.Error("program was not rewritten")
+	}
+	reparsed, err := asm.Assemble("rt", vec.String())
+	if err != nil {
+		t.Fatalf("disassembly does not reassemble: %v\n%s", err, vec)
+	}
+	if len(reparsed.Code) != len(vec.Code) {
+		t.Error("round-trip length mismatch")
+	}
+}
+
+// TestVectorizeCountDown: subs/bne count-down loops compile too.
+func TestVectorizeCountDown(t *testing.T) {
+	src := `
+        mov   r5, #0x1000
+        mov   r2, #0x3000
+        mov   r0, #40
+loop:   ldr   r3, [r5], #4
+        add   r3, r3, #6
+        str   r3, [r2], #4
+        subs  r0, r0, #1
+        bne   loop
+        halt
+`
+	ref, m, rep := compileRun(t, src, Options{}, seed)
+	if rep.VectorizedCount() != 1 {
+		t.Fatalf("count-down loop should vectorize: %+v", rep)
+	}
+	wordsEqual(t, ref, m, 0x3000, 40, "countdown out")
+	if m.R[armlite.R0] != 0 {
+		t.Errorf("counter = %d, want 0", m.R[armlite.R0])
+	}
+}

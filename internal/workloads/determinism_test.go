@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+// TestDeterministicInputs: two independent instantiations of the suite
+// must set up byte-identical memory — the reproducibility contract of
+// the experiment harness.
+func TestDeterministicInputs(t *testing.T) {
+	a, b := All(), All()
+	if len(a) != len(b) {
+		t.Fatal("suite size varies")
+	}
+	for i := range a {
+		ma := cpu.MustNew(a[i].Scalar(), cpu.DefaultConfig())
+		mb := cpu.MustNew(b[i].Scalar(), cpu.DefaultConfig())
+		a[i].Setup(ma)
+		b[i].Setup(mb)
+		for _, region := range []uint32{AddrParams, AddrInA, AddrInB, AddrInC} {
+			ra, _ := ma.Mem.ReadBytes(region, 4096)
+			rb, _ := mb.Mem.ReadBytes(region, 4096)
+			for j := range ra {
+				if ra[j] != rb[j] {
+					t.Fatalf("%s: region %#x byte %d differs", a[i].Name, region, j)
+				}
+			}
+		}
+	}
+}
+
+// TestProgramsValidate: every workload's programs assemble and
+// validate (both variants).
+func TestProgramsValidate(t *testing.T) {
+	for _, w := range All() {
+		if err := w.Scalar().Validate(); err != nil {
+			t.Errorf("%s scalar: %v", w.Name, err)
+		}
+		if w.Hand != nil {
+			if err := w.Hand().Validate(); err != nil {
+				t.Errorf("%s hand: %v", w.Name, err)
+			}
+		}
+	}
+}
+
+// TestMetadata: names unique, descriptions present, DLP classes set.
+func TestMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range All() {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Description == "" {
+			t.Errorf("%s: missing description", w.Name)
+		}
+		switch w.DLP {
+		case DLPHigh, DLPMedium, DLPLow:
+		default:
+			t.Errorf("%s: bad DLP class %q", w.Name, w.DLP)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName must fail for unknown workloads")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names/All mismatch")
+	}
+	if len(Canonical())+1 != len(All()) {
+		t.Error("All must be Canonical + echo")
+	}
+}

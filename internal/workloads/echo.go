@@ -1,0 +1,66 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// echoN is the sample count and echoLag the feedback distance.
+const (
+	echoN   = 2048
+	echoLag = 8
+)
+
+// Echo is the supplementary partial-vectorization workload (§4.5, not
+// part of the articles' suites): a feedback echo filter
+// y[i] = x[i] + y[i-8]. The cross-iteration dependency at distance 8
+// inhibits every static vectorizer outright, while the DSA's CIDP
+// measures the distance and vectorizes in 8-iteration windows.
+func Echo() *Workload {
+	const name = "echo"
+	scalar := fmt.Sprintf(`
+        mov   r5, #%[1]d      ; x cursor
+        mov   r6, #%[2]d      ; y[i-lag] cursor
+        mov   r2, #%[3]d      ; y[i] cursor
+        mov   r0, #0
+loop:   ldr   r3, [r5], #4
+        ldr   r4, [r6], #4
+        add   r3, r3, r4
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #%[4]d
+        blt   loop
+        halt
+`, AddrInA, AddrOut, AddrOut+4*echoLag, echoN)
+
+	rnd := newRNG(101)
+	x := rnd.int32s(echoN, 1000)
+	// y[0..lag) is the pre-seeded tail; y[lag+i] = x[i] + y[i].
+	y := make([]int32, echoN+echoLag)
+	for i := 0; i < echoLag; i++ {
+		y[i] = int32(10 * (i + 1))
+	}
+	for i := 0; i < echoN; i++ {
+		y[echoLag+i] = x[i] + y[i]
+	}
+
+	return &Workload{
+		Name:         name,
+		Description:  "feedback echo filter y[i] = x[i] + y[i-8] (partial vectorization, §4.5)",
+		DLP:          DLPMedium,
+		NoAlias:      false, // the streams genuinely alias
+		DynamicLoops: true,
+		Scalar:       func() *armlite.Program { return asm.MustAssemble(name, scalar) },
+		Hand:         nil, // the library has no windowed-dependency primitive
+		Setup: func(m *cpu.Machine) {
+			m.Mem.WriteWords(AddrInA, x)
+			m.Mem.WriteWords(AddrOut, y[:echoLag])
+		},
+		Check: func(m *cpu.Machine) error {
+			return checkWords(m, AddrOut, y, name)
+		},
+	}
+}

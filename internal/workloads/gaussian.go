@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// Gaussian blur, separable [1 2 1]/4 kernel applied horizontally then
+// vertically over a 64×64 int32 image (OpenCV-style). Both passes are
+// count loops reading three offset streams from one advancing base —
+// vectorizable, but with more memory traffic than RGB→Gray.
+const (
+	gaussW = 64
+	gaussH = 64
+)
+
+// Gaussian builds the workload.
+func Gaussian() *Workload {
+	const name = "gaussian"
+	n := gaussW * gaussH
+	// Pass 1: t[i] = (img[i] + 2*img[i+1] + img[i+2]) >> 2, i < n-2.
+	// Pass 2: out[i] = (t[i] + 2*t[i+W] + t[i+2W]) >> 2, i < n-2W.
+	scalar := fmt.Sprintf(`
+        mov   r5, #%[1]d      ; img cursor
+        mov   r2, #%[3]d      ; t cursor
+        mov   r0, #0
+pass1:  ldr   r3, [r5]
+        ldr   r4, [r5, #4]
+        ldr   r6, [r5, #8]
+        add   r3, r3, r4
+        add   r3, r3, r4
+        add   r3, r3, r6
+        asr   r3, r3, #2
+        str   r3, [r2], #4
+        add   r5, r5, #4
+        add   r0, r0, #1
+        cmp   r0, #%[4]d
+        blt   pass1
+        mov   r5, #%[3]d      ; t cursor
+        mov   r2, #%[2]d      ; out cursor
+        mov   r0, #0
+pass2:  ldr   r3, [r5]
+        ldr   r4, [r5, #%[6]d]
+        ldr   r6, [r5, #%[7]d]
+        add   r3, r3, r4
+        add   r3, r3, r4
+        add   r3, r3, r6
+        asr   r3, r3, #2
+        str   r3, [r2], #4
+        add   r5, r5, #4
+        add   r0, r0, #1
+        cmp   r0, #%[5]d
+        blt   pass2
+        halt
+`, AddrInA, AddrOut, AddrTmp1, n-2, n-2*gaussW, gaussW*4, gaussW*8)
+
+	// Hand: per pass, three library calls (add, add-shifted, shift) —
+	// the library has no 3-tap primitive, so the blur costs three
+	// passes each plus temporaries.
+	hand := fmt.Sprintf(`
+        ; pass 1: t = (img + img+1) ; t = (t + img+1) ; t = (t + img+2) >> 2
+        mov   r0, #%[3]d
+        mov   r1, #%[1]d
+        mov   r2, #%[8]d
+        mov   r3, #%[4]d
+        bl    vlib_add_w      ; t = img[i] + img[i+1]
+        mov   r0, #%[3]d
+        mov   r1, #%[3]d
+        mov   r2, #%[8]d
+        mov   r3, #%[4]d
+        bl    vlib_add_w      ; t += img[i+1]
+        mov   r0, #%[3]d
+        mov   r1, #%[3]d
+        mov   r2, #%[9]d
+        mov   r3, #%[4]d
+        bl    vlib_add_w      ; t += img[i+2]
+        mov   r0, #%[3]d
+        mov   r1, #%[3]d
+        mov   r3, #%[4]d
+        bl    vlib_shr2_w     ; t >>= 2
+        ; pass 2 over rows
+        mov   r0, #%[2]d
+        mov   r1, #%[3]d
+        mov   r2, #%[10]d
+        mov   r3, #%[5]d
+        bl    vlib_add_w
+        mov   r0, #%[2]d
+        mov   r1, #%[2]d
+        mov   r2, #%[10]d
+        mov   r3, #%[5]d
+        bl    vlib_add_w
+        mov   r0, #%[2]d
+        mov   r1, #%[2]d
+        mov   r2, #%[11]d
+        mov   r3, #%[5]d
+        bl    vlib_add_w
+        mov   r0, #%[2]d
+        mov   r1, #%[2]d
+        mov   r3, #%[5]d
+        bl    vlib_shr2_w
+        halt
+`, AddrInA, AddrOut, AddrTmp1, n-2, n-2*gaussW,
+		gaussW*4, gaussW*8,
+		AddrInA+4, AddrInA+8, AddrTmp1+gaussW*4, AddrTmp1+gaussW*8) + vlib
+
+	rnd := newRNG(11)
+	img := rnd.int32s(n, 256)
+	t := make([]int32, n)
+	for i := 0; i < n-2; i++ {
+		t[i] = (img[i] + 2*img[i+1] + img[i+2]) >> 2
+	}
+	want := make([]int32, n-2*gaussW)
+	for i := 0; i < n-2*gaussW; i++ {
+		want[i] = (t[i] + 2*t[i+gaussW] + t[i+2*gaussW]) >> 2
+	}
+
+	return &Workload{
+		Name:        name,
+		Description: "separable Gaussian blur [1 2 1]/4 over a 64×64 image",
+		DLP:         DLPHigh,
+		NoAlias:     true,
+		Scalar:      func() *armlite.Program { return asm.MustAssemble(name, scalar) },
+		Hand:        func() *armlite.Program { return asm.MustAssemble(name+"_hand", hand) },
+		Setup: func(m *cpu.Machine) {
+			m.Mem.WriteWords(AddrInA, img)
+		},
+		Check: func(m *cpu.Machine) error {
+			return checkWords(m, AddrOut, want, name)
+		},
+	}
+}

@@ -1,0 +1,217 @@
+package workloads
+
+// vlib is the modelled ARM NEON vector library the hand-vectorized
+// variants call: whole-array primitives invoked through BL, each
+// streaming its operands through memory. The calling convention is
+//
+//	r0 = destination, r1 = source A, r2 = source B,
+//	r3 = element count, r5 = scalar operand
+//	clobbers: r0-r4, r6, q0-q2
+//
+// This is the dissertation's "hand-vectorized code using ARM library"
+// baseline: every operation is a separate pass, so multi-operation
+// kernels pay intermediate loads/stores and call overhead the DSA's
+// fused SIMD generation avoids — the source of the paper's 26 %
+// DSA-over-hand result.
+const vlib = `
+; --- dst[i] = a[i] + b[i] (words) --------------------------------
+vlib_add_w:
+        cmp   r3, #4
+        blt   vaw_tail
+vaw_vec:
+        vld1.32 q0, [r1]!
+        vld1.32 q1, [r2]!
+        vadd.i32 q2, q0, q1
+        vst1.32 q2, [r0]!
+        sub   r3, r3, #4
+        cmp   r3, #4
+        bge   vaw_vec
+vaw_tail:
+        cmp   r3, #0
+        ble   vaw_done
+vaw_t:  ldr   r4, [r1], #4
+        ldr   r6, [r2], #4
+        add   r4, r4, r6
+        str   r4, [r0], #4
+        subs  r3, r3, #1
+        bne   vaw_t
+vaw_done:
+        bx    lr
+
+; --- dst[i] = a[i] * scalar (words) ------------------------------
+vlib_mulc_w:
+        vdup.32 q0, r5
+        cmp   r3, #4
+        blt   vmw_tail
+vmw_vec:
+        vld1.32 q1, [r1]!
+        vmul.i32 q2, q1, q0
+        vst1.32 q2, [r0]!
+        sub   r3, r3, #4
+        cmp   r3, #4
+        bge   vmw_vec
+vmw_tail:
+        cmp   r3, #0
+        ble   vmw_done
+vmw_t:  ldr   r4, [r1], #4
+        mul   r4, r4, r5
+        str   r4, [r0], #4
+        subs  r3, r3, #1
+        bne   vmw_t
+vmw_done:
+        bx    lr
+
+; --- dst[i] = a[i] >> 8 (arithmetic, words) ----------------------
+vlib_shr8_w:
+        cmp   r3, #4
+        blt   vs8_tail
+vs8_vec:
+        vld1.32 q0, [r1]!
+        vshr.i32 q1, q0, #8
+        vst1.32 q1, [r0]!
+        sub   r3, r3, #4
+        cmp   r3, #4
+        bge   vs8_vec
+vs8_tail:
+        cmp   r3, #0
+        ble   vs8_done
+vs8_t:  ldr   r4, [r1], #4
+        asr   r4, r4, #8
+        str   r4, [r0], #4
+        subs  r3, r3, #1
+        bne   vs8_t
+vs8_done:
+        bx    lr
+
+; --- dst[i] = a[i] >> 2 (arithmetic, words) ----------------------
+vlib_shr2_w:
+        cmp   r3, #4
+        blt   vs2_tail
+vs2_vec:
+        vld1.32 q0, [r1]!
+        vshr.i32 q1, q0, #2
+        vst1.32 q1, [r0]!
+        sub   r3, r3, #4
+        cmp   r3, #4
+        bge   vs2_vec
+vs2_tail:
+        cmp   r3, #0
+        ble   vs2_done
+vs2_t:  ldr   r4, [r1], #4
+        asr   r4, r4, #2
+        str   r4, [r0], #4
+        subs  r3, r3, #1
+        bne   vs2_t
+vs2_done:
+        bx    lr
+
+; --- dst[i] += a[i] * scalar (words; the BLAS-ish saxpy) ----------
+vlib_saxpy_w:
+        vdup.32 q0, r5
+        cmp   r3, #4
+        blt   vsx_tail
+vsx_vec:
+        vld1.32 q1, [r1]!
+        vld1.32 q2, [r0]
+        vmul.i32 q1, q1, q0
+        vadd.i32 q2, q2, q1
+        vst1.32 q2, [r0]!
+        sub   r3, r3, #4
+        cmp   r3, #4
+        bge   vsx_vec
+vsx_tail:
+        cmp   r3, #0
+        ble   vsx_done
+vsx_t:  ldr   r4, [r1], #4
+        mul   r4, r4, r5
+        ldr   r6, [r0]
+        add   r6, r6, r4
+        str   r6, [r0], #4
+        subs  r3, r3, #1
+        bne   vsx_t
+vsx_done:
+        bx    lr
+
+; --- dst[i] = a[i] - b[i] (words) --------------------------------
+vlib_sub_w:
+        cmp   r3, #4
+        blt   vsw_tail
+vsw_vec:
+        vld1.32 q0, [r1]!
+        vld1.32 q1, [r2]!
+        vsub.i32 q2, q0, q1
+        vst1.32 q2, [r0]!
+        sub   r3, r3, #4
+        cmp   r3, #4
+        bge   vsw_vec
+vsw_tail:
+        cmp   r3, #0
+        ble   vsw_done
+vsw_t:  ldr   r4, [r1], #4
+        ldr   r6, [r2], #4
+        sub   r4, r4, r6
+        str   r4, [r0], #4
+        subs  r3, r3, #1
+        bne   vsw_t
+vsw_done:
+        bx    lr
+
+; --- dst[i] = a[i] * b[i] (words) --------------------------------
+vlib_mul_w:
+        cmp   r3, #4
+        blt   vmulw_tail
+vmulw_vec:
+        vld1.32 q0, [r1]!
+        vld1.32 q1, [r2]!
+        vmul.i32 q2, q0, q1
+        vst1.32 q2, [r0]!
+        sub   r3, r3, #4
+        cmp   r3, #4
+        bge   vmulw_vec
+vmulw_tail:
+        cmp   r3, #0
+        ble   vmulw_done
+vmulw_t:
+        ldr   r4, [r1], #4
+        ldr   r6, [r2], #4
+        mul   r4, r4, r6
+        str   r4, [r0], #4
+        subs  r3, r3, #1
+        bne   vmulw_t
+vmulw_done:
+        bx    lr
+
+; --- dst[i] = a[i] + scalar (bytes) -------------------------------
+vlib_addc_b:
+        vdup.8 q0, r5
+        cmp   r3, #16
+        blt   vab_tail
+vab_vec:
+        vld1.8 q1, [r1]!
+        vadd.i8 q2, q1, q0
+        vst1.8 q2, [r0]!
+        sub   r3, r3, #16
+        cmp   r3, #16
+        bge   vab_vec
+vab_tail:
+        cmp   r3, #0
+        ble   vab_done
+vab_t:  ldrb  r4, [r1], #1
+        add   r4, r4, r5
+        strb  r4, [r0], #1
+        subs  r3, r3, #1
+        bne   vab_t
+vab_done:
+        bx    lr
+
+; --- r3 := strlen(r1) (scalar sentinel scan; r1 preserved base in r0)
+vlib_strlen:
+        mov   r3, #0
+vsl_l:  ldrb  r4, [r1], #1
+        cmp   r4, #0
+        beq   vsl_done
+        add   r3, r3, #1
+        b     vsl_l
+vsl_done:
+        bx    lr
+`

@@ -1,0 +1,96 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// MM is the MiBench-style integer matrix multiply, in the ikj form
+// compilers (and the DSA) vectorize: the innermost j-loop performs
+// c[i][j] += a[i][k] * b[k][j] over contiguous rows with a broadcast
+// a[i][k]. Article 1/3 evaluate 32×32 and 64×64.
+func MM(n int) *Workload {
+	name := fmt.Sprintf("mm_%dx%d", n, n)
+	rowBytes := n * 4
+
+	scalar := fmt.Sprintf(`
+        mov   r5, #%d         ; &a[0][0]
+        mov   r7, #%d         ; &c[0][0]
+        mov   r0, #0          ; i
+iloop:  mov   r6, #%d         ; &b[0][0]
+        mov   r1, #0          ; k
+kloop:  ldr   r9, [r5], #4    ; aik
+        mov   r2, #0          ; j
+jloop:  ldr   r3, [r6, r2, lsl #2]   ; b[k][j]
+        ldr   r4, [r7, r2, lsl #2]   ; c[i][j]
+        mla   r4, r3, r9, r4
+        str   r4, [r7, r2, lsl #2]
+        add   r2, r2, #1
+        cmp   r2, #%d
+        blt   jloop
+        add   r6, r6, #%d     ; next b row
+        add   r1, r1, #1
+        cmp   r1, #%d
+        blt   kloop
+        add   r7, r7, #%d     ; next c row
+        add   r0, r0, #1
+        cmp   r0, #%d
+        blt   iloop
+        halt
+`, AddrInA, AddrOut, AddrInB, n, rowBytes, n, rowBytes, n)
+
+	hand := fmt.Sprintf(`
+        mov   r8, #%d         ; a cursor
+        mov   r7, #%d         ; c row
+        mov   r9, #0          ; i
+hiloop: mov   r10, #%d        ; b row
+        mov   r11, #0         ; k
+hkloop: ldr   r5, [r8], #4    ; aik (scalar arg)
+        mov   r0, r7
+        mov   r1, r10
+        mov   r3, #%d
+        bl    vlib_saxpy_w
+        add   r10, r10, #%d
+        add   r11, r11, #1
+        cmp   r11, #%d
+        blt   hkloop
+        add   r7, r7, #%d
+        add   r9, r9, #1
+        cmp   r9, #%d
+        blt   hiloop
+        halt
+`, AddrInA, AddrOut, AddrInB, n, rowBytes, n, rowBytes, n) + vlib
+
+	r := newRNG(uint64(n))
+	a := r.int32s(n*n, 100)
+	b := r.int32s(n*n, 100)
+	want := make([]int32, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			for j := 0; j < n; j++ {
+				want[i*n+j] += aik * b[k*n+j]
+			}
+		}
+	}
+
+	return &Workload{
+		Name:        name,
+		Description: fmt.Sprintf("%d×%d integer matrix multiply (ikj, MiBench-style)", n, n),
+		DLP:         DLPHigh,
+		NoAlias:     true,
+		Scalar:      func() *armlite.Program { return asm.MustAssemble(name, scalar) },
+		Hand:        func() *armlite.Program { return asm.MustAssemble(name+"_hand", hand) },
+		Setup: func(m *cpu.Machine) {
+			m.Mem.WriteWords(AddrInA, a)
+			m.Mem.WriteWords(AddrInB, b)
+			m.Mem.WriteWords(AddrOut, make([]int32, n*n))
+		},
+		Check: func(m *cpu.Machine) error {
+			return checkWords(m, AddrOut, want, name)
+		},
+	}
+}

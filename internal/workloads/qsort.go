@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// qsortN is the element count.
+const qsortN = 512
+
+// QSort is the MiBench quicksort: an iterative Lomuto-partition
+// quicksort with an explicit stack. Its partition loop is a
+// conditional loop whose swap targets move data-dependently — no
+// vectorizer (static or dynamic) can help, which is the point of the
+// low-DLP class. A small fixed-trip sampling loop inside the driver is
+// exactly the kind of loop the static compiler vectorizes at a loss
+// (the paper's QSort auto-vectorization penalty) while the DSA's
+// profitability guard skips it.
+func QSort() *Workload {
+	const name = "q_sort"
+	scalar := fmt.Sprintf(`
+        mov   r11, #%[2]d     ; explicit stack pointer
+        mov   r0, #0          ; lo
+        mov   r1, #%[3]d      ; hi
+        str   r0, [r11], #4
+        str   r1, [r11], #4
+        mov   r9, #%[1]d      ; &a
+        mov   r10, #%[4]d     ; &scratch
+qloop:  cmp   r11, #%[2]d
+        ble   qdone
+        sub   r11, r11, #4
+        ldr   r1, [r11]       ; hi
+        sub   r11, r11, #4
+        ldr   r0, [r11]       ; lo
+        cmp   r0, r1
+        bge   qloop
+        ; median sampling copy of a[lo..lo+4] (fixed trip 5; the base
+        ; depends on lo, so the compiler's versioned vector code pays
+        ; its guards and frequently bails to scalar)
+        lsl   r7, r0, #2
+        add   r7, r7, r9      ; src cursor = &a[lo]
+        mov   r8, #%[4]d      ; dst cursor
+        mov   r6, #0
+samp:   ldr   r5, [r7], #4
+        str   r5, [r8], #4
+        add   r6, r6, #1
+        cmp   r6, #5
+        blt   samp
+        ; Lomuto partition: pivot = a[hi]
+        ldr   r2, [r9, r1, lsl #2]
+        sub   r3, r0, #1      ; i
+        mov   r4, r0          ; j
+part:   ldr   r5, [r9, r4, lsl #2]
+        cmp   r5, r2
+        bgt   pskip
+        add   r3, r3, #1
+        ldr   r6, [r9, r3, lsl #2]
+        str   r5, [r9, r3, lsl #2]
+        str   r6, [r9, r4, lsl #2]
+pskip:  add   r4, r4, #1
+        cmp   r4, r1
+        blt   part
+        add   r3, r3, #1
+        ldr   r5, [r9, r3, lsl #2]
+        ldr   r6, [r9, r1, lsl #2]
+        str   r6, [r9, r3, lsl #2]
+        str   r5, [r9, r1, lsl #2]
+        ; push (lo, i-1) and (i+1, hi)
+        sub   r6, r3, #1
+        str   r0, [r11], #4
+        str   r6, [r11], #4
+        add   r6, r3, #1
+        str   r6, [r11], #4
+        str   r1, [r11], #4
+        b     qloop
+qdone:  halt
+`, AddrInA, AddrStack, qsortN-1, AddrTmp1)
+
+	rnd := newRNG(41)
+	data := rnd.int32s(qsortN, 100000)
+	want := sortedCopy(data)
+
+	return &Workload{
+		Name:        name,
+		Description: "iterative quicksort over 512 integers (MiBench qsort)",
+		DLP:         DLPLow,
+		NoAlias:     true,
+		Scalar:      func() *armlite.Program { return asm.MustAssemble(name, scalar) },
+		Hand:        nil, // the vector library does not fit sorting
+		Setup: func(m *cpu.Machine) {
+			m.Mem.WriteWords(AddrInA, data)
+		},
+		Check: func(m *cpu.Machine) error {
+			return checkWords(m, AddrInA, want, name)
+		},
+	}
+}

@@ -1,0 +1,105 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// rgbGrayN is the pixel count (a 32×64 frame, sized so the working
+// set of all planes fits the 64 KB L1 like the paper's frames do).
+const rgbGrayN = 2048
+
+// RGBGray is the OpenCV-style RGB→grayscale conversion over planar
+// int32 channels: gray = (77·r + 151·g + 28·b) >> 8. One high-DLP
+// count loop; the hand variant needs six library passes where the DSA
+// fuses everything into one.
+func RGBGray() *Workload {
+	const name = "rgb_gray"
+	scalar := fmt.Sprintf(`
+        mov   r5, #%d         ; &r
+        mov   r6, #%d         ; &g
+        mov   r8, #%d         ; &b
+        mov   r2, #%d         ; &gray
+        mov   r9, #77
+        mov   r10, #151
+        mov   r11, #28
+        mov   r0, #0
+loop:   ldr   r3, [r5], #4
+        ldr   r4, [r6], #4
+        ldr   r7, [r8], #4
+        mul   r3, r3, r9
+        mul   r4, r4, r10
+        mul   r7, r7, r11
+        add   r3, r3, r4
+        add   r3, r3, r7
+        asr   r3, r3, #8
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #%d
+        blt   loop
+        halt
+`, AddrInA, AddrInB, AddrInC, AddrOut, rgbGrayN)
+
+	// Hand: six whole-array library passes with two temporaries.
+	hand := fmt.Sprintf(`
+        mov   r0, #%[1]d       ; t1 = r * 77
+        mov   r1, #%[4]d
+        mov   r3, #%[7]d
+        mov   r5, #77
+        bl    vlib_mulc_w
+        mov   r0, #%[2]d       ; t2 = g * 151
+        mov   r1, #%[5]d
+        mov   r3, #%[7]d
+        mov   r5, #151
+        bl    vlib_mulc_w
+        mov   r0, #%[1]d       ; t1 = t1 + t2
+        mov   r1, #%[1]d
+        mov   r2, #%[2]d
+        mov   r3, #%[7]d
+        bl    vlib_add_w
+        mov   r0, #%[2]d       ; t2 = b * 28
+        mov   r1, #%[6]d
+        mov   r3, #%[7]d
+        mov   r5, #28
+        bl    vlib_mulc_w
+        mov   r0, #%[1]d       ; t1 = t1 + t2
+        mov   r1, #%[1]d
+        mov   r2, #%[2]d
+        mov   r3, #%[7]d
+        bl    vlib_add_w
+        mov   r0, #%[3]d       ; gray = t1 >> 8
+        mov   r1, #%[1]d
+        mov   r3, #%[7]d
+        bl    vlib_shr8_w
+        halt
+`, AddrTmp1, AddrTmp2, AddrOut, AddrInA, AddrInB, AddrInC, rgbGrayN) + vlib
+
+	rnd := newRNG(7)
+	r := rnd.int32s(rgbGrayN, 256)
+	g := rnd.int32s(rgbGrayN, 256)
+	b := rnd.int32s(rgbGrayN, 256)
+	want := make([]int32, rgbGrayN)
+	for i := range want {
+		want[i] = (77*r[i] + 151*g[i] + 28*b[i]) >> 8
+	}
+
+	return &Workload{
+		Name:        name,
+		Description: "planar RGB→grayscale conversion (OpenCV kernel), 4096 pixels",
+		DLP:         DLPHigh,
+		NoAlias:     true,
+		Scalar:      func() *armlite.Program { return asm.MustAssemble(name, scalar) },
+		Hand:        func() *armlite.Program { return asm.MustAssemble(name+"_hand", hand) },
+		Setup: func(m *cpu.Machine) {
+			m.Mem.WriteWords(AddrInA, r)
+			m.Mem.WriteWords(AddrInB, g)
+			m.Mem.WriteWords(AddrInC, b)
+		},
+		Check: func(m *cpu.Machine) error {
+			return checkWords(m, AddrOut, want, name)
+		},
+	}
+}

@@ -1,0 +1,98 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// StrPrep is the sentinel-loop workload: Caesar-shift a batch of
+// zero-terminated strings of unknown, varying lengths. Each string is
+// a sentinel loop (dissertation §4.6.5): the stop condition is the
+// terminator loaded inside the body. The extended DSA vectorizes it
+// speculatively, learning the range across strings; the hand-coded
+// library version must first run strlen and then a vector pass (two
+// traversals); the static compiler cannot touch it at all.
+func StrPrep() *Workload {
+	const name = "str_prep"
+	const nStrings = 40
+
+	scalar := fmt.Sprintf(`
+        mov   r10, #%[1]d
+        ldr   r9, [r10]       ; number of strings
+        mov   r5, #%[2]d      ; src cursor
+        mov   r2, #%[3]d      ; dst cursor
+        mov   r8, #0
+sloop:
+inner:  ldrb  r3, [r5], #1
+        cmp   r3, #0
+        beq   iend
+        add   r4, r3, #3      ; Caesar shift
+        strb  r4, [r2], #1
+        b     inner
+iend:   strb  r3, [r2], #1    ; copy terminator
+        add   r8, r8, #1
+        cmp   r8, r9
+        blt   sloop
+        halt
+`, AddrParams, AddrInA, AddrOut)
+
+	hand := fmt.Sprintf(`
+        mov   r10, #%[1]d
+        ldr   r9, [r10]
+        mov   r7, #%[2]d      ; src base
+        mov   r8, #%[3]d      ; dst base
+        mov   r11, #0
+hsl:    mov   r1, r7
+        bl    vlib_strlen     ; r3 = len (first pass)
+        mov   r12, r3
+        mov   r0, r8
+        mov   r1, r7
+        mov   r5, #3
+        bl    vlib_addc_b     ; second pass: dst = src + 3
+        mov   r4, #0
+        strb  r4, [r0]
+        add   r12, r12, #1
+        add   r7, r7, r12
+        add   r8, r8, r12
+        add   r11, r11, #1
+        cmp   r11, r9
+        blt   hsl
+        halt
+`, AddrParams, AddrInA, AddrOut) + vlib
+
+	rnd := newRNG(91)
+	var src []byte
+	for s := 0; s < nStrings; s++ {
+		n := 8 + rnd.intn(113)
+		for i := 0; i < n; i++ {
+			src = append(src, byte(1+rnd.intn(100)))
+		}
+		src = append(src, 0)
+	}
+	want := make([]byte, len(src))
+	for i, c := range src {
+		if c != 0 {
+			want[i] = c + 3
+		}
+	}
+
+	return &Workload{
+		Name:         name,
+		Description:  "Caesar-shift over 40 zero-terminated strings (sentinel loops)",
+		DLP:          DLPMedium,
+		NoAlias:      true,
+		DynamicLoops: true,
+		Scalar:       func() *armlite.Program { return asm.MustAssemble(name, scalar) },
+		Hand:         func() *armlite.Program { return asm.MustAssemble(name+"_hand", hand) },
+		Setup: func(m *cpu.Machine) {
+			m.Mem.WriteWords(AddrParams, []int32{nStrings})
+			m.Mem.WriteBytes(AddrInA, src)
+		},
+		Check: func(m *cpu.Machine) error {
+			return checkBytes(m, AddrOut, want, name)
+		},
+	}
+}

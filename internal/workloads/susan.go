@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// susanN is the pixel count of the Susan Edges kernel.
+const susanN = 4096
+
+// susanT is the edge threshold.
+const susanT = 900
+
+// SusanE is the MiBench Susan edge-detection kernel, reduced to its
+// characteristic loop mix (medium DLP, per Article 1):
+//
+//	loop 0 — brightness normalization (count loop: every vectorizer
+//	         handles it, giving the static compiler its partial win)
+//	loop 1 — squared difference through a helper function (function
+//	         loop, Fig. 16: statically inhibited by the call, run-time
+//	         vectorized by the DSA)
+//	loop 2 — edge thresholding (conditional loop: only the extended
+//	         DSA vectorizes it)
+//	loop 3 — edge counting (carry-around scalar accumulator: nothing
+//	         vectorizes it)
+func SusanE() *Workload {
+	const name = "susan_e"
+	scalar := fmt.Sprintf(`
+        mov   r5, #%[1]d      ; &img
+        mov   r6, #%[2]d      ; &ref
+        mov   r2, #%[8]d      ; &norm
+        mov   r9, #3
+        mov   r0, #0
+l0:     ldr   r3, [r5], #4
+        ldr   r4, [r6], #4
+        mul   r3, r3, r9
+        add   r3, r3, r4
+        asr   r3, r3, #2
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #%[6]d
+        blt   l0
+        mov   r5, #%[8]d      ; &norm
+        mov   r6, #%[2]d      ; &ref
+        mov   r2, #%[3]d      ; &t
+        mov   r0, #0
+l1:     ldr   r3, [r5], #4
+        ldr   r4, [r6], #4
+        bl    sqdiff          ; r3 = (r3-r4)² — a function loop (Fig. 16)
+        str   r3, [r2], #4
+        add   r0, r0, #1
+        cmp   r0, #%[6]d
+        blt   l1
+        b     after1
+sqdiff: sub   r3, r3, r4
+        mul   r3, r3, r3
+        bx    lr
+after1: mov   r5, #%[3]d      ; &t
+        mov   r2, #%[4]d      ; &edge
+        mov   r0, #0
+l2:     ldr   r3, [r5, r0, lsl #2]
+        cmp   r3, #%[7]d
+        ble   lz
+        mov   r6, #1
+        str   r6, [r2, r0, lsl #2]
+        b     l2e
+lz:     mov   r6, #0
+        str   r6, [r2, r0, lsl #2]
+l2e:    add   r0, r0, #1
+        cmp   r0, #%[6]d
+        blt   l2
+        mov   r5, #%[4]d      ; &edge
+        mov   r7, #0          ; count (carried scalar)
+        mov   r0, #0
+l3:     ldr   r3, [r5], #4
+        add   r7, r7, r3
+        add   r0, r0, #1
+        cmp   r0, #%[6]d
+        blt   l3
+        mov   r6, #%[5]d
+        str   r7, [r6]
+        halt
+`, AddrInA, AddrInB, AddrTmp1, AddrOut, AddrOut2, susanN, susanT, AddrTmp2)
+
+	// Hand: loops 0 and 1 through library passes; loops 2 and 3 stay
+	// scalar (the library has no conditional primitive).
+	hand := fmt.Sprintf(`
+        mov   r0, #%[8]d      ; norm = img * 3
+        mov   r1, #%[1]d
+        mov   r3, #%[6]d
+        mov   r5, #3
+        bl    vlib_mulc_w
+        mov   r0, #%[8]d      ; norm += ref
+        mov   r1, #%[8]d
+        mov   r2, #%[2]d
+        mov   r3, #%[6]d
+        bl    vlib_add_w
+        mov   r0, #%[8]d      ; norm >>= 2
+        mov   r1, #%[8]d
+        mov   r3, #%[6]d
+        bl    vlib_shr2_w
+        mov   r0, #%[3]d      ; t = norm - ref
+        mov   r1, #%[8]d
+        mov   r2, #%[2]d
+        mov   r3, #%[6]d
+        bl    vlib_sub_w
+        mov   r0, #%[3]d      ; t = t * t
+        mov   r1, #%[3]d
+        mov   r2, #%[3]d
+        mov   r3, #%[6]d
+        bl    vlib_mul_w
+        mov   r5, #%[3]d
+        mov   r2, #%[4]d
+        mov   r0, #0
+hl2:    ldr   r3, [r5, r0, lsl #2]
+        cmp   r3, #%[7]d
+        ble   hlz
+        mov   r6, #1
+        str   r6, [r2, r0, lsl #2]
+        b     hl2e
+hlz:    mov   r6, #0
+        str   r6, [r2, r0, lsl #2]
+hl2e:   add   r0, r0, #1
+        cmp   r0, #%[6]d
+        blt   hl2
+        mov   r5, #%[4]d
+        mov   r7, #0
+        mov   r0, #0
+hl3:    ldr   r3, [r5], #4
+        add   r7, r7, r3
+        add   r0, r0, #1
+        cmp   r0, #%[6]d
+        blt   hl3
+        mov   r6, #%[5]d
+        str   r7, [r6]
+        halt
+`, AddrInA, AddrInB, AddrTmp1, AddrOut, AddrOut2, susanN, susanT, AddrTmp2) + vlib
+
+	rnd := newRNG(23)
+	img := rnd.int32s(susanN, 256)
+	ref := rnd.int32s(susanN, 256)
+	edge := make([]int32, susanN)
+	var count int32
+	for i := 0; i < susanN; i++ {
+		norm := (3*img[i] + ref[i]) >> 2
+		d := norm - ref[i]
+		if d*d > susanT {
+			edge[i] = 1
+			count++
+		}
+	}
+
+	return &Workload{
+		Name:         name,
+		Description:  "Susan Edges kernel: normalization, function-loop difference, conditional threshold, edge count",
+		DLP:          DLPMedium,
+		NoAlias:      true,
+		DynamicLoops: true,
+		Scalar:       func() *armlite.Program { return asm.MustAssemble(name, scalar) },
+		Hand:         func() *armlite.Program { return asm.MustAssemble(name+"_hand", hand) },
+		Setup: func(m *cpu.Machine) {
+			m.Mem.WriteWords(AddrInA, img)
+			m.Mem.WriteWords(AddrInB, ref)
+		},
+		Check: func(m *cpu.Machine) error {
+			if err := checkWords(m, AddrOut, edge, name+" edges"); err != nil {
+				return err
+			}
+			return checkWords(m, AddrOut2, []int32{count}, name+" count")
+		},
+	}
+}

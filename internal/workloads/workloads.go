@@ -1,0 +1,175 @@
+// Package workloads provides the benchmark suite of the dissertation's
+// evaluation — armlite reimplementations of the MiBench and OpenCV
+// kernels the articles measure (MM, RGB→Gray, Gaussian filter, Susan
+// Edges, QSort, Dijkstra, BitCount) plus the sentinel string workload
+// the extended DSA covers. Every workload carries:
+//
+//   - a scalar program (the "ARM Original Execution" binary, which is
+//     also what the DSA observes and the auto-vectorizer compiles);
+//   - optionally a hand-vectorized program modelling the ARM NEON
+//     library approach (whole-array vector primitives called through
+//     BL, paying call overhead and memory passes between operations);
+//   - deterministic input generation and a Go-side reference check, so
+//     every execution mode is verified for bit-exact correctness.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/armlite"
+	"repro/internal/cpu"
+)
+
+// Memory map shared by all workloads.
+const (
+	AddrInA    = 0x010000
+	AddrInB    = 0x020000
+	AddrInC    = 0x030000
+	AddrOut    = 0x040000
+	AddrOut2   = 0x050000
+	AddrTmp1   = 0x060000
+	AddrTmp2   = 0x068000
+	AddrParams = 0x008000 // runtime parameters (dynamic ranges etc.)
+	AddrStack  = 0x100000 // explicit stacks (qsort)
+)
+
+// DLPLevel documents the data-level-parallelism opportunity class the
+// articles assign to each benchmark.
+type DLPLevel string
+
+// DLP classes.
+const (
+	DLPHigh   DLPLevel = "high"
+	DLPMedium DLPLevel = "medium"
+	DLPLow    DLPLevel = "low"
+)
+
+// Workload is one benchmark.
+type Workload struct {
+	Name        string
+	Description string
+	DLP         DLPLevel
+	// NoAlias marks kernels whose scalar source carries restrict
+	// semantics for the static compiler.
+	NoAlias bool
+	// DynamicLoops marks benchmarks whose gains need the extended DSA
+	// (conditional / sentinel / dynamic-range loops).
+	DynamicLoops bool
+
+	// Scalar builds the baseline program.
+	Scalar func() *armlite.Program
+	// Hand builds the NEON-library hand-vectorized program (nil: no
+	// hand version exists; the library does not fit the algorithm).
+	Hand func() *armlite.Program
+	// Setup initializes machine memory (deterministic inputs).
+	Setup func(*cpu.Machine)
+	// Check verifies the outputs against the Go reference.
+	Check func(*cpu.Machine) error
+}
+
+// All returns the full suite in the articles' presentation order,
+// plus the supplementary partial-vectorization workload.
+func All() []*Workload {
+	return append(Canonical(), Echo())
+}
+
+// Canonical returns the benchmarks of the articles' figures.
+func Canonical() []*Workload {
+	return []*Workload{
+		MM(32),
+		MM(64),
+		RGBGray(),
+		Gaussian(),
+		SusanE(),
+		QSort(),
+		Dijkstra(),
+		BitCount(),
+		StrPrep(),
+	}
+}
+
+// ByName finds a workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range All() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names lists every workload name.
+func Names() []string {
+	var out []string
+	for _, w := range All() {
+		out = append(out, w.Name)
+	}
+	return out
+}
+
+// --- deterministic input generation ---------------------------------
+
+// rng is a small xorshift PRNG so inputs are identical everywhere.
+type rng uint64
+
+func newRNG(seed uint64) *rng {
+	r := rng(seed*2654435761 + 1)
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) int32s(n, lim int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.intn(lim))
+	}
+	return out
+}
+
+// --- check helpers ---------------------------------------------------
+
+func checkWords(m *cpu.Machine, addr uint32, want []int32, what string) error {
+	got, err := m.Mem.ReadWords(addr, len(want))
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: word %d = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func checkBytes(m *cpu.Machine, addr uint32, want []byte, what string) error {
+	got, err := m.Mem.ReadBytes(addr, len(want))
+	if err != nil {
+		return err
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: byte %d = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}
+
+func sortedCopy(v []int32) []int32 {
+	out := append([]int32(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

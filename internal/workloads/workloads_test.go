@@ -1,0 +1,186 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/vectorize"
+)
+
+// TestScalarCorrect: every workload's scalar program matches its Go
+// reference.
+func TestScalarCorrect(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m := cpu.MustNew(w.Scalar(), cpu.DefaultConfig())
+			w.Setup(m)
+			if err := m.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Check(m); err != nil {
+				t.Fatal(err)
+			}
+			if m.Counts.VecOps != 0 {
+				t.Error("scalar program must not use NEON")
+			}
+		})
+	}
+}
+
+// TestHandCorrect: hand-vectorized variants match the reference and
+// actually use the NEON engine.
+func TestHandCorrect(t *testing.T) {
+	for _, w := range All() {
+		if w.Hand == nil {
+			continue
+		}
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			m := cpu.MustNew(w.Hand(), cpu.DefaultConfig())
+			w.Setup(m)
+			if err := m.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Check(m); err != nil {
+				t.Fatal(err)
+			}
+			if m.Counts.VecOps == 0 {
+				t.Error("hand program used no NEON operations")
+			}
+		})
+	}
+}
+
+// TestAutoVecCorrect: the statically compiled programs stay correct.
+func TestAutoVecCorrect(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			prog, rep, err := vectorize.AutoVectorize(w.Scalar(), vectorize.Options{NoAlias: w.NoAlias})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := cpu.MustNew(prog, cpu.DefaultConfig())
+			w.Setup(m)
+			if err := m.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Check(m); err != nil {
+				t.Fatalf("%v (report: %+v)", err, rep)
+			}
+		})
+	}
+}
+
+// TestDSACorrect: both DSA configurations stay correct on the whole
+// suite.
+func TestDSACorrect(t *testing.T) {
+	configs := map[string]dsa.Config{
+		"original": dsa.OriginalConfig(),
+		"extended": dsa.DefaultConfig(),
+	}
+	for cfgName, cfg := range configs {
+		for _, w := range All() {
+			w, cfg := w, cfg
+			t.Run(cfgName+"/"+w.Name, func(t *testing.T) {
+				s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				w.Setup(s.M)
+				if err := s.Run(); err != nil {
+					t.Fatal(err)
+				}
+				if err := w.Check(s.M); err != nil {
+					t.Fatalf("%v\nstats: kinds=%v rejections=%v",
+						err, s.Stats().ByKind, s.Stats().RejectedReasons)
+				}
+			})
+		}
+	}
+}
+
+// TestExpectedVectorization spot-checks the paper's qualitative claims
+// about who can vectorize what.
+func TestExpectedVectorization(t *testing.T) {
+	cases := []struct {
+		name             string
+		autovecWant      bool // static compiler vectorizes ≥1 loop
+		extendedTakeover bool // extended DSA performs ≥1 takeover
+	}{
+		{"mm_32x32", true, true},
+		{"rgb_gray", true, true},
+		{"gaussian", true, true},
+		{"susan_e", true, true},
+		{"q_sort", true, false}, // only the unprofitable sampling loop
+		{"dijkstra", true, true},
+		{"bit_count", false, true},
+		{"str_prep", false, true},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			w, err := ByName(c.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, rep, err := vectorize.AutoVectorize(w.Scalar(), vectorize.Options{NoAlias: w.NoAlias})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rep.VectorizedCount() > 0; got != c.autovecWant {
+				t.Errorf("autovec vectorized=%v want %v (report %+v)", got, c.autovecWant, rep)
+			}
+
+			s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), dsa.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Setup(s.M)
+			if err := s.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.Stats().Takeovers > 0; got != c.extendedTakeover {
+				t.Errorf("extended DSA takeovers=%d want >0=%v (kinds=%v rejections=%v)",
+					s.Stats().Takeovers, c.extendedTakeover,
+					s.Stats().ByKind, s.Stats().RejectedReasons)
+			}
+		})
+	}
+}
+
+// TestDynamicOnlyExtended: on the dynamic-loop benchmarks the original
+// DSA must do (almost) nothing while the extended DSA works.
+func TestDynamicOnlyExtended(t *testing.T) {
+	for _, name := range []string{"bit_count", "str_prep", "dijkstra"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), dsa.OriginalConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Setup(orig.M)
+		if err := orig.Run(); err != nil {
+			t.Fatal(err)
+		}
+		ext, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), dsa.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Setup(ext.M)
+		if err := ext.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if ext.Stats().VectorizedIters <= orig.Stats().VectorizedIters {
+			t.Errorf("%s: extended (%d iters) must vectorize more than original (%d)",
+				name, ext.Stats().VectorizedIters, orig.Stats().VectorizedIters)
+		}
+		if ext.M.Ticks >= orig.M.Ticks {
+			t.Errorf("%s: extended %d ticks, original %d", name, ext.M.Ticks, orig.M.Ticks)
+		}
+	}
+}
