@@ -1,0 +1,38 @@
+GO ?= go
+
+.PHONY: all build test check vet fmt race fuzz verify bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails (and lists the files) when anything is not gofmt-clean.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+race:
+	$(GO) test -race ./...
+
+# check is the CI gate: static checks plus the full suite under the
+# race detector.
+check: vet fmt race
+
+# fuzz gives the assembler fuzz target a short budget (CI smoke; run
+# longer locally when touching the parser).
+fuzz:
+	$(GO) test ./internal/asm -fuzz FuzzParse -fuzztime 30s
+
+# verify runs the differential oracle over the whole workload suite.
+verify:
+	$(GO) run ./cmd/dsasim -verify
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

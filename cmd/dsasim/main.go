@@ -3,6 +3,12 @@
 // equivalent of cmd/experiments.
 //
 //	dsasim -workload rgb_gray -mode neon-dsa-extended -v
+//
+// Robustness modes:
+//
+//	dsasim -verify                          # differential oracle over every workload
+//	dsasim -workload mm_32 -verify          # oracle over one workload (hard mode)
+//	dsasim -workload mm_32 -fault corrupt-cache   # fault injection + oracle fallback
 package main
 
 import (
@@ -26,7 +32,19 @@ func main() {
 	listing := flag.Bool("listing", false, "disassemble the executed program")
 	trace := flag.Uint64("trace", 0, "print the first N retired instructions of a scalar run")
 	loops := flag.Bool("loops", false, "print the DSA cache contents (per-loop verdicts and generated SIMD)")
+	verify := flag.Bool("verify", false, "shadow every takeover with a scalar replay and fail on the first divergence (no -workload: check the whole suite)")
+	fault := flag.String("fault", "none", "inject a fault class into every takeover: none, corrupt-cache, cidp-skew, truncated-range, executor-error (runs with the oracle as fallback)")
+	faultEvery := flag.Uint64("fault-every", 1, "arm the injected fault on every Nth takeover")
 	flag.Parse()
+
+	faultKind, err := dsa.ParseFaultKind(*fault)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *verify || faultKind != dsa.FaultNone {
+		os.Exit(runGuarded(*name, faultKind, *faultEvery, *verify))
+	}
 
 	if *name == "" {
 		fmt.Fprintln(os.Stderr, "usage: dsasim -workload <name> [-mode <mode>] [-v]")
@@ -88,6 +106,10 @@ func main() {
 			fmt.Printf("            analysis=%d ticks (%.2f%% of run, hidden)  switch overhead=%d ticks\n",
 				st.AnalysisTicks, st.DetectionShare(r.Ticks)*100, st.OverheadTicks)
 			fmt.Printf("            loop census: %v\n", st.ByKind)
+			if st.Fallbacks > 0 {
+				fmt.Printf("            fallbacks=%d %s dropped-requests=%d\n",
+					st.Fallbacks, fmtReasons(st.FallbackReasons), st.DroppedRequests)
+			}
 			if len(st.RejectedReasons) > 0 {
 				keys := make([]string, 0, len(st.RejectedReasons))
 				for k := range st.RejectedReasons {
@@ -130,4 +152,78 @@ func main() {
 			}
 		}
 	}
+}
+
+// runGuarded executes workloads under the guarded-takeover robustness
+// modes and returns the process exit code. With name empty, the whole
+// suite runs — the acceptance gate `dsasim -verify`.
+func runGuarded(name string, kind dsa.FaultKind, everyN uint64, verify bool) int {
+	var list []*workloads.Workload
+	if name == "" {
+		list = workloads.All()
+	} else {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		list = []*workloads.Workload{w}
+	}
+
+	cfg := dsa.DefaultConfig()
+	cfg.Fault = dsa.FaultConfig{Kind: kind, EveryN: everyN}
+	if kind != dsa.FaultNone {
+		// Fault runs need the oracle as a safety net: silent classes
+		// (corrupt-cache, truncated-range) are invisible to the guards.
+		cfg.Verify = dsa.VerifyConfig{Enabled: true, Fallback: true}
+	} else if verify {
+		cfg.Verify = dsa.VerifyConfig{Enabled: true}
+	}
+
+	failed := 0
+	for _, w := range list {
+		sys, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", w.Name, err)
+			failed++
+			continue
+		}
+		w.Setup(sys.M)
+		if err := sys.Run(); err != nil {
+			fmt.Printf("%-12s FAIL  %v\n", w.Name, err)
+			failed++
+			continue
+		}
+		if err := w.Check(sys.M); err != nil {
+			fmt.Printf("%-12s FAIL  output check: %v\n", w.Name, err)
+			failed++
+			continue
+		}
+		st := sys.Stats()
+		line := fmt.Sprintf("%-12s ok    takeovers=%d verified=%d divergences=%d",
+			w.Name, st.Takeovers, st.VerifiedTakeovers, st.Divergences)
+		if st.Fallbacks > 0 {
+			line += fmt.Sprintf(" fallbacks=%d %v", st.Fallbacks, fmtReasons(st.FallbackReasons))
+		}
+		fmt.Println(line)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d of %d workloads failed\n", failed, len(list))
+		return 1
+	}
+	return 0
+}
+
+// fmtReasons renders a reason histogram deterministically.
+func fmtReasons(m map[string]uint64) string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s×%d", k, m[k]))
+	}
+	return "(" + strings.Join(parts, " ") + ")"
 }

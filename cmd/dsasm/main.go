@@ -31,7 +31,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	prog, err := asm.Assemble(flag.Arg(0), string(src))
+	prog, err := asm.Parse(flag.Arg(0), string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "assembly failed:", err)
 		os.Exit(1)

@@ -24,8 +24,11 @@ import (
 	"repro/internal/armlite"
 )
 
-// Assemble parses src into a validated Program named name.
-func Assemble(name, src string) (*armlite.Program, error) {
+// Parse parses src into a validated Program named name. This is the
+// library's only entry point that external input should go through:
+// every failure — lexical, structural, or validation — comes back as
+// an error, never a panic.
+func Parse(name, src string) (*armlite.Program, error) {
 	a := &assembler{
 		prog: &armlite.Program{Name: name, Labels: map[string]int{}},
 	}
@@ -43,15 +46,22 @@ func Assemble(name, src string) (*armlite.Program, error) {
 	return a.prog, nil
 }
 
-// MustAssemble is Assemble for known-good sources (tests, built-in
-// workloads); it panics on error.
-func MustAssemble(name, src string) *armlite.Program {
-	p, err := Assemble(name, src)
+// Assemble is an alias of Parse kept for existing callers.
+func Assemble(name, src string) (*armlite.Program, error) { return Parse(name, src) }
+
+// MustParse is Parse for known-good embedded sources (tests and the
+// built-in workload suite); it panics on error and must not be used
+// on external input — commands parse through Parse and report errors.
+func MustParse(name, src string) *armlite.Program {
+	p, err := Parse(name, src)
 	if err != nil {
 		panic(err)
 	}
 	return p
 }
+
+// MustAssemble is an alias of MustParse kept for existing callers.
+func MustAssemble(name, src string) *armlite.Program { return MustParse(name, src) }
 
 type assembler struct {
 	prog *armlite.Program

@@ -1,0 +1,67 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives arbitrary text through the assembler. The contract
+// under test is the one Parse documents: any input — however mangled —
+// must come back as a program or an error, never a panic, and an
+// accepted program must survive validation and round-trip through its
+// own disassembly.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"halt",
+		"mov r0, #1\nhalt",
+		"loop: ldr r3, [r5], #4\nadd r3, r3, r1\nstr r3, [r2], #4\ncmp r0, r4\nblt loop\nhalt",
+		"loop: ldrb r3, [r5], #1\ncmp r3, #0\nbeq done\nstrb r3, [r2], #1\nb loop\ndone: halt",
+		"vld1.32 q8, [r5]!\nvadd.i32 q9, q9, q8\nvst1.32 q9, [r2]!",
+		"ldr r3, [r5, r0, lsl #2]",
+		"x: b x",
+		"mov r0, #1 ; comment\n@ whole-line comment\n// another",
+		"bl x\nx: bx lr",
+		"label-without-colon r0",
+		"mov r99, #1",
+		"str r3, [r2, #-4]!",
+		"\tmov\tr1, #0x7fffffff\n\thalt",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz", src)
+		if err != nil {
+			return
+		}
+		if prog == nil {
+			t.Fatal("Parse returned nil program and nil error")
+		}
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("accepted program fails validation: %v\ninput: %q", err, src)
+		}
+		// Accepted programs must disassemble to re-parseable text.
+		out := prog.String()
+		re, err := Parse("fuzz-roundtrip", out)
+		if err != nil {
+			t.Fatalf("disassembly does not re-parse: %v\ninput: %q\ndisasm:\n%s", err, src, out)
+		}
+		if len(re.Code) != len(prog.Code) {
+			t.Fatalf("round trip changed length %d → %d\ninput: %q", len(prog.Code), len(re.Code), src)
+		}
+	})
+}
+
+// TestFuzzSeedsParse keeps the hand-picked valid seeds valid, so the
+// fuzz corpus keeps exercising the accepting paths.
+func TestFuzzSeedsParse(t *testing.T) {
+	for _, src := range []string{
+		"halt",
+		"loop: ldr r3, [r5], #4\nadd r3, r3, r1\nstr r3, [r2], #4\ncmp r0, r4\nblt loop\nhalt",
+	} {
+		if _, err := Parse("seed", src); err != nil {
+			t.Errorf("seed %q: %v", strings.Split(src, "\n")[0], err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package cpu
+
+import (
+	"repro/internal/armlite"
+	"repro/internal/mem"
+	"repro/internal/neon"
+)
+
+// Checkpoint is a precise restore point for speculative execution: the
+// full architectural register state, the timing/accounting counters,
+// and a copy-on-write undo journal covering every memory store made
+// while the checkpoint is open. The DSA takes one checkpoint per
+// takeover so a failed or diverging takeover can be unwound and the
+// loop re-run scalar.
+type Checkpoint struct {
+	R      [armlite.NumRegs]uint32
+	F      armlite.Flags
+	PC     int
+	Halted bool
+
+	Ticks  int64
+	Steps  uint64
+	Counts Counts
+
+	NeonQ      [armlite.NumVRegs]neon.Vec
+	NeonOps    uint64
+	NeonLoads  uint64
+	NeonStores uint64
+
+	Journal *mem.Journal
+}
+
+// Checkpoint opens a restore point. Exactly one checkpoint may be open
+// at a time (the underlying memory journal enforces this); close it
+// with Rollback or Release.
+func (m *Machine) Checkpoint() *Checkpoint {
+	return &Checkpoint{
+		R:          m.R,
+		F:          m.F,
+		PC:         m.PC,
+		Halted:     m.Halted,
+		Ticks:      m.Ticks,
+		Steps:      m.Steps,
+		Counts:     m.Counts,
+		NeonQ:      m.NEON.Q,
+		NeonOps:    m.NEON.Ops,
+		NeonLoads:  m.NEON.Loads,
+		NeonStores: m.NEON.Stores,
+		Journal:    m.Mem.BeginJournal(),
+	}
+}
+
+// Rollback restores the machine to the checkpointed state: registers,
+// flags, PC, time and event counters, NEON state, and every memory
+// byte written since the checkpoint. The checkpoint is closed.
+func (m *Machine) Rollback(cp *Checkpoint) {
+	cp.Journal.Rollback()
+	m.R = cp.R
+	m.F = cp.F
+	m.PC = cp.PC
+	m.Halted = cp.Halted
+	m.Ticks = cp.Ticks
+	m.Steps = cp.Steps
+	m.Counts = cp.Counts
+	m.NEON.Q = cp.NeonQ
+	m.NEON.Ops = cp.NeonOps
+	m.NEON.Loads = cp.NeonLoads
+	m.NEON.Stores = cp.NeonStores
+}
+
+// Release commits the work done since the checkpoint and closes it;
+// the undo log is dropped.
+func (m *Machine) Release(cp *Checkpoint) {
+	cp.Journal.Commit()
+}

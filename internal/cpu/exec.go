@@ -244,6 +244,9 @@ func (m *Machine) exec(in *armlite.Instr, rec *Record) error {
 		m.Ticks += m.issueTicks() + m.Caches.AccessWrite(addr, in.DT.Size())
 		m.Counts.Stores++
 		rec.addMem(addr, in.DT.Size(), true)
+		if m.StoreHook != nil {
+			m.StoreHook(addr, in.DT.Size())
+		}
 
 	case armlite.OpB:
 		m.Counts.Branches++
@@ -321,6 +324,9 @@ func (m *Machine) execVector(in *armlite.Instr, rec *Record) error {
 		u.Stores++
 		m.Counts.VecStores++
 		rec.addMem(addr, armlite.VectorBytes, true)
+		if m.StoreHook != nil {
+			m.StoreHook(addr, armlite.VectorBytes)
+		}
 
 	case armlite.OpVdup:
 		u.Q[in.Qd] = neon.Splat(in.DT, m.R[in.Rn])

@@ -102,6 +102,12 @@ type Machine struct {
 	Steps  uint64
 	Counts Counts
 
+	// StoreHook, when set, is called after every committed data-memory
+	// store (scalar str and vector vst1) with its address and width —
+	// the tap the differential oracle uses to learn a scalar replay's
+	// touched-memory footprint.
+	StoreHook func(addr uint32, size int)
+
 	cfg Config
 }
 

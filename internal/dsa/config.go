@@ -116,7 +116,28 @@ type Config struct {
 	// uses only the per-iteration mapped mode of Fig. 21/22 — the
 	// conservative reading of the paper; see DESIGN.md.
 	EnableGuardVec bool
+
+	// TakeoverStepBudget bounds the scalar steps (and fetch skips) a
+	// single takeover's in-loop driver may spend inside the sentinel
+	// and conditional execution loops before the takeover is rolled
+	// back and the loop re-run scalar (0 = DefaultTakeoverStepBudget).
+	// A corrupted action-PC map or a wedged stop slice hits this
+	// budget instead of burning the machine's global MaxSteps.
+	TakeoverStepBudget uint64
+
+	// Verify enables the differential oracle: every committed takeover
+	// is shadowed by a scalar replay and diffed (see VerifyConfig).
+	Verify VerifyConfig
+
+	// Fault configures the fault-injection harness (FaultNone in
+	// production; see faultinject.go).
+	Fault FaultConfig
 }
+
+// DefaultTakeoverStepBudget is the per-takeover scalar step budget
+// used when Config.TakeoverStepBudget is zero — far above any real
+// loop's residual scalar work, far below the global MaxSteps guard.
+const DefaultTakeoverStepBudget = 1 << 22
 
 // DefaultConfig returns the Extended DSA (all mechanisms on).
 func DefaultConfig() Config {
@@ -178,10 +199,21 @@ type Stats struct {
 	LoopsDetected   uint64
 	ByKind          map[LoopKind]uint64
 	RejectedReasons map[string]uint64
+
+	// Robustness accounting (guarded takeovers).
+	Fallbacks         uint64            // takeovers unwound and re-run scalar
+	FallbackReasons   map[string]uint64 // fallback cause → count
+	VerifiedTakeovers uint64            // takeovers cross-checked by the oracle
+	Divergences       uint64            // oracle mismatches detected
+	DroppedRequests   uint64            // takeover offers discarded mid-verification
 }
 
 func newStats() *Stats {
-	return &Stats{ByKind: make(map[LoopKind]uint64), RejectedReasons: make(map[string]uint64)}
+	return &Stats{
+		ByKind:          make(map[LoopKind]uint64),
+		RejectedReasons: make(map[string]uint64),
+		FallbackReasons: make(map[string]uint64),
+	}
 }
 
 // DSACache models the 8 KB loop cache: loop ID (start PC) → verified

@@ -423,6 +423,19 @@ func (e *Engine) recordVerdict(t *track, vectorizable bool) {
 	}
 }
 
+// Blacklist pins loopID in the DSA cache as non-vectorizable after a
+// rolled-back takeover, so every future entry of the loop skips
+// analysis and runs scalar — the paper's safety guarantee (anything
+// unverifiable stays on the ARM core) enforced at run time.
+func (e *Engine) Blacklist(loopID int, cause string) {
+	e.setKind(loopID, KindNonVectorizable)
+	e.Cache.Insert(&CachedLoop{LoopID: loopID, Kind: KindNonVectorizable, Reason: "fallback:" + cause})
+	e.stats.DSACacheAccesses++
+	e.stats.AnalysisTicks += e.cfg.Latencies.DSACacheAccess
+	// Any pending offer is stale once its loop (or a sibling) failed.
+	e.pending = nil
+}
+
 // NoteVectorized informs outer tracks that an inner region executed
 // as SIMD (their record stream has a gap there).
 func (e *Engine) NoteVectorized(bodyStart, bodyEnd int) {

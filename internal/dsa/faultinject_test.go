@@ -1,0 +1,136 @@
+package dsa_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/workloads"
+)
+
+// runWorkloadScalar produces the ground-truth machine for a workload.
+func runWorkloadScalar(t *testing.T, w *workloads.Workload) *cpu.Machine {
+	t.Helper()
+	m := cpu.MustNew(w.Scalar(), cpu.DefaultConfig())
+	w.Setup(m)
+	if err := m.Run(nil); err != nil {
+		t.Fatalf("%s scalar: %v", w.Name, err)
+	}
+	return m
+}
+
+func runWorkloadDSA(t *testing.T, w *workloads.Workload, cfg dsa.Config) *dsa.System {
+	t.Helper()
+	s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), cfg)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	w.Setup(s.M)
+	if err := s.Run(); err != nil {
+		t.Fatalf("%s: DSA run: %v", w.Name, err)
+	}
+	return s
+}
+
+// requireIdenticalState asserts the full architectural state — every
+// byte of memory and every core register — matches the scalar
+// reference machine.
+func requireIdenticalState(t *testing.T, ref, got *cpu.Machine, what string) {
+	t.Helper()
+	if got.R != ref.R {
+		t.Errorf("%s: final registers %v, want %v", what, got.R, ref.R)
+	}
+	want, err := ref.Mem.ReadBytes(0, ref.Mem.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	have, err := got.Mem.ReadBytes(0, got.Mem.Size())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, have) {
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("%s: memory[%#x] = %#02x, want %#02x (first of %d-byte image)",
+					what, i, have[i], want[i], len(want))
+			}
+		}
+	}
+}
+
+// TestFaultMatrix is the robustness acceptance suite: every fault
+// class injected into every workload kernel, with the differential
+// oracle as the safety net for silent corruptions. Each run must
+// complete through graceful scalar fallback with a final state
+// byte-identical to a DSA-off execution, and each fallback must be
+// attributed to the injected fault.
+func TestFaultMatrix(t *testing.T) {
+	kinds := []dsa.FaultKind{
+		dsa.FaultCorruptCache,
+		dsa.FaultSkewCIDP,
+		dsa.FaultTruncateRange,
+		dsa.FaultExecutorError,
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			ref := runWorkloadScalar(t, w)
+			clean := runWorkloadDSA(t, w, dsa.DefaultConfig())
+			takeovers := clean.Stats().Takeovers
+
+			for _, kind := range kinds {
+				kind := kind
+				t.Run(kind.String(), func(t *testing.T) {
+					cfg := dsa.DefaultConfig()
+					cfg.Fault = dsa.FaultConfig{Kind: kind}
+					cfg.Verify = dsa.VerifyConfig{Enabled: true, Fallback: true}
+					s := runWorkloadDSA(t, w, cfg)
+
+					if err := w.Check(s.M); err != nil {
+						t.Errorf("reference check after faults: %v", err)
+					}
+					requireIdenticalState(t, ref, s.M, fmt.Sprintf("%s/%s", w.Name, kind))
+
+					st := s.Stats()
+					if takeovers > 0 {
+						if st.Fallbacks == 0 {
+							t.Errorf("no fallbacks despite %d clean-run takeovers", takeovers)
+						}
+						if st.FallbackReasons["fault:"+kind.String()] == 0 {
+							t.Errorf("fallbacks not attributed: %v", st.FallbackReasons)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestVerifyAllWorkloads is the oracle acceptance suite: the hard
+// (non-fallback) differential oracle over every workload must run to
+// completion without a single divergence, and still produce the
+// scalar-identical state.
+func TestVerifyAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			ref := runWorkloadScalar(t, w)
+			cfg := dsa.DefaultConfig()
+			cfg.Verify = dsa.VerifyConfig{Enabled: true}
+			s := runWorkloadDSA(t, w, cfg)
+			if err := w.Check(s.M); err != nil {
+				t.Errorf("reference check: %v", err)
+			}
+			requireIdenticalState(t, ref, s.M, w.Name)
+			st := s.Stats()
+			if st.Takeovers > 0 && st.VerifiedTakeovers != st.Takeovers {
+				t.Errorf("verified %d of %d takeovers", st.VerifiedTakeovers, st.Takeovers)
+			}
+			if st.Divergences != 0 {
+				t.Errorf("clean run diverged %d times", st.Divergences)
+			}
+		})
+	}
+}

@@ -1,0 +1,190 @@
+package dsa
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+)
+
+// verifyConfig returns the extended DSA with the differential oracle
+// in the given mode.
+func verifyConfig(fallback bool) Config {
+	cfg := DefaultConfig()
+	cfg.Verify = VerifyConfig{Enabled: true, Fallback: fallback}
+	return cfg
+}
+
+// TestVerifyCleanTakeovers: with the oracle on, healthy takeovers are
+// cross-checked, none diverge, and the result (state and speedup) is
+// the same as an unverified DSA run.
+func TestVerifyCleanTakeovers(t *testing.T) {
+	prog := asm.MustAssemble("vsum", vectorSumSrc)
+	ref := runScalar(t, prog, seedVectorSum)
+	s := runDSA(t, prog, verifyConfig(false), seedVectorSum)
+
+	checkWords(t, ref, s.M, 0x3000, 100, "v")
+	st := s.Stats()
+	if st.Takeovers == 0 {
+		t.Fatal("no takeovers under verification")
+	}
+	if st.VerifiedTakeovers != st.Takeovers {
+		t.Errorf("verified %d of %d takeovers", st.VerifiedTakeovers, st.Takeovers)
+	}
+	if st.Divergences != 0 || st.Fallbacks != 0 {
+		t.Errorf("clean run reported divergences=%d fallbacks=%d", st.Divergences, st.Fallbacks)
+	}
+
+	// The confirmed speculative outcome must keep its SIMD timing: a
+	// verified run reports the same wall clock as an unverified one
+	// (the oracle is measurement-invisible hardware).
+	plain := runDSA(t, prog, DefaultConfig(), seedVectorSum)
+	if s.M.Ticks != plain.M.Ticks {
+		t.Errorf("verified run ticks = %d, unverified = %d", s.M.Ticks, plain.M.Ticks)
+	}
+	if s.M.R != plain.M.R {
+		t.Errorf("verified run registers differ from unverified run")
+	}
+}
+
+// TestVerifySentinelAndConditional runs the oracle over the
+// speculative takeover kinds.
+func TestVerifySentinelAndConditional(t *testing.T) {
+	prog := asm.MustAssemble("sentinel", sentinelSrc)
+	setup := seedSentinel(100)
+	ref := runScalar(t, prog, setup)
+	s := runDSA(t, prog, verifyConfig(false), setup)
+	if st := s.Stats(); st.VerifiedTakeovers == 0 || st.Divergences != 0 {
+		t.Errorf("sentinel: verified=%d divergences=%d", st.VerifiedTakeovers, st.Divergences)
+	}
+	if s.M.R != ref.R {
+		t.Errorf("sentinel: registers differ from scalar reference")
+	}
+}
+
+// TestStepBudgetFallback: an absurdly small takeover budget trips the
+// in-loop driver guard; the takeover unwinds and the loop re-runs
+// scalar with a step-budget fallback recorded — the exact final state
+// of a scalar run.
+func TestStepBudgetFallback(t *testing.T) {
+	prog := asm.MustAssemble("sentinel", sentinelSrc)
+	setup := seedSentinel(100)
+	ref := runScalar(t, prog, setup)
+
+	cfg := DefaultConfig()
+	cfg.TakeoverStepBudget = 3
+	s := runDSA(t, prog, cfg, setup)
+	st := s.Stats()
+	if st.Fallbacks == 0 || st.FallbackReasons["step-budget"] == 0 {
+		t.Fatalf("no step-budget fallback: fallbacks=%d reasons=%v", st.Fallbacks, st.FallbackReasons)
+	}
+	if s.M.R != ref.R || s.M.Ticks == 0 {
+		t.Errorf("fallback run did not land in the scalar final state")
+	}
+	checkWords(t, ref, s.M, 0x2000, 32, "out")
+}
+
+// TestFaultExecutorErrorFallsBack: a hard executor fault mid-takeover
+// rolls back precisely, blacklists the loop, and the program still
+// produces the scalar result.
+func TestFaultExecutorErrorFallsBack(t *testing.T) {
+	prog := asm.MustAssemble("vsum", vectorSumSrc)
+	ref := runScalar(t, prog, seedVectorSum)
+
+	cfg := DefaultConfig()
+	cfg.Fault = FaultConfig{Kind: FaultExecutorError}
+	s := runDSA(t, prog, cfg, seedVectorSum)
+	st := s.Stats()
+	if st.FallbackReasons["fault:executor-error"] == 0 {
+		t.Fatalf("fallback reasons = %v", st.FallbackReasons)
+	}
+	checkWords(t, ref, s.M, 0x3000, 100, "v")
+	if s.M.R != ref.R {
+		t.Errorf("registers differ from scalar reference after fallback")
+	}
+	if s.Faults().Fired == 0 {
+		t.Error("injector never fired")
+	}
+	// The blacklisted loop must not be offered again.
+	entry, ok := s.E.Cache.Lookup(5)
+	if !ok || entry.Vectorizable || entry.Reason != "fallback:fault:executor-error" {
+		t.Errorf("blacklist entry = %+v", entry)
+	}
+}
+
+// TestFaultSilentCorruptionCaughtByOracle: corrupt-cache and
+// truncated-range faults are silent — no executor error — and only
+// the differential oracle notices. In fallback mode the scalar
+// oracle's state wins and the loop is pinned scalar.
+func TestFaultSilentCorruptionCaughtByOracle(t *testing.T) {
+	for _, kind := range []FaultKind{FaultCorruptCache, FaultSkewCIDP, FaultTruncateRange} {
+		t.Run(kind.String(), func(t *testing.T) {
+			prog := asm.MustAssemble("vsum", vectorSumSrc)
+			ref := runScalar(t, prog, seedVectorSum)
+
+			cfg := verifyConfig(true)
+			cfg.Fault = FaultConfig{Kind: kind}
+			s := runDSA(t, prog, cfg, seedVectorSum)
+			st := s.Stats()
+			if st.FallbackReasons["fault:"+kind.String()] == 0 {
+				t.Fatalf("fallback reasons = %v", st.FallbackReasons)
+			}
+			checkWords(t, ref, s.M, 0x3000, 100, "v")
+			if s.M.R != ref.R {
+				t.Errorf("registers differ from scalar reference after oracle fallback")
+			}
+		})
+	}
+}
+
+// TestVerifyHardModeSurfacesDivergence: without Fallback, the oracle
+// reports the first divergence as a hard error naming the loop.
+func TestVerifyHardModeSurfacesDivergence(t *testing.T) {
+	prog := asm.MustAssemble("vsum", vectorSumSrc)
+	s, err := NewSystem(prog, cpu.DefaultConfig(), func() Config {
+		cfg := verifyConfig(false)
+		cfg.Fault = FaultConfig{Kind: FaultTruncateRange}
+		return cfg
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedVectorSum(s.M)
+	err = s.Run()
+	var div *Divergence
+	if !errors.As(err, &div) {
+		t.Fatalf("Run() = %v, want *Divergence", err)
+	}
+	if div.LoopID != 5 {
+		t.Errorf("divergence loop = %d, want 5", div.LoopID)
+	}
+	if s.Stats().Divergences == 0 {
+		t.Error("divergence not counted")
+	}
+}
+
+// TestFaultEveryN: only every Nth takeover is faulted; the others
+// commit normally.
+func TestFaultEveryN(t *testing.T) {
+	prog := asm.MustAssemble("vsum", vectorSumSrc)
+	cfg := DefaultConfig()
+	cfg.Fault = FaultConfig{Kind: FaultExecutorError, EveryN: 2}
+	s := runDSA(t, prog, cfg, seedVectorSum)
+	f := s.Faults()
+	if f.Seen == 0 || f.Fired != f.Seen/2 {
+		t.Errorf("seen=%d fired=%d, want fired=seen/2", f.Seen, f.Fired)
+	}
+}
+
+func TestParseFaultKind(t *testing.T) {
+	for _, k := range []FaultKind{FaultNone, FaultCorruptCache, FaultSkewCIDP, FaultTruncateRange, FaultExecutorError} {
+		got, err := ParseFaultKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseFaultKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseFaultKind("bitrot"); err == nil {
+		t.Error("ParseFaultKind accepted an unknown kind")
+	}
+}

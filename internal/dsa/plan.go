@@ -271,6 +271,10 @@ type Executor struct {
 	Lat   Latencies
 	Stats *Stats
 
+	// faults is the active fault injector (nil in production); its
+	// armed state is consumed at window boundaries.
+	faults *FaultInjector
+
 	patterns []MemPattern
 	vals     [armlite.NumVRegs]neon.Vec
 }
@@ -334,6 +338,13 @@ func (e *Executor) RunWindow(p *Plan, firstIter, lastIter int,
 	policy LeftoverPolicy, disjoint bool, spec *SpecBuffer, tag int) (int, error) {
 	if lastIter < firstIter {
 		return 0, nil
+	}
+	if err := e.faults.takeError(); err != nil {
+		return 0, err
+	}
+	if e.faults.truncated() {
+		// Injected fault: do none of the work but claim full coverage.
+		return lastIter - firstIter + 1, nil
 	}
 	if err := e.runSetup(p); err != nil {
 		return 0, err
@@ -663,6 +674,12 @@ func (e *Executor) RunCondWindow(cv *CondVec, firstIter, lastIter int) (int, err
 	chunks := total / lanes
 	if chunks < 1 {
 		return 0, nil
+	}
+	if err := e.faults.takeError(); err != nil {
+		return 0, err
+	}
+	if e.faults.truncated() {
+		return chunks * lanes, nil
 	}
 	nt := e.M.Config().NEON
 

@@ -1,21 +1,33 @@
 package dsa
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/armlite"
 	"repro/internal/cpu"
+	"repro/internal/mem"
 )
+
+// ErrStepBudget marks a takeover whose in-loop driver exceeded the
+// per-takeover step budget (e.g. a corrupted action-PC map keeping a
+// sentinel loop from ever reaching its stop condition). The guarded
+// path turns it into a rollback-to-scalar, never a fatal error.
+var ErrStepBudget = errors.New("dsa: takeover step budget exceeded")
 
 // System couples a scalar machine with the DSA engine: Scenario 1 of
 // Fig. 10 (parallel probing) while stepping normally, Scenario 2
-// (NEON execution) when the engine raises a takeover request.
+// (NEON execution) when the engine raises a takeover request. Every
+// takeover runs under a checkpoint: executor errors, speculation
+// overruns and budget blowouts roll the machine back precisely and
+// re-run the loop on the ARM core instead of killing the simulation.
 type System struct {
 	M *cpu.Machine
 	E *Engine
 	X *Executor
 
-	cfg Config
+	cfg    Config
+	faults *FaultInjector
 }
 
 // NewSystem builds a DSA-equipped machine for prog.
@@ -25,7 +37,12 @@ func NewSystem(prog *armlite.Program, cpuCfg cpu.Config, dsaCfg Config) (*System
 		return nil, err
 	}
 	e := NewEngine(m, dsaCfg)
-	return &System{M: m, E: e, X: NewExecutor(m, e.cfg.Latencies, e.stats), cfg: e.cfg}, nil
+	s := &System{M: m, E: e, X: NewExecutor(m, e.cfg.Latencies, e.stats), cfg: e.cfg}
+	if e.cfg.Fault.Kind != FaultNone {
+		s.faults = newFaultInjector(e.cfg.Fault)
+		s.X.faults = s.faults
+	}
+	return s, nil
 }
 
 // Run executes the program to completion with DSA detection active.
@@ -37,7 +54,7 @@ func (s *System) Run() error {
 		}
 		s.E.Observe(&rec)
 		if req := s.E.TakeRequest(); req != nil {
-			if err := s.handle(req); err != nil {
+			if err := s.guarded(req); err != nil {
 				return fmt.Errorf("dsa takeover at loop %d: %w", req.Analysis.LoopID, err)
 			}
 		}
@@ -47,6 +64,76 @@ func (s *System) Run() error {
 
 // Stats returns the engine's counters.
 func (s *System) Stats() *Stats { return s.E.Stats() }
+
+// Faults returns the active fault injector (nil outside fault runs).
+func (s *System) Faults() *FaultInjector { return s.faults }
+
+// guarded runs one takeover under a checkpoint. A takeover can only
+// end two ways: committed with exactly the scalar architectural
+// result, or fully unwound with the loop blacklisted and re-executed
+// scalar. Errors escape only for faults of the simulation itself
+// (e.g. the scalar oracle replay failing, or a divergence in
+// hard-verify mode).
+func (s *System) guarded(req *Request) error {
+	label := s.faults.Arm(req)
+	cp := s.M.Checkpoint()
+	err := s.handle(req)
+	if err == nil {
+		if !s.cfg.Verify.Enabled {
+			s.M.Release(cp)
+			return nil
+		}
+		div, verr := s.verify(req, cp)
+		if verr != nil {
+			return verr
+		}
+		if div == nil {
+			return nil // oracle agreed; speculative outcome committed
+		}
+		// The oracle's scalar state is already architecturally in
+		// place; record the divergence and pin the loop scalar.
+		s.fallbackTo(req, fallbackCause(div, label))
+		return nil
+	}
+	// Executor error, speculation overrun or budget blowout: unwind
+	// the takeover precisely and resume scalar at the loop head.
+	s.M.Rollback(cp)
+	s.M.Ticks += s.cfg.Latencies.PipelineFlush // squash cost of the aborted switch
+	s.E.stats.OverheadTicks += s.cfg.Latencies.PipelineFlush
+	s.fallbackTo(req, errorCause(err, label))
+	return nil
+}
+
+// fallbackTo blacklists the loop and counts the fallback.
+func (s *System) fallbackTo(req *Request, cause string) {
+	s.E.Blacklist(req.Analysis.LoopID, cause)
+	s.E.stats.Fallbacks++
+	s.E.stats.FallbackReasons[cause]++
+}
+
+// errorCause classifies a takeover failure for the fallback counters.
+// An armed injected fault claims the takeover's failure regardless of
+// which guard tripped, so the harness can attribute every fallback.
+func errorCause(err error, faultLabel string) string {
+	switch {
+	case faultLabel != "":
+		return faultLabel
+	case errors.Is(err, ErrStepBudget):
+		return "step-budget"
+	case errors.Is(err, mem.ErrOutOfRange):
+		return "out-of-range"
+	default:
+		return "executor-error"
+	}
+}
+
+// fallbackCause classifies an oracle divergence.
+func fallbackCause(_ *Divergence, faultLabel string) string {
+	if faultLabel != "" {
+		return faultLabel
+	}
+	return "divergence"
+}
 
 func (s *System) handle(req *Request) error {
 	a := req.Analysis
@@ -61,6 +148,14 @@ func (s *System) handle(req *Request) error {
 	default:
 		return fmt.Errorf("unknown request kind %d", req.Kind)
 	}
+}
+
+// stepBudget returns the per-takeover driver budget.
+func (s *System) stepBudget() uint64 {
+	if s.cfg.TakeoverStepBudget > 0 {
+		return s.cfg.TakeoverStepBudget
+	}
+	return DefaultTakeoverStepBudget
 }
 
 // advanceInduction moves every induction register forward by iters
@@ -132,6 +227,9 @@ func (s *System) runSentinel(req *Request) error {
 	windowEnd := start + spec - 1
 	skipping := true
 	if _, err := s.X.RunWindow(a.plan, start, windowEnd, LeftoverSingle, false, buf, 0); err != nil {
+		if !errors.Is(err, mem.ErrOutOfRange) {
+			return err
+		}
 		// The speculative window ran past addressable memory; give up
 		// on speculation and stay scalar for this entry.
 		buf.Discard()
@@ -170,7 +268,12 @@ func (s *System) runSentinel(req *Request) error {
 
 	iter := start
 	var rec cpu.Record
+	var spent uint64
+	budget := s.stepBudget()
 	for {
+		if spent++; spent > budget {
+			return fmt.Errorf("sentinel loop after %d driver steps: %w", spent-1, ErrStepBudget)
+		}
 		if s.M.Halted {
 			return fmt.Errorf("halt inside sentinel loop")
 		}
@@ -215,6 +318,9 @@ func (s *System) runSentinel(req *Request) error {
 					windowEnd = iter + spec - 1
 					s.E.stats.AnalysisTicks += s.cfg.Latencies.PartialReanalysis
 					if _, err := s.X.RunWindow(a.plan, iter, windowEnd, LeftoverSingle, false, buf, 0); err != nil {
+						if !errors.Is(err, mem.ErrOutOfRange) {
+							return err
+						}
 						// Out of addressable range: finish scalar.
 						buf.Discard()
 						skipping = false
@@ -357,6 +463,8 @@ func (s *System) runConditional(req *Request) error {
 	sawAction := false
 	skipping := true
 	var rec cpu.Record
+	var spent uint64
+	budget := s.stepBudget()
 
 	commitWindow := func(wStart, wEnd int) error {
 		if s.E.stats != nil {
@@ -369,6 +477,9 @@ func (s *System) runConditional(req *Request) error {
 	}
 
 	for {
+		if spent++; spent > budget {
+			return fmt.Errorf("conditional loop after %d driver steps: %w", spent-1, ErrStepBudget)
+		}
 		if s.M.Halted {
 			return fmt.Errorf("halt inside conditional loop")
 		}

@@ -1,0 +1,90 @@
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+)
+
+// runGuardedCase cross-checks one random kernel under cfg against its
+// scalar run: output region and the low registers must match exactly.
+func runGuardedCase(t *testing.T, i int, lp randomLoop, cfg dsa.Config, setup func(*cpu.Machine)) *dsa.System {
+	t.Helper()
+	prog, err := asm.Parse(fmt.Sprintf("g%d", i), lp.src)
+	if err != nil {
+		t.Fatalf("case %d: %v\n%s", i, err, lp.src)
+	}
+	scalar := cpu.MustNew(prog, cpu.DefaultConfig())
+	setup(scalar)
+	if err := scalar.Run(nil); err != nil {
+		t.Fatalf("case %d scalar: %v\n%s", i, err, lp.src)
+	}
+	want, _ := scalar.Mem.ReadBytes(0x30000, lp.outSz)
+
+	sys, err := dsa.NewSystem(prog, cpu.DefaultConfig(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup(sys.M)
+	if err := sys.Run(); err != nil {
+		t.Fatalf("case %d guarded dsa: %v\n%s", i, err, lp.src)
+	}
+	got, _ := sys.M.Mem.ReadBytes(0x30000, lp.outSz)
+	for j := range want {
+		if want[j] != got[j] {
+			t.Fatalf("case %d: byte %d = %d, want %d\nfallbacks=%v\n%s",
+				i, j, got[j], want[j], sys.Stats().FallbackReasons, lp.src)
+		}
+	}
+	for reg := 0; reg < 13; reg++ {
+		if sys.M.R[reg] != scalar.R[reg] {
+			t.Fatalf("case %d: r%d = %#x, want %#x\n%s",
+				i, reg, sys.M.R[reg], scalar.R[reg], lp.src)
+		}
+	}
+	return sys
+}
+
+// TestRandomLoopsVerified runs the random corpus under the hard
+// differential oracle: every takeover is shadowed by a scalar replay
+// and any divergence is a test failure — the oracle must agree with
+// the DSA on arbitrary generated kernels, and its presence must not
+// change architectural results.
+func TestRandomLoopsVerified(t *testing.T) {
+	r := rand.New(rand.NewSource(20190222))
+	cfg := dsa.DefaultConfig()
+	cfg.Verify = dsa.VerifyConfig{Enabled: true}
+	divergences := uint64(0)
+	for i := 0; i < 120; i++ {
+		lp := genRandomLoop(r)
+		sys := runGuardedCase(t, i, lp, cfg, seedRandom(r))
+		divergences += sys.Stats().Divergences
+	}
+	if divergences != 0 {
+		t.Errorf("oracle reported %d divergences over clean corpus", divergences)
+	}
+}
+
+// TestRandomLoopsFaulted injects a rotating fault class into the
+// random corpus with the oracle as a safety net: whatever the fault
+// does, the run must complete with scalar-identical state.
+func TestRandomLoopsFaulted(t *testing.T) {
+	kinds := []dsa.FaultKind{
+		dsa.FaultCorruptCache,
+		dsa.FaultSkewCIDP,
+		dsa.FaultTruncateRange,
+		dsa.FaultExecutorError,
+	}
+	r := rand.New(rand.NewSource(424242))
+	for i := 0; i < 120; i++ {
+		lp := genRandomLoop(r)
+		cfg := dsa.DefaultConfig()
+		cfg.Fault = dsa.FaultConfig{Kind: kinds[i%len(kinds)], EveryN: uint64(1 + r.Intn(3))}
+		cfg.Verify = dsa.VerifyConfig{Enabled: true, Fallback: true}
+		runGuardedCase(t, i, lp, cfg, seedRandom(r))
+	}
+}

@@ -1,0 +1,102 @@
+package mem
+
+import "sort"
+
+// journalPageBytes is the copy-on-write granularity of the undo log.
+// 256 bytes keeps the per-store bookkeeping to one map lookup while
+// bounding the saved state to a few pages per takeover window.
+const journalPageBytes = 256
+
+// Journal is a copy-on-write undo log over a Memory: from BeginJournal
+// until Commit or Rollback, the first store into each 256-byte page
+// saves the page's prior contents, so the memory image at journal
+// start can be restored exactly. The DSA's checkpoint layer uses one
+// journal per speculative takeover.
+type Journal struct {
+	mem   *Memory
+	pages map[uint32][]byte // page base address → saved contents
+}
+
+// BeginJournal starts an undo journal. Only one journal can be active
+// at a time; starting a second one panics (a nested speculative region
+// is a programming error in the checkpoint layer).
+func (m *Memory) BeginJournal() *Journal {
+	if m.journal != nil {
+		panic("mem: journal already active")
+	}
+	j := &Journal{mem: m, pages: make(map[uint32][]byte)}
+	m.journal = j
+	return j
+}
+
+// record saves the pages overlapping [addr, addr+n) before they are
+// overwritten. Called from Store/StoreBlock with bounds already
+// checked.
+func (j *Journal) record(addr uint32, n int) {
+	first := addr &^ (journalPageBytes - 1)
+	last := (addr + uint32(n) - 1) &^ (journalPageBytes - 1)
+	for p := first; ; p += journalPageBytes {
+		if _, seen := j.pages[p]; !seen {
+			end := int(p) + journalPageBytes
+			if end > len(j.mem.data) {
+				end = len(j.mem.data)
+			}
+			old := make([]byte, end-int(p))
+			copy(old, j.mem.data[p:end])
+			j.pages[p] = old
+		}
+		if p == last {
+			break
+		}
+	}
+}
+
+// Rollback restores every journaled page to its saved contents and
+// detaches the journal.
+func (j *Journal) Rollback() {
+	for p, old := range j.pages {
+		copy(j.mem.data[p:int(p)+len(old)], old)
+	}
+	j.detach()
+}
+
+// Commit discards the undo log, keeping the current memory contents,
+// and detaches the journal.
+func (j *Journal) Commit() { j.detach() }
+
+func (j *Journal) detach() {
+	if j.mem.journal == j {
+		j.mem.journal = nil
+	}
+	j.pages = nil
+}
+
+// Pages returns the base addresses of every journaled (written) page
+// in ascending order — the takeover's touched-memory footprint.
+func (j *Journal) Pages() []uint32 {
+	out := make([]uint32, 0, len(j.pages))
+	for p := range j.pages {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// PageSize returns the journal's copy-on-write granularity in bytes.
+func PageSize() int { return journalPageBytes }
+
+// SavedPage returns the pre-journal contents of the page at base (nil
+// when the page was never written under this journal).
+func (j *Journal) SavedPage(base uint32) []byte { return j.pages[base] }
+
+// SnapshotPage copies the *current* contents of the page at base —
+// used to capture a speculative outcome before rolling back.
+func (m *Memory) SnapshotPage(base uint32) []byte {
+	end := int(base) + journalPageBytes
+	if end > len(m.data) {
+		end = len(m.data)
+	}
+	out := make([]byte, end-int(base))
+	copy(out, m.data[base:end])
+	return out
+}

@@ -1,0 +1,80 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestJournalRollbackRestoresBytes(t *testing.T) {
+	m := New(1 << 16)
+	if err := m.Store(0x100, 4, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	j := m.BeginJournal()
+	// Word store, byte store, block store straddling a page boundary.
+	if err := m.Store(0x100, 4, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Store(0x2ff, 1, 0x7f); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StoreBlock(0x3f0, make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j.Pages()); got != 4 {
+		t.Fatalf("touched pages = %d, want 4 (0x100, 0x200, 0x300, 0x400)", got)
+	}
+	j.Rollback()
+	v, _ := m.Load(0x100, 4)
+	if v != 0x11223344 {
+		t.Errorf("rolled-back word = %#x, want 0x11223344", v)
+	}
+	b, _ := m.Load(0x2ff, 1)
+	if b != 0 {
+		t.Errorf("rolled-back byte = %#x, want 0", b)
+	}
+	if m.journal != nil {
+		t.Error("journal still attached after rollback")
+	}
+}
+
+func TestJournalCommitKeepsBytes(t *testing.T) {
+	m := New(1 << 16)
+	j := m.BeginJournal()
+	if err := m.Store(0x40, 4, 42); err != nil {
+		t.Fatal(err)
+	}
+	j.Commit()
+	v, _ := m.Load(0x40, 4)
+	if v != 42 {
+		t.Errorf("committed word = %d, want 42", v)
+	}
+	// A fresh journal can start after commit.
+	m.BeginJournal().Rollback()
+}
+
+func TestJournalLastPageShortSave(t *testing.T) {
+	// Memory whose size is not a page multiple: the final partial page
+	// must journal without running past the backing slice.
+	m := New(journalPageBytes + 8)
+	j := m.BeginJournal()
+	if err := m.Store(uint32(journalPageBytes), 4, 7); err != nil {
+		t.Fatal(err)
+	}
+	j.Rollback()
+	v, _ := m.Load(uint32(journalPageBytes), 4)
+	if v != 0 {
+		t.Errorf("short-page rollback = %d, want 0", v)
+	}
+}
+
+func TestSnapshotPage(t *testing.T) {
+	m := New(1 << 12)
+	m.Store(8, 4, 0xabcd)
+	snap := m.SnapshotPage(0)
+	var want [journalPageBytes]byte
+	want[8], want[9] = 0xcd, 0xab
+	if !bytes.Equal(snap, want[:]) {
+		t.Error("snapshot does not match memory contents")
+	}
+}

@@ -7,17 +7,25 @@ package mem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrOutOfRange marks accesses past the end of simulated memory;
+// callers classify takeover failures with errors.Is.
+var ErrOutOfRange = errors.New("address out of range")
 
 // DefaultSize is the simulated physical memory size (16 MiB), ample for
 // every workload in the suite.
 const DefaultSize = 16 << 20
 
-// Memory is flat, byte-addressable, little-endian storage.
+// Memory is flat, byte-addressable, little-endian storage. An
+// optional undo journal records overwritten bytes so speculative
+// execution (DSA takeovers) can be rolled back precisely.
 type Memory struct {
-	data []byte
+	data    []byte
+	journal *Journal
 }
 
 // New returns a zeroed memory of size bytes (DefaultSize if size <= 0).
@@ -33,7 +41,7 @@ func (m *Memory) Size() int { return len(m.data) }
 
 func (m *Memory) check(addr uint32, n int) error {
 	if int(addr)+n > len(m.data) {
-		return fmt.Errorf("mem: access [%#x, %#x) out of range (size %#x)", addr, int(addr)+n, len(m.data))
+		return fmt.Errorf("mem: access [%#x, %#x) %w (size %#x)", addr, int(addr)+n, ErrOutOfRange, len(m.data))
 	}
 	return nil
 }
@@ -59,6 +67,9 @@ func (m *Memory) Load(addr uint32, size int) (uint32, error) {
 func (m *Memory) Store(addr uint32, size int, v uint32) error {
 	if err := m.check(addr, size); err != nil {
 		return err
+	}
+	if m.journal != nil {
+		m.journal.record(addr, size)
 	}
 	switch size {
 	case 1:
@@ -87,6 +98,9 @@ func (m *Memory) LoadBlock(addr uint32, n int) ([]byte, error) {
 func (m *Memory) StoreBlock(addr uint32, b []byte) error {
 	if err := m.check(addr, len(b)); err != nil {
 		return err
+	}
+	if m.journal != nil {
+		m.journal.record(addr, len(b))
 	}
 	copy(m.data[addr:], b)
 	return nil
