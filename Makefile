@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz verify bench
+.PHONY: all build test check vet fmt race fuzz verify bench batch soak soak-short
 
 all: build test
 
@@ -26,13 +26,29 @@ race:
 check: vet fmt race
 
 # fuzz gives the assembler fuzz target a short budget (CI smoke; run
-# longer locally when touching the parser).
+# longer locally when touching the parser). The checked-in corpus under
+# internal/asm/testdata/fuzz/FuzzParse starts the run warm.
 fuzz:
 	$(GO) test ./internal/asm -fuzz FuzzParse -fuzztime 30s
 
 # verify runs the differential oracle over the whole workload suite.
 verify:
 	$(GO) run ./cmd/dsasim -verify
+
+# batch runs the whole workload x config matrix under the simulation
+# supervisor (concurrent, deadline-guarded, panic-isolated).
+batch:
+	$(GO) run ./cmd/dsasim -batch -configs extended,original,scalar
+
+# soak-short is the bounded chaos soak CI runs (~30s): every workload
+# x fault class concurrently under the race detector, plus synthetic
+# panic and runaway jobs — zero lost jobs is the acceptance bar.
+soak-short:
+	$(GO) test -race -short -run TestChaosSoak -timeout 300s ./internal/integration
+
+# soak is the extended chaos soak (adds sparse fault arming).
+soak:
+	$(GO) test -race -run TestChaosSoak -timeout 1800s ./internal/integration
 
 bench:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -9,6 +9,14 @@
 //	dsasim -verify                          # differential oracle over every workload
 //	dsasim -workload mm_32 -verify          # oracle over one workload (hard mode)
 //	dsasim -workload mm_32 -fault corrupt-cache   # fault injection + oracle fallback
+//
+// Batch mode runs the workload × config matrix concurrently under the
+// simulation supervisor (bounded worker pool, per-job deadlines, panic
+// isolation, retry and DSA-off degradation):
+//
+//	dsasim -batch                                    # whole suite, extended DSA
+//	dsasim -batch -configs extended,original,scalar  # full matrix
+//	dsasim -batch -fault corrupt-cache -retries 2    # chaos batch
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/dsa"
@@ -35,12 +44,34 @@ func main() {
 	verify := flag.Bool("verify", false, "shadow every takeover with a scalar replay and fail on the first divergence (no -workload: check the whole suite)")
 	fault := flag.String("fault", "none", "inject a fault class into every takeover: none, corrupt-cache, cidp-skew, truncated-range, executor-error (runs with the oracle as fallback)")
 	faultEvery := flag.Uint64("fault-every", 1, "arm the injected fault on every Nth takeover")
+	batch := flag.Bool("batch", false, "run the workload × config matrix concurrently under the simulation supervisor")
+	configs := flag.String("configs", "extended", "batch: comma list of system configs (extended, original, scalar)")
+	workers := flag.Int("workers", 0, "batch: worker pool size (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "batch: per-attempt deadline (0 = none)")
+	retries := flag.Int("retries", 1, "batch: extra attempts after a fault-classified failure")
+	memBudget := flag.Int64("mem-budget", 0, "batch: cap on in-flight job memory in MiB (0 = default, -1 = unlimited)")
+	hard := flag.Bool("hard", false, "batch: surface oracle divergences as job failures (retry/degrade) instead of in-run fallbacks")
 	flag.Parse()
 
 	faultKind, err := dsa.ParseFaultKind(*fault)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *batch {
+		os.Exit(runBatch(batchFlags{
+			workloads: *name,
+			configs:   *configs,
+			workers:   *workers,
+			timeout:   *jobTimeout,
+			retries:   *retries,
+			memBudget: *memBudget,
+			fault:     faultKind,
+			faultN:    *faultEvery,
+			verifyOn:  *verify,
+			hard:      *hard,
+			verbose:   *verbose,
+		}))
 	}
 	if *verify || faultKind != dsa.FaultNone {
 		os.Exit(runGuarded(*name, faultKind, *faultEvery, *verify))

@@ -1,0 +1,103 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+)
+
+// spinProg is an infinite loop — the shape every guard in this file
+// exists to stop.
+func spinProg(t *testing.T) *Machine {
+	t.Helper()
+	prog, err := asm.Parse("spin", "x: b x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MustNew(prog, Config{MaxSteps: 1 << 30})
+}
+
+func TestCancelCheckStopsRunawayLoop(t *testing.T) {
+	m := spinProg(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	m.SetCancelCheck(ctx.Err, 64)
+	cancel()
+	err := m.Run(nil)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, should also wrap context.Canceled", err)
+	}
+	// The check fires on the countdown interval, so an already-canceled
+	// context stops the machine within one interval.
+	if m.Steps > 64 {
+		t.Errorf("machine ran %d steps past an already-canceled context", m.Steps)
+	}
+}
+
+func TestCancelCheckDeadline(t *testing.T) {
+	m := spinProg(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	m.SetCancelCheck(ctx.Err, 0) // 0 = DefaultCancelEvery
+	err := m.Run(nil)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+}
+
+func TestCancelCheckRemovable(t *testing.T) {
+	m := spinProg(t)
+	m.cfg.MaxSteps = 1000
+	m.SetCancelCheck(func() error { return errors.New("boom") }, 1)
+	m.SetCancelCheck(nil, 0)
+	if err := m.Run(nil); !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps after hook removal", err)
+	}
+}
+
+func TestCancelCheckOverheadCounter(t *testing.T) {
+	m := spinProg(t)
+	m.cfg.MaxSteps = 10_000
+	calls := 0
+	m.SetCancelCheck(func() error { calls++; return nil }, 1000)
+	if err := m.Run(nil); !errors.Is(err, ErrMaxSteps) {
+		t.Fatalf("err = %v, want ErrMaxSteps", err)
+	}
+	if calls != 10 {
+		t.Errorf("hook ran %d times over 10k steps at every=1000, want 10", calls)
+	}
+}
+
+func TestTypedSentinels(t *testing.T) {
+	// Runaway guard.
+	m := spinProg(t)
+	m.cfg.MaxSteps = 5
+	if err := m.Run(nil); !errors.Is(err, ErrMaxSteps) {
+		t.Errorf("MaxSteps: err = %v, want ErrMaxSteps", err)
+	}
+
+	// Fall-through past the program without halt.
+	prog, err := asm.Parse("fall", "mov r0, #1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := MustNew(prog, DefaultConfig())
+	if err := m2.Run(nil); !errors.Is(err, ErrInvalidPC) {
+		t.Errorf("fall-through: err = %v, want ErrInvalidPC", err)
+	}
+
+	// Wild indirect branch.
+	prog3, err := asm.Parse("wild", "mov r0, #400\nbx r0\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3 := MustNew(prog3, DefaultConfig())
+	if err := m3.Run(nil); !errors.Is(err, ErrInvalidPC) {
+		t.Errorf("bx wild: err = %v, want ErrInvalidPC", err)
+	}
+}

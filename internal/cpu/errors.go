@@ -1,0 +1,29 @@
+package cpu
+
+import "errors"
+
+// Typed sentinel errors for the machine's failure modes. Callers — the
+// DSA's guarded-takeover layer and the batch supervisor — classify
+// failures with errors.Is instead of matching message text, so cause
+// attribution survives message rewording.
+var (
+	// ErrMaxSteps marks a run that exceeded Config.MaxSteps — the
+	// global runaway-loop guard. Deterministic: retrying the same
+	// program hits it again.
+	ErrMaxSteps = errors.New("cpu: step limit exceeded")
+
+	// ErrInvalidPC marks a fetch or branch to a program counter outside
+	// the program (a wild jump or a fall-through past the last
+	// instruction without halt).
+	ErrInvalidPC = errors.New("cpu: invalid pc")
+
+	// ErrUnimplemented marks an opcode the execution core does not
+	// model.
+	ErrUnimplemented = errors.New("cpu: unimplemented opcode")
+
+	// ErrCanceled marks a step aborted by the machine's cancellation
+	// hook (deadline or batch shutdown). The wrapped chain also carries
+	// the hook's own error (typically context.DeadlineExceeded or
+	// context.Canceled) so supervisors can tell the two apart.
+	ErrCanceled = errors.New("cpu: run canceled")
+)

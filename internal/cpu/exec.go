@@ -277,7 +277,7 @@ func (m *Machine) exec(in *armlite.Instr, rec *Record) error {
 		m.Counts.Branches++
 		m.Counts.Total++
 		if m.PC < 0 || m.PC > len(m.Prog.Code) {
-			return fmt.Errorf("bx to invalid pc %d", m.PC)
+			return fmt.Errorf("%w: bx to %d", ErrInvalidPC, m.PC)
 		}
 		return nil
 
@@ -285,7 +285,7 @@ func (m *Machine) exec(in *armlite.Instr, rec *Record) error {
 		if in.Op.IsVector() {
 			return m.execVector(in, rec)
 		}
-		return fmt.Errorf("unimplemented opcode %v", in.Op)
+		return fmt.Errorf("%w: %v", ErrUnimplemented, in.Op)
 	}
 
 	m.Counts.Total++

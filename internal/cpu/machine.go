@@ -109,6 +109,14 @@ type Machine struct {
 	StoreHook func(addr uint32, size int)
 
 	cfg Config
+
+	// Cancellation hook (SetCancelCheck). cancelLeft counts down per
+	// Step so the hook itself — typically context.Context.Err — runs
+	// only once every cancelEvery instructions; the steady-state cost
+	// is one decrement and compare.
+	cancelFn    func() error
+	cancelEvery uint64
+	cancelLeft  uint64
 }
 
 // New builds a machine for prog. The program must validate.
@@ -150,6 +158,28 @@ func MustNew(prog *armlite.Program, cfg Config) *Machine {
 // Config returns the machine configuration.
 func (m *Machine) Config() Config { return m.cfg }
 
+// DefaultCancelEvery is the step interval between cancellation checks
+// when SetCancelCheck is called with every == 0 — frequent enough that
+// a deadline stops a runaway loop within microseconds, rare enough
+// that the hot path only pays a counter decrement.
+const DefaultCancelEvery = 4096
+
+// SetCancelCheck installs a cancellation hook: every `every` retired
+// instructions Step calls check, and a non-nil result aborts the run
+// with an error wrapping both ErrCanceled and check's error. Pass a
+// context's Err method to plumb deadlines and batch shutdown into the
+// step loop; pass nil to remove the hook. The countdown is independent
+// of Steps, so checkpoint rollbacks (which restore Steps) cannot
+// starve or double-fire the check.
+func (m *Machine) SetCancelCheck(check func() error, every uint64) {
+	if every == 0 {
+		every = DefaultCancelEvery
+	}
+	m.cancelFn = check
+	m.cancelEvery = every
+	m.cancelLeft = every
+}
+
 // Observer receives each retired instruction.
 type Observer interface {
 	Observe(r *Record)
@@ -182,11 +212,19 @@ func (m *Machine) Step(rec *Record) error {
 	if m.Halted {
 		return fmt.Errorf("cpu: machine is halted")
 	}
+	if m.cancelFn != nil {
+		if m.cancelLeft--; m.cancelLeft == 0 {
+			m.cancelLeft = m.cancelEvery
+			if err := m.cancelFn(); err != nil {
+				return fmt.Errorf("%w at pc=%d after %d steps: %w", ErrCanceled, m.PC, m.Steps, err)
+			}
+		}
+	}
 	if m.Steps >= m.cfg.MaxSteps {
-		return fmt.Errorf("cpu: exceeded %d steps at pc=%d (runaway loop?)", m.cfg.MaxSteps, m.PC)
+		return fmt.Errorf("%w: %d steps at pc=%d (runaway loop?)", ErrMaxSteps, m.cfg.MaxSteps, m.PC)
 	}
 	if m.PC < 0 || m.PC >= len(m.Prog.Code) {
-		return fmt.Errorf("cpu: pc %d out of range", m.PC)
+		return fmt.Errorf("%w: pc %d outside program", ErrInvalidPC, m.PC)
 	}
 	in := m.Prog.Code[m.PC]
 	rec.Seq = m.Steps

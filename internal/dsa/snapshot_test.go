@@ -1,0 +1,73 @@
+package dsa
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStatsSnapshotDeepCopies(t *testing.T) {
+	st := newStats()
+	st.Takeovers = 7
+	st.Fallbacks = 2
+	st.ByKind[KindCount] = 3
+	st.RejectedReasons["aliasing"] = 1
+	st.FallbackReasons["step-budget"] = 2
+
+	snap := st.Snapshot()
+	if snap == st {
+		t.Fatal("Snapshot returned the receiver")
+	}
+
+	// Mutate the original after snapshotting: scalars and every map.
+	st.Takeovers = 100
+	st.ByKind[KindCount] = 99
+	st.ByKind[KindSentinel] = 1
+	st.RejectedReasons["aliasing"] = 50
+	st.FallbackReasons["fault:executor-error"] = 9
+
+	if snap.Takeovers != 7 || snap.Fallbacks != 2 {
+		t.Errorf("scalar fields not copied: %+v", snap)
+	}
+	if snap.ByKind[KindCount] != 3 || len(snap.ByKind) != 1 {
+		t.Errorf("ByKind aliases the original: %v", snap.ByKind)
+	}
+	if snap.RejectedReasons["aliasing"] != 1 {
+		t.Errorf("RejectedReasons aliases the original: %v", snap.RejectedReasons)
+	}
+	if len(snap.FallbackReasons) != 1 || snap.FallbackReasons["step-budget"] != 2 {
+		t.Errorf("FallbackReasons aliases the original: %v", snap.FallbackReasons)
+	}
+}
+
+func TestStatsSnapshotNil(t *testing.T) {
+	var st *Stats
+	if st.Snapshot() != nil {
+		t.Error("nil Stats must snapshot to nil")
+	}
+}
+
+// TestStatsSnapshotConcurrentReads exercises the supervisor's pattern
+// under the race detector: one goroutine owns and mutates the live
+// stats, snapshots are handed to concurrent readers. Only the snapshot
+// crosses the goroutine boundary — that handoff must be race-free.
+func TestStatsSnapshotConcurrentReads(t *testing.T) {
+	st := newStats()
+	snaps := make(chan *Stats, 64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for s := range snaps {
+			total := s.Takeovers + s.FallbackReasons["fault:executor-error"]
+			_ = total
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		st.Takeovers++
+		st.FallbackReasons["fault:executor-error"]++
+		st.ByKind[KindCount]++
+		snaps <- st.Snapshot()
+	}
+	close(snaps)
+	wg.Wait()
+}

@@ -19,6 +19,32 @@ func (s *Stats) EnergyEvents() energy.DSAEvents {
 	}
 }
 
+// Snapshot returns a deep copy of the counters — map fields included —
+// safe to retain after the owning Engine (and its machine) are
+// released. The batch supervisor snapshots each finished job's stats
+// into its Result so a large batch holds per-job counters, not per-job
+// machines, and so later reads never alias an engine another goroutine
+// still owns.
+func (s *Stats) Snapshot() *Stats {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.ByKind = make(map[LoopKind]uint64, len(s.ByKind))
+	for k, v := range s.ByKind {
+		c.ByKind[k] = v
+	}
+	c.RejectedReasons = make(map[string]uint64, len(s.RejectedReasons))
+	for k, v := range s.RejectedReasons {
+		c.RejectedReasons[k] = v
+	}
+	c.FallbackReasons = make(map[string]uint64, len(s.FallbackReasons))
+	for k, v := range s.FallbackReasons {
+		c.FallbackReasons[k] = v
+	}
+	return &c
+}
+
 // DetectionShare returns the fraction of total execution time the DSA
 // spent analyzing (probing mode) — the "DSA Latency" metric of
 // Article 2 Table 3 / Article 3 Table 2. The analysis runs in

@@ -98,6 +98,12 @@ func (s *System) guarded(req *Request) error {
 	// Executor error, speculation overrun or budget blowout: unwind
 	// the takeover precisely and resume scalar at the loop head.
 	s.M.Rollback(cp)
+	if errors.Is(err, cpu.ErrCanceled) || errors.Is(err, cpu.ErrMaxSteps) {
+		// Simulation-level aborts (deadline, batch shutdown, global
+		// runaway guard) are not the loop's fault: re-running it scalar
+		// would hit the same wall. Surface them to the supervisor.
+		return err
+	}
 	s.M.Ticks += s.cfg.Latencies.PipelineFlush // squash cost of the aborted switch
 	s.E.stats.OverheadTicks += s.cfg.Latencies.PipelineFlush
 	s.fallbackTo(req, errorCause(err, label))
@@ -111,7 +117,8 @@ func (s *System) fallbackTo(req *Request, cause string) {
 	s.E.stats.FallbackReasons[cause]++
 }
 
-// errorCause classifies a takeover failure for the fallback counters.
+// errorCause classifies a takeover failure for the fallback counters,
+// entirely through typed sentinels (errors.Is) — never message text.
 // An armed injected fault claims the takeover's failure regardless of
 // which guard tripped, so the harness can attribute every fallback.
 func errorCause(err error, faultLabel string) string {
@@ -122,6 +129,10 @@ func errorCause(err error, faultLabel string) string {
 		return "step-budget"
 	case errors.Is(err, mem.ErrOutOfRange):
 		return "out-of-range"
+	case errors.Is(err, cpu.ErrInvalidPC):
+		return "invalid-pc"
+	case errors.Is(err, cpu.ErrUnimplemented):
+		return "unimplemented"
 	default:
 		return "executor-error"
 	}

@@ -1,0 +1,191 @@
+package integration
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/runner"
+	"repro/internal/workloads"
+)
+
+// TestChaosSoak is the batch-level acceptance gate (`make soak-short`):
+// the full workload library runs concurrently under the supervisor
+// with every fault class injected, plus synthetic panic and runaway
+// jobs, under the race detector in CI. The batch must lose nothing:
+//
+//   - every job ends ok, degraded, or failed with a classified cause;
+//   - no panic escapes a worker (the test process surviving the
+//     crasher job is the proof);
+//   - every ok/degraded workload job's final memory image digest
+//     equals the DSA-off scalar reference.
+func TestChaosSoak(t *testing.T) {
+	ws := workloads.All()
+	kinds := []dsa.FaultKind{
+		dsa.FaultCorruptCache,
+		dsa.FaultSkewCIDP,
+		dsa.FaultTruncateRange,
+		dsa.FaultExecutorError,
+	}
+
+	// Scalar reference digests, one DSA-off run per workload.
+	ref := make(map[string]uint64, len(ws))
+	for _, w := range ws {
+		m := cpu.MustNew(w.Scalar(), cpu.DefaultConfig())
+		w.Setup(m)
+		if err := m.Run(nil); err != nil {
+			t.Fatalf("%s scalar reference: %v", w.Name, err)
+		}
+		ref[w.Name] = m.Mem.Sum64()
+	}
+
+	var jobs []runner.Job
+	addDSAJob := func(w *workloads.Workload, label string, cfg dsa.Config) {
+		jobs = append(jobs, runner.Job{
+			Name:     w.Name + "/" + label,
+			Workload: w,
+			CPU:      cpu.DefaultConfig(),
+			DSA:      cfg,
+		})
+	}
+
+	for _, w := range ws {
+		// Clean run under the hard oracle: any divergence would surface.
+		clean := dsa.DefaultConfig()
+		clean.Verify = dsa.VerifyConfig{Enabled: true}
+		addDSAJob(w, "clean", clean)
+
+		// Every fault class with the oracle as in-run safety net.
+		for _, kind := range kinds {
+			cfg := dsa.DefaultConfig()
+			cfg.Fault = dsa.FaultConfig{Kind: kind, EveryN: 1}
+			cfg.Verify = dsa.VerifyConfig{Enabled: true, Fallback: true}
+			addDSAJob(w, "fault-"+kind.String(), cfg)
+		}
+
+		// Hard-oracle fault runs: divergences become job errors, so
+		// these exercise the retry → degradation ladder.
+		hard := dsa.DefaultConfig()
+		hard.Fault = dsa.FaultConfig{Kind: dsa.FaultTruncateRange, EveryN: 1}
+		hard.Verify = dsa.VerifyConfig{Enabled: true}
+		addDSAJob(w, "hard-truncated", hard)
+
+		if !testing.Short() {
+			// Sparse arming (every 2nd/3rd takeover) mixes committed and
+			// faulted takeovers within one job.
+			for i, kind := range kinds {
+				cfg := dsa.DefaultConfig()
+				cfg.Fault = dsa.FaultConfig{Kind: kind, EveryN: uint64(2 + i%2)}
+				cfg.Verify = dsa.VerifyConfig{Enabled: true, Fallback: true}
+				addDSAJob(w, fmt.Sprintf("sparse-%s", kind.String()), cfg)
+			}
+		}
+	}
+
+	// Synthetic chaos: a job that panics on every rung, and a runaway
+	// loop that only a deadline can stop.
+	jobs = append(jobs, runner.Job{
+		Name: "synthetic/crasher",
+		Workload: &workloads.Workload{
+			Name:   "crasher",
+			Scalar: mustProg(t, "crasher", "halt"),
+			Setup:  func(*cpu.Machine) { panic("chaos: synthetic crash") },
+			Check:  func(*cpu.Machine) error { return nil },
+		},
+		CPU: smallCPUCfg(),
+		DSA: dsa.DefaultConfig(),
+	}, runner.Job{
+		Name: "synthetic/runaway",
+		Workload: &workloads.Workload{
+			Name:   "runaway",
+			Scalar: mustProg(t, "runaway", "x: b x"),
+			Setup:  func(*cpu.Machine) {},
+			Check:  func(*cpu.Machine) error { return nil },
+		},
+		CPU:     smallCPUCfg(),
+		DSA:     dsa.DefaultConfig(),
+		Timeout: 200 * time.Millisecond,
+	})
+
+	rep := runner.Run(context.Background(), jobs, runner.Options{
+		Workers:        runtime.GOMAXPROCS(0),
+		Timeout:        2 * time.Minute,
+		Retries:        1,
+		Backoff:        time.Millisecond,
+		MemBudgetBytes: 12 * (16 << 20),
+	})
+
+	if len(rep.Results) != len(jobs) {
+		t.Fatalf("batch lost jobs: %d results for %d jobs", len(rep.Results), len(jobs))
+	}
+	for _, r := range rep.Results {
+		switch r.Status {
+		case runner.StatusOK, runner.StatusDegraded, runner.StatusFailed:
+		default:
+			t.Errorf("%s: unterminated status %q", r.Job, r.Status)
+			continue
+		}
+		if r.Status == runner.StatusFailed {
+			if r.Cause == "" || r.Err == nil {
+				t.Errorf("%s: failed without attributed cause (cause=%q err=%v)", r.Job, r.Cause, r.Err)
+			}
+			switch r.Job {
+			case "synthetic/crasher":
+				if r.Cause != "panic" {
+					t.Errorf("crasher: cause = %q, want panic", r.Cause)
+				}
+			case "synthetic/runaway":
+				if r.Cause != "deadline" {
+					t.Errorf("runaway: cause = %q, want deadline", r.Cause)
+				}
+			default:
+				t.Errorf("workload job %s failed: %v", r.Job, r.Err)
+			}
+			continue
+		}
+		if r.Status == runner.StatusDegraded && (!r.Degraded || r.Cause == "") {
+			t.Errorf("%s: degraded without cause attribution (%+v)", r.Job, r)
+		}
+		// Memory correctness: ok and degraded workload jobs must land
+		// on the scalar reference image, fault injection or not.
+		wname, _, _ := strings.Cut(r.Job, "/")
+		if wref, ok := ref[wname]; ok && r.MemSum != wref {
+			t.Errorf("%s: final memory digest %#x != scalar reference %#x", r.Job, r.MemSum, wref)
+		}
+	}
+
+	okCount, degraded, failed := rep.OK, rep.Degrade, rep.Failed
+	t.Logf("soak: %d jobs — %d ok, %d degraded, %d failed, %d retries, wall %s",
+		len(jobs), okCount, degraded, failed, rep.Retries, rep.Wall)
+	// The hard-truncated jobs guarantee the degradation rung actually
+	// ran in this soak (workloads with takeovers cannot pass hard
+	// verification under a truncating executor).
+	if degraded == 0 {
+		t.Error("soak exercised no degradation — hard-oracle fault jobs should degrade")
+	}
+	if failed != 2 {
+		t.Errorf("failed = %d, want exactly the 2 synthetic chaos jobs", failed)
+	}
+}
+
+func mustProg(t *testing.T, name, src string) func() *armlite.Program {
+	t.Helper()
+	prog, err := asm.Parse(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() *armlite.Program { return prog }
+}
+
+func smallCPUCfg() cpu.Config {
+	c := cpu.DefaultConfig()
+	c.MemBytes = 1 << 20
+	return c
+}

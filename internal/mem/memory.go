@@ -39,6 +39,23 @@ func New(size int) *Memory {
 // Size returns the memory size in bytes.
 func (m *Memory) Size() int { return len(m.data) }
 
+// Sum64 returns an FNV-1a digest of the whole memory image without
+// copying it. The batch supervisor keeps this 8-byte digest per job
+// instead of the multi-megabyte image, so result retention stays flat
+// while degraded runs can still be diffed against a scalar reference.
+func (m *Memory) Sum64() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range m.data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
 func (m *Memory) check(addr uint32, n int) error {
 	if int(addr)+n > len(m.data) {
 		return fmt.Errorf("mem: access [%#x, %#x) %w (size %#x)", addr, int(addr)+n, ErrOutOfRange, len(m.data))

@@ -1,0 +1,104 @@
+package runner
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/workloads"
+)
+
+// faultKinds is the full injectable fault taxonomy of dsa/faultinject.go.
+var faultKinds = []dsa.FaultKind{
+	dsa.FaultCorruptCache,
+	dsa.FaultSkewCIDP,
+	dsa.FaultTruncateRange,
+	dsa.FaultExecutorError,
+}
+
+// faultedConfig arms kind on every takeover with the oracle as the
+// fallback safety net — the production posture for a faulty part.
+func faultedConfig(kind dsa.FaultKind) dsa.Config {
+	cfg := dsa.DefaultConfig()
+	cfg.Fault = dsa.FaultConfig{Kind: kind, EveryN: 1}
+	cfg.Verify = dsa.VerifyConfig{Enabled: true, Fallback: true}
+	return cfg
+}
+
+// requireSoleAttribution asserts the run fell back at least once and
+// that every fallback carries exactly the injected fault's label — the
+// contract that lets an operator read a batch report and name the
+// broken hardware structure.
+func requireSoleAttribution(t *testing.T, st *dsa.Stats, kind dsa.FaultKind) {
+	t.Helper()
+	want := "fault:" + kind.String()
+	if st.Fallbacks == 0 {
+		t.Fatalf("no fallbacks despite %s armed on every takeover (takeovers=%d)", kind, st.Takeovers)
+	}
+	if len(st.FallbackReasons) != 1 {
+		t.Fatalf("FallbackReasons = %v, want exactly one key %q", st.FallbackReasons, want)
+	}
+	if st.FallbackReasons[want] != st.Fallbacks {
+		t.Fatalf("FallbackReasons = %v, want all %d fallbacks under %q",
+			st.FallbackReasons, st.Fallbacks, want)
+	}
+}
+
+// TestFaultAttributionSerial maps each fault class to its
+// FallbackReasons key through a direct (unsupervised) system run.
+func TestFaultAttributionSerial(t *testing.T) {
+	w, err := workloads.ByName("rgb_gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range faultKinds {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			sys, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), faultedConfig(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			w.Setup(sys.M)
+			if err := sys.Run(); err != nil {
+				t.Fatalf("faulted run must complete via fallback: %v", err)
+			}
+			if err := w.Check(sys.M); err != nil {
+				t.Fatalf("output after fallback: %v", err)
+			}
+			requireSoleAttribution(t, sys.Stats(), kind)
+		})
+	}
+}
+
+// TestFaultAttributionViaRunner runs the same table as one concurrent
+// batch: attribution must survive the supervisor — snapshotted stats,
+// worker-pool scheduling and all.
+func TestFaultAttributionViaRunner(t *testing.T) {
+	w, err := workloads.ByName("rgb_gray")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for _, kind := range faultKinds {
+		jobs = append(jobs, Job{
+			Name:     "rgb_gray/" + kind.String(),
+			Workload: w,
+			CPU:      cpu.DefaultConfig(),
+			DSA:      faultedConfig(kind),
+		})
+	}
+	rep := Run(context.Background(), jobs, Options{Workers: len(jobs)})
+	for i, r := range rep.Results {
+		kind := faultKinds[i]
+		if r.Status != StatusOK {
+			t.Errorf("%s: status = %s (cause %q), want ok via in-run fallback", r.Job, r.Status, r.Cause)
+			continue
+		}
+		if r.Stats == nil {
+			t.Errorf("%s: no stats snapshot", r.Job)
+			continue
+		}
+		requireSoleAttribution(t, r.Stats, kind)
+	}
+}

@@ -1,0 +1,89 @@
+package runner
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/mem"
+)
+
+// jobOverheadBytes is the modelled per-job footprint beyond the flat
+// memory image: checkpoint journal pages, DSA cache entries, engine
+// tracks and stats. A generous constant — the journal saves at most a
+// few hundred 256-byte pages per takeover and the DSA cache is 8 KB —
+// so the budget errs toward admitting fewer jobs, never toward OOM.
+const jobOverheadBytes = 1 << 20
+
+// footprint estimates the peak resident bytes one attempt of job needs:
+// its machine's flat memory plus the fixed overhead.
+func footprint(job Job) int64 {
+	mb := job.CPU.MemBytes
+	if mb <= 0 {
+		mb = mem.DefaultSize
+	}
+	return int64(mb) + jobOverheadBytes
+}
+
+// memBudget caps the summed footprint of in-flight jobs so a large
+// batch on a big worker pool cannot OOM: workers block in acquire until
+// enough earlier jobs release. A job larger than the whole budget is
+// admitted only while nothing else is in flight (it runs alone rather
+// than deadlocking the pool).
+type memBudget struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	cap   int64
+	inUse int64
+}
+
+func newMemBudget(ctx context.Context, capBytes int64) *memBudget {
+	if capBytes <= 0 {
+		return nil // unlimited
+	}
+	b := &memBudget{cap: capBytes}
+	b.cond = sync.NewCond(&b.mu)
+	// Wake blocked acquirers when the batch is canceled so they can
+	// observe ctx and bail instead of waiting on releases forever.
+	go func() {
+		<-ctx.Done()
+		b.cond.Broadcast()
+	}()
+	return b
+}
+
+// acquire blocks until n bytes fit under the cap (or the job is alone),
+// or ctx is canceled. Nil receivers (unlimited budget) only check ctx.
+func (b *memBudget) acquire(ctx context.Context, n int64) error {
+	if b == nil {
+		return ctx.Err()
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.inUse > 0 && b.inUse+n > b.cap {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		b.cond.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	b.inUse += n
+	return nil
+}
+
+// release returns n bytes to the budget and wakes waiting workers.
+func (b *memBudget) release(n int64) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.inUse -= n
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// DefaultMemBudgetBytes sizes the in-flight cap when Options leaves it
+// zero: room for four default-sized machines — enough to keep a small
+// pool busy, small enough for constrained CI runners.
+const DefaultMemBudgetBytes = 4 * (mem.DefaultSize + jobOverheadBytes)

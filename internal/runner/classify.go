@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/mem"
+)
+
+// ErrCheckFailed marks a job whose program ran to completion but whose
+// output failed the workload's Go-reference check. With the DSA on,
+// this is exactly the class of failure a DSA-off degradation run can
+// repair.
+var ErrCheckFailed = errors.New("runner: output check failed")
+
+// PanicError wraps a panic recovered from a job goroutine so it flows
+// through the supervisor as an ordinary attributed failure instead of
+// killing the process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("job panicked: %v", e.Value) }
+
+// classify maps a job error to an attribution cause and a retry
+// verdict, using typed sentinels only.
+//
+// Retryable causes are the fault-shaped ones: injected executor
+// faults, oracle divergences, guard trips (step budget, out-of-range),
+// panics, wrong output, and blown per-attempt deadlines (each attempt
+// gets a fresh deadline). Non-retryable causes are deterministic walls
+// (global step limit, wild PC, unimplemented opcode) and batch
+// cancellation, where retrying only burns the batch's remaining time.
+func classify(err error) (cause string, retryable bool) {
+	var pe *PanicError
+	var div *dsa.Divergence
+	switch {
+	case errors.As(err, &pe):
+		return "panic", true
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline", true
+	case errors.Is(err, context.Canceled):
+		return "canceled", false
+	case errors.As(err, &div):
+		return "divergence", true
+	case errors.Is(err, dsa.ErrInjected):
+		return "injected-fault", true
+	case errors.Is(err, dsa.ErrStepBudget):
+		return "step-budget", true
+	case errors.Is(err, mem.ErrOutOfRange):
+		return "out-of-range", true
+	case errors.Is(err, ErrCheckFailed):
+		return "output-mismatch", true
+	case errors.Is(err, cpu.ErrMaxSteps):
+		return "max-steps", false
+	case errors.Is(err, cpu.ErrInvalidPC):
+		return "invalid-pc", false
+	case errors.Is(err, cpu.ErrUnimplemented):
+		return "unimplemented", false
+	case errors.Is(err, cpu.ErrCanceled):
+		// A cancel hook firing without a context cause (custom hook).
+		return "canceled", false
+	default:
+		return "error", true
+	}
+}
+
+// degradable reports whether a final DSA-off rerun could still salvage
+// the job. Batch cancellation cannot be outrun, and a deterministic
+// scalar wall (global step limit, wild PC, unimplemented opcode) will
+// stop a scalar rerun in exactly the same place — the scalar core
+// executes a superset of every degraded run.
+func degradable(err error) bool {
+	switch {
+	case errors.Is(err, context.Canceled),
+		errors.Is(err, cpu.ErrMaxSteps),
+		errors.Is(err, cpu.ErrInvalidPC),
+		errors.Is(err, cpu.ErrUnimplemented):
+		return false
+	}
+	return true
+}

@@ -1,0 +1,346 @@
+// Package runner is the simulation supervisor: it executes batches of
+// dsa.System jobs (workload × configuration) on a bounded worker pool
+// and guarantees that every job yields exactly one attributed result,
+// whatever happens inside it.
+//
+// The robustness ladder, per job:
+//
+//  1. Run the job with its configured DSA, under a per-attempt
+//     context deadline plumbed into the cpu step loop (checked every
+//     CancelEvery instructions) and a panic guard that converts a
+//     crashing job into an attributed failure.
+//  2. On a fault-shaped failure (injected fault, divergence, guard
+//     trip, panic, wrong output, blown deadline) retry up to Retries
+//     times with exponential backoff.
+//  3. If every DSA attempt failed, degrade: rerun the job DSA-off so
+//     the batch still gets a scalar-correct result, marked degraded
+//     and carrying the DSA failure's cause.
+//  4. Only when even the scalar rerun fails does the job report
+//     failed — always with a classified cause.
+//
+// An in-flight memory budget caps the summed footprint of concurrently
+// resident machines, and results retain only counters and an 8-byte
+// memory digest, so batch size is bounded by time, not by RAM.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/workloads"
+)
+
+// Status is a job's terminal state. Every job in a batch ends in
+// exactly one of these — the supervisor never loses a job.
+type Status string
+
+// Job terminal states.
+const (
+	// StatusOK: the job completed with its configured DSA and passed
+	// its output check (possibly after retries).
+	StatusOK Status = "ok"
+	// StatusDegraded: every DSA attempt failed but the DSA-off rerun
+	// produced a verified scalar result. Cause records why the DSA
+	// path was abandoned.
+	StatusDegraded Status = "degraded"
+	// StatusFailed: no rung of the ladder produced a good result.
+	// Cause and Err record the terminal failure.
+	StatusFailed Status = "failed"
+)
+
+// Job is one simulation to run: a workload under one machine + DSA
+// configuration.
+type Job struct {
+	// Name labels the job in reports (defaults to the workload name).
+	Name     string
+	Workload *workloads.Workload
+	CPU      cpu.Config
+	DSA      dsa.Config
+	// DSAOff runs the job scalar-only from the start (baseline jobs).
+	DSAOff bool
+	// Timeout overrides Options.Timeout for this job (0 = inherit).
+	Timeout time.Duration
+}
+
+// Options parameterizes a batch.
+type Options struct {
+	// Workers bounds pool concurrency (0 = GOMAXPROCS).
+	Workers int
+	// Timeout is the per-attempt deadline (0 = none). Each retry and
+	// the degradation rerun get a fresh deadline.
+	Timeout time.Duration
+	// Retries is the number of extra same-config attempts after a
+	// retryable failure.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per
+	// attempt (0 = no backoff).
+	Backoff time.Duration
+	// CancelEvery is the step interval of the in-loop deadline check
+	// (0 = cpu.DefaultCancelEvery).
+	CancelEvery uint64
+	// MemBudgetBytes caps the summed footprint of in-flight jobs
+	// (0 = DefaultMemBudgetBytes, < 0 = unlimited).
+	MemBudgetBytes int64
+	// NoDegrade disables the final DSA-off rung (ablation runs where
+	// a degraded result would be misleading).
+	NoDegrade bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MemBudgetBytes == 0 {
+		o.MemBudgetBytes = DefaultMemBudgetBytes
+	}
+	return o
+}
+
+// Result is one job's terminal report.
+type Result struct {
+	Job    string
+	Status Status
+	// Cause classifies the failure (failed) or the reason the DSA path
+	// was abandoned (degraded); empty for clean ok runs.
+	Cause string
+	// Attempts counts every run made, degradation rerun included.
+	Attempts int
+	Degraded bool
+	Wall     time.Duration
+	// Ticks is the simulated wall-clock of the successful run (0 when
+	// failed).
+	Ticks int64
+	// Stats is a deep snapshot of the successful run's DSA counters
+	// (nil for DSA-off and failed runs).
+	Stats *dsa.Stats
+	// MemSum digests the successful run's final memory image; equal
+	// digests mean byte-identical images.
+	MemSum uint64
+	// Err is the terminal error of a failed job.
+	Err error
+}
+
+// Report aggregates a batch.
+type Report struct {
+	Results []Result
+	OK      int
+	Degrade int
+	Failed  int
+	// Retries counts extra attempts across the batch (degradation
+	// reruns included).
+	Retries int
+	Wall    time.Duration
+}
+
+// Run executes jobs on the worker pool and returns one Result per job,
+// in input order. It never returns early: a canceled context drains
+// the queue, failing the remaining jobs with cause "canceled" so the
+// report still accounts for every job.
+func Run(ctx context.Context, jobs []Job, opts Options) *Report {
+	opts = opts.withDefaults()
+	bud := newMemBudget(ctx, opts.MemBudgetBytes)
+	results := make([]Result, len(jobs))
+
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runJob(ctx, jobs[i], opts, bud)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	rep := &Report{Results: results, Wall: time.Since(start)}
+	for i := range results {
+		switch results[i].Status {
+		case StatusOK:
+			rep.OK++
+		case StatusDegraded:
+			rep.Degrade++
+		default:
+			rep.Failed++
+		}
+		rep.Retries += results[i].Attempts - 1
+	}
+	return rep
+}
+
+// runJob walks one job down the ladder. It always returns a terminal
+// Result; no error or panic escapes.
+func runJob(ctx context.Context, job Job, opts Options, bud *memBudget) (res Result) {
+	start := time.Now()
+	if job.Name == "" && job.Workload != nil {
+		job.Name = job.Workload.Name
+	}
+	res = Result{Job: job.Name, Status: StatusFailed, Cause: "error"}
+	defer func() { res.Wall = time.Since(start) }()
+
+	var lastCause string
+	var lastErr error
+	for a := 0; a <= opts.Retries; a++ {
+		if a > 0 && opts.Backoff > 0 {
+			if !sleepCtx(ctx, opts.Backoff<<(a-1)) {
+				break
+			}
+		}
+		res.Attempts++
+		out, err := attempt(ctx, job, opts, bud, job.DSAOff)
+		if err == nil {
+			res.Status = StatusOK
+			res.Cause = ""
+			res.Ticks, res.Stats, res.MemSum = out.ticks, out.stats, out.memSum
+			return res
+		}
+		cause, retryable := classify(err)
+		lastCause, lastErr = cause, err
+		if !retryable || ctx.Err() != nil {
+			break
+		}
+	}
+
+	// Degradation rung: the DSA path is lost; salvage a scalar result.
+	if !opts.NoDegrade && !job.DSAOff && ctx.Err() == nil && degradable(lastErr) {
+		res.Attempts++
+		out, err := attempt(ctx, job, opts, bud, true)
+		if err == nil {
+			res.Status = StatusDegraded
+			res.Degraded = true
+			res.Cause = lastCause
+			res.Ticks, res.Stats, res.MemSum = out.ticks, out.stats, out.memSum
+			return res
+		}
+		// The scalar rerun's own failure is the terminal one, but keep
+		// the DSA cause visible in the chain.
+		lastCause, _ = classify(err)
+		lastErr = fmt.Errorf("degraded rerun: %w (dsa path: %v)", err, lastErr)
+	}
+
+	res.Status = StatusFailed
+	res.Cause = lastCause
+	res.Err = lastErr
+	return res
+}
+
+// outcome carries what a successful attempt leaves behind — counters
+// and a digest, never the machine.
+type outcome struct {
+	ticks  int64
+	stats  *dsa.Stats
+	memSum uint64
+}
+
+// attempt runs the job once, DSA on or off, under the memory budget,
+// the per-attempt deadline and the panic guard.
+func attempt(ctx context.Context, job Job, opts Options, bud *memBudget, dsaOff bool) (out *outcome, err error) {
+	fp := footprint(job)
+	if err := bud.acquire(ctx, fp); err != nil {
+		return nil, err
+	}
+	defer bud.release(fp)
+
+	timeout := opts.Timeout
+	if job.Timeout > 0 {
+		timeout = job.Timeout
+	}
+	actx := ctx
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Panic isolation: a crash anywhere in the simulator becomes an
+	// attributed failure of this attempt, not of the process.
+	defer func() {
+		if r := recover(); r != nil {
+			out = nil
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+
+	if dsaOff {
+		m, err := cpu.New(job.Workload.Scalar(), job.CPU)
+		if err != nil {
+			return nil, err
+		}
+		m.SetCancelCheck(actx.Err, opts.CancelEvery)
+		job.Workload.Setup(m)
+		if err := m.Run(nil); err != nil {
+			return nil, err
+		}
+		if err := job.Workload.Check(m); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCheckFailed, err)
+		}
+		return &outcome{ticks: m.Ticks, memSum: m.Mem.Sum64()}, nil
+	}
+
+	sys, err := dsa.NewSystem(job.Workload.Scalar(), job.CPU, job.DSA)
+	if err != nil {
+		return nil, err
+	}
+	sys.M.SetCancelCheck(actx.Err, opts.CancelEvery)
+	job.Workload.Setup(sys.M)
+	if err := sys.Run(); err != nil {
+		return nil, err
+	}
+	if err := job.Workload.Check(sys.M); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCheckFailed, err)
+	}
+	return &outcome{ticks: sys.M.Ticks, stats: sys.Stats().Snapshot(), memSum: sys.M.Mem.Sum64()}, nil
+}
+
+// sleepCtx sleeps for d unless ctx is canceled first; it reports
+// whether the full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// Matrix builds the workload × configuration job grid the batch CLI
+// and the chaos soak run: every workload in ws crossed with every
+// named DSA configuration. A nil cpu config field means
+// cpu.DefaultConfig().
+func Matrix(ws []*workloads.Workload, configs map[string]dsa.Config, cpuCfg cpu.Config) []Job {
+	if cpuCfg.Width == 0 {
+		cpuCfg = cpu.DefaultConfig()
+	}
+	names := make([]string, 0, len(configs))
+	for name := range configs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var jobs []Job
+	for _, w := range ws {
+		for _, name := range names {
+			jobs = append(jobs, Job{
+				Name:     w.Name + "/" + name,
+				Workload: w,
+				CPU:      cpuCfg,
+				DSA:      configs[name],
+			})
+		}
+	}
+	return jobs
+}
