@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race fuzz verify bench batch soak soak-short
+.PHONY: all build test check vet fmt race allocs fuzz verify bench bench-smoke batch soak soak-short
 
 all: build test
 
@@ -21,9 +21,15 @@ fmt:
 race:
 	$(GO) test -race ./...
 
-# check is the CI gate: static checks plus the full suite under the
-# race detector.
-check: vet fmt race
+# allocs is the interpreter allocation-regression gate. It must run
+# without -race (the detector's instrumentation allocates), which is
+# why it is a separate target from race.
+allocs:
+	$(GO) test -run 'ZeroAlloc' ./internal/cpu
+
+# check is the CI gate: static checks, the allocation gate, and the
+# full suite under the race detector.
+check: vet fmt allocs race
 
 # fuzz gives the assembler fuzz target a short budget (CI smoke; run
 # longer locally when touching the parser). The checked-in corpus under
@@ -50,5 +56,14 @@ soak-short:
 soak:
 	$(GO) test -race -run TestChaosSoak -timeout 1800s ./internal/integration
 
+# bench measures simulator throughput (wall-clock, steps/sec, scalar
+# and DSA modes) and persists it as BENCH_sim.json, then runs the Go
+# benchmark suite (simulated-machine metrics: ticks, speedups, energy).
 bench:
+	$(GO) run ./cmd/benchsim -out BENCH_sim.json
+	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-smoke compiles and runs every benchmark exactly once — the CI
+# guard that keeps the bench suite from bit-rotting between perf work.
+bench-smoke:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -1,0 +1,172 @@
+// Command benchsim measures simulator throughput — how fast the host
+// interpreter retires simulated instructions — and persists the result
+// as BENCH_sim.json so interpreter-performance regressions show up in
+// review as a diff, not as a vague feeling that CI got slower.
+//
+// Unlike bench_test.go, which reports the *simulated machine's*
+// behaviour (ticks, speedups, energy), this tool times the simulator
+// itself: wall-clock per workload run, retired steps per second, in
+// scalar mode and under the DSA system. Machine construction and
+// workload setup are excluded — they are one-time costs dominated by
+// zeroing the 16 MiB memory image, not interpreter work.
+//
+// Usage: go run ./cmd/benchsim -out BENCH_sim.json [-reps 3]
+// Each (workload, mode) pair runs reps times; the fastest wall time is
+// kept (minimum-of-N rejects scheduler noise, the standard practice
+// for throughput benchmarks).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+// Result is one (workload, mode) throughput measurement.
+type Result struct {
+	Workload    string  `json:"workload"`
+	Mode        string  `json:"mode"`
+	Steps       uint64  `json:"steps"`         // simulated instructions retired
+	Ticks       int64   `json:"ticks"`         // simulated time consumed
+	WallNS      int64   `json:"wall_ns"`       // host wall-clock, best of reps
+	StepsPerSec float64 `json:"steps_per_sec"` // Steps / WallNS
+}
+
+// Totals aggregates one mode across the whole suite.
+type Totals struct {
+	Steps       uint64  `json:"steps"`
+	WallNS      int64   `json:"wall_ns"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+}
+
+// File is the BENCH_sim.json layout.
+type File struct {
+	Schema    string            `json:"schema"`
+	GoVersion string            `json:"go_version"`
+	Reps      int               `json:"reps"`
+	Workloads []string          `json:"workloads"`
+	Results   []Result          `json:"results"`
+	Totals    map[string]Totals `json:"totals"`
+}
+
+// runScalar times one scalar-mode run; returns steps, ticks, wall.
+func runScalar(w *workloads.Workload) (uint64, int64, time.Duration, error) {
+	m := cpu.MustNew(w.Scalar(), cpu.DefaultConfig())
+	w.Setup(m)
+	start := time.Now()
+	err := m.Run(nil)
+	wall := time.Since(start)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := w.Check(m); err != nil {
+		return 0, 0, 0, err
+	}
+	return m.Steps, m.Ticks, wall, nil
+}
+
+// runDSA times one run under the extended DSA system. The step count
+// is the scalar core's retirement count; takeover-executed work shows
+// up as fewer steps over the same workload, which is exactly the
+// simulator cost profile the DSA mode has.
+func runDSA(w *workloads.Workload) (uint64, int64, time.Duration, error) {
+	s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), dsa.DefaultConfig())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	w.Setup(s.M)
+	start := time.Now()
+	err = s.Run()
+	wall := time.Since(start)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := w.Check(s.M); err != nil {
+		return 0, 0, 0, err
+	}
+	return s.M.Steps, s.M.Ticks, wall, nil
+}
+
+func measure(w *workloads.Workload, mode string, reps int) (Result, error) {
+	r := Result{Workload: w.Name, Mode: mode}
+	for i := 0; i < reps; i++ {
+		var (
+			steps uint64
+			ticks int64
+			wall  time.Duration
+			err   error
+		)
+		if mode == "scalar" {
+			steps, ticks, wall, err = runScalar(w)
+		} else {
+			steps, ticks, wall, err = runDSA(w)
+		}
+		if err != nil {
+			return r, err
+		}
+		if i == 0 || wall.Nanoseconds() < r.WallNS {
+			r.WallNS = wall.Nanoseconds()
+		}
+		r.Steps, r.Ticks = steps, ticks
+	}
+	r.StepsPerSec = float64(r.Steps) / (float64(r.WallNS) * 1e-9)
+	return r, nil
+}
+
+func main() {
+	out := flag.String("out", "BENCH_sim.json", "output path")
+	reps := flag.Int("reps", 3, "repetitions per measurement (best kept)")
+	flag.Parse()
+
+	f := File{
+		Schema:    "bench_sim/v1",
+		GoVersion: runtime.Version(),
+		Reps:      *reps,
+		Workloads: experiments.Article1Workloads,
+		Totals:    map[string]Totals{},
+	}
+	for _, mode := range []string{"scalar", "dsa-extended"} {
+		var tot Totals
+		for _, name := range experiments.Article1Workloads {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsim: %v\n", err)
+				os.Exit(1)
+			}
+			r, err := measure(w, mode, *reps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsim: %s/%s: %v\n", name, mode, err)
+				os.Exit(1)
+			}
+			f.Results = append(f.Results, r)
+			tot.Steps += r.Steps
+			tot.WallNS += r.WallNS
+			fmt.Printf("%-12s %-12s %9d steps  %8.2f ms  %7.1f Msteps/s\n",
+				name, mode, r.Steps, float64(r.WallNS)/1e6, r.StepsPerSec/1e6)
+		}
+		tot.StepsPerSec = float64(tot.Steps) / (float64(tot.WallNS) * 1e-9)
+		f.Totals[mode] = tot
+		fmt.Printf("%-12s %-12s %9d steps  %8.2f ms  %7.1f Msteps/s\n",
+			"TOTAL", mode, tot.Steps, float64(tot.WallNS)/1e6, tot.StepsPerSec/1e6)
+	}
+
+	b, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchsim: wrote %s\n", *out)
+}

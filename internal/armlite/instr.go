@@ -153,13 +153,24 @@ const (
 )
 
 // Mem describes the memory operand of a load/store.
+//
+// Writeback combines with Kind as follows:
+//
+//   - AddrPostIndex always writes back (access at rn, then rn += imm).
+//   - AddrOffset + Writeback on a scalar ldr/str is the pre-index form
+//     "[rn, #imm]!": access at rn+imm, then rn = rn+imm.
+//   - AddrOffset + Writeback on a vector vld1/vst1 is the NEON "[rn]!"
+//     form: access at rn, then rn += VectorBytes. The offset must be
+//     zero (Validate rejects the ambiguous combination).
+//   - AddrRegOffset never writes back; Validate rejects the mismatch
+//     so it cannot be silently dropped at execution time.
 type Mem struct {
 	Base      Reg
 	Index     Reg // NoReg unless AddrRegOffset
 	Offset    int32
 	Shift     uint8 // LSL amount for AddrRegOffset
 	Kind      AddrKind
-	Writeback bool // true for post-index and for "[rn]!" vector forms
+	Writeback bool // see the addressing-mode table above
 }
 
 // Instr is one armlite instruction. A single struct covers the whole
@@ -234,10 +245,14 @@ func (m Mem) String() string {
 		}
 		return fmt.Sprintf("[%s, %s]", m.Base, m.Index)
 	default:
-		if m.Offset == 0 {
-			return fmt.Sprintf("[%s]", m.Base)
+		wb := ""
+		if m.Writeback {
+			wb = "!"
 		}
-		return fmt.Sprintf("[%s, #%d]", m.Base, m.Offset)
+		if m.Offset == 0 {
+			return fmt.Sprintf("[%s]%s", m.Base, wb)
+		}
+		return fmt.Sprintf("[%s, #%d]%s", m.Base, m.Offset, wb)
 	}
 }
 
@@ -329,6 +344,9 @@ func (in Instr) Validate() error {
 			return err
 		}
 		if in.Mem.Kind == AddrRegOffset {
+			if in.Mem.Writeback {
+				return fmt.Errorf("armlite: %s: writeback is not supported with a register offset", in.Op)
+			}
 			return need(in.Mem.Index.Valid(), "index register")
 		}
 		return nil
@@ -340,7 +358,21 @@ func (in Instr) Validate() error {
 		if err := need(in.Qd.Valid(), "qd"); err != nil {
 			return err
 		}
-		return need(in.Mem.Base.Valid(), "base register")
+		if err := need(in.Mem.Base.Valid(), "base register"); err != nil {
+			return err
+		}
+		switch in.Mem.Kind {
+		case AddrRegOffset:
+			if in.Mem.Writeback {
+				return fmt.Errorf("armlite: %s: writeback is not supported with a register offset", in.Op)
+			}
+			return need(in.Mem.Index.Valid(), "index register")
+		case AddrOffset:
+			if in.Mem.Writeback && in.Mem.Offset != 0 {
+				return fmt.Errorf("armlite: %s: writeback with a nonzero offset is ambiguous (the vector \"[rn]!\" form advances by %d)", in.Op, VectorBytes)
+			}
+		}
+		return nil
 	case OpVdup:
 		return need(in.Qd.Valid() && in.Rn.Valid(), "qd/rn")
 	case OpVmov:

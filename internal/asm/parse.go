@@ -219,7 +219,10 @@ func parseOp2(in *armlite.Instr, s string) error {
 }
 
 // parseMem parses "[rn]", "[rn, #off]", "[rn, rm]", "[rn, rm, lsl #s]",
-// "[rn], #off" (post-index) and the vector "[rn]!" writeback form.
+// "[rn], #off" (post-index), the scalar pre-index "[rn, #off]!" form
+// and the vector "[rn]!" writeback form. Register-offset operands
+// reject writeback here (the ISA has no such form) so the mismatch is
+// a parse error instead of silently dropped at execution time.
 func parseMem(s string) (armlite.Mem, error) {
 	m := armlite.Mem{Base: armlite.NoReg, Index: armlite.NoReg}
 	s = strings.TrimSpace(s)
@@ -279,6 +282,9 @@ func parseMem(s string) (armlite.Mem, error) {
 	switch {
 	case after == "":
 	case after == "!":
+		if m.Kind == armlite.AddrRegOffset {
+			return m, fmt.Errorf("writeback is not supported with a register offset in %q", s)
+		}
 		m.Writeback = true
 	case strings.HasPrefix(after, ","):
 		off, err := parseImm(strings.TrimSpace(after[1:]))

@@ -1,0 +1,62 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/armlite"
+)
+
+// TestPreIndexParseAndPrint pins the scalar pre-index form: "[rn, #off]!"
+// must parse to AddrOffset+Writeback and print back identically.
+func TestPreIndexParseAndPrint(t *testing.T) {
+	p, err := Parse("t", "ldr r0, [r1, #4]!\nstr r2, [r3, #-8]!\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ld := p.Code[0]
+	if ld.Mem.Kind != armlite.AddrOffset || !ld.Mem.Writeback || ld.Mem.Offset != 4 {
+		t.Errorf("ldr parsed wrong: %+v", ld.Mem)
+	}
+	st := p.Code[1]
+	if st.Mem.Kind != armlite.AddrOffset || !st.Mem.Writeback || st.Mem.Offset != -8 {
+		t.Errorf("str parsed wrong: %+v", st.Mem)
+	}
+	if got := ld.String(); got != "ldr r0, [r1, #4]!" {
+		t.Errorf("ldr prints as %q", got)
+	}
+	if got := st.String(); got != "str r2, [r3, #-8]!" {
+		t.Errorf("str prints as %q", got)
+	}
+	// The printed form must re-parse to the same instruction.
+	p2, err := Parse("t2", ld.String()+"\nhalt")
+	if err != nil {
+		t.Fatalf("re-parse of %q: %v", ld.String(), err)
+	}
+	if p2.Code[0].Mem != ld.Mem {
+		t.Errorf("round-trip changed the operand: %+v vs %+v", p2.Code[0].Mem, ld.Mem)
+	}
+}
+
+// TestRegOffsetWritebackParseRejected pins the parser-level rejection
+// of "[rn, rm]!": writeback with a register offset has no architected
+// meaning in this ISA subset and used to be silently dropped.
+func TestRegOffsetWritebackParseRejected(t *testing.T) {
+	srcs := []string{
+		"ldr r0, [r1, r2]!",
+		"str r0, [r1, r2]!",
+		"ldr r0, [r1, r2, lsl #2]!",
+		"vld1.32 q0, [r1, r2]!",
+		"vst1.32 q0, [r1, r2]!",
+	}
+	for _, src := range srcs {
+		_, err := Parse("t", src+"\nhalt")
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want writeback rejection", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "writeback") {
+			t.Errorf("Parse(%q) error %q does not mention writeback", src, err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+)
+
+// The writeback addressing modes each have distinct semantics:
+//
+//	ldr r0, [r1, #4]    offset:     addr = r1+4, r1 unchanged
+//	ldr r0, [r1, #4]!   pre-index:  addr = r1+4, r1 = r1+4
+//	ldr r0, [r1], #4    post-index: addr = r1,   r1 = r1+4
+//	vld1.32 q0, [r1]!   vector:     addr = r1,   r1 = r1+16
+//
+// A regression once conflated the scalar pre-index form with the
+// vector advance (address unbumped, base advanced by 16); these tests
+// pin each form independently.
+
+func runAddr(t *testing.T, src string, setup func(m *Machine)) *Machine {
+	t.Helper()
+	prog, err := asm.Parse("addr", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(prog, tinyConfig())
+	if setup != nil {
+		setup(m)
+	}
+	if err := m.Run(nil); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPreIndexLoad(t *testing.T) {
+	m := runAddr(t, `
+        mov r1, #0x100
+        ldr r0, [r1, #4]!
+        halt
+`, func(m *Machine) {
+		if err := m.Mem.Store(0x104, 4, 0xdeadbeef); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := m.R[armlite.R0]; got != 0xdeadbeef {
+		t.Errorf("r0 = %#x, want %#x (loaded from base+offset)", got, uint32(0xdeadbeef))
+	}
+	if got := m.R[armlite.R1]; got != 0x104 {
+		t.Errorf("r1 = %#x, want 0x104 (base written back to effective address)", got)
+	}
+}
+
+func TestPreIndexStore(t *testing.T) {
+	m := runAddr(t, `
+        mov r1, #0x100
+        mov r0, #42
+        str r0, [r1, #8]!
+        halt
+`, nil)
+	v, err := m.Mem.Load(0x108, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Errorf("mem[0x108] = %d, want 42", v)
+	}
+	if got := m.R[armlite.R1]; got != 0x108 {
+		t.Errorf("r1 = %#x, want 0x108", got)
+	}
+}
+
+func TestPreIndexNegativeOffset(t *testing.T) {
+	m := runAddr(t, `
+        mov r1, #0x110
+        ldr r0, [r1, #-16]!
+        halt
+`, func(m *Machine) {
+		if err := m.Mem.Store(0x100, 4, 7); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got := m.R[armlite.R0]; got != 7 {
+		t.Errorf("r0 = %d, want 7", got)
+	}
+	if got := m.R[armlite.R1]; got != 0x100 {
+		t.Errorf("r1 = %#x, want 0x100", got)
+	}
+}
+
+func TestPostIndex(t *testing.T) {
+	m := runAddr(t, `
+        mov r1, #0x100
+        mov r2, #0x200
+        mov r0, #9
+        str r0, [r1], #4
+        ldr r3, [r2], #-8
+        halt
+`, func(m *Machine) {
+		if err := m.Mem.Store(0x200, 4, 13); err != nil {
+			t.Fatal(err)
+		}
+	})
+	v, err := m.Mem.Load(0x100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 9 {
+		t.Errorf("mem[0x100] = %d, want 9 (post-index stores at the unbumped base)", v)
+	}
+	if got := m.R[armlite.R1]; got != 0x104 {
+		t.Errorf("r1 = %#x, want 0x104", got)
+	}
+	if got := m.R[armlite.R3]; got != 13 {
+		t.Errorf("r3 = %d, want 13", got)
+	}
+	if got := m.R[armlite.R2]; got != 0x1f8 {
+		t.Errorf("r2 = %#x, want 0x1f8", got)
+	}
+}
+
+func TestVectorWritebackAdvance(t *testing.T) {
+	m := runAddr(t, `
+        mov r1, #0x100
+        vld1.32 q0, [r1]!
+        vst1.32 q0, [r1]!
+        halt
+`, func(m *Machine) {
+		for i := uint32(0); i < 4; i++ {
+			if err := m.Mem.Store(0x100+4*i, 4, i+1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if got := m.R[armlite.R1]; got != 0x120 {
+		t.Errorf("r1 = %#x, want 0x120 (two 16-byte advances)", got)
+	}
+	for i := uint32(0); i < 4; i++ {
+		v, err := m.Mem.Load(0x110+4*i, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != i+1 {
+			t.Errorf("copied lane %d = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+// regWritebackInstr builds the structurally invalid reg-offset +
+// writeback form directly, bypassing the parser's rejection.
+func regWritebackInstr(op armlite.Op) armlite.Instr {
+	in := armlite.NewInstr(op)
+	in.Rd = armlite.R0
+	in.Mem = armlite.Mem{
+		Kind:      armlite.AddrRegOffset,
+		Base:      armlite.R1,
+		Index:     armlite.R2,
+		Writeback: true,
+	}
+	if op == armlite.OpVld1 || op == armlite.OpVst1 {
+		in.Rd = armlite.NoReg
+		in.Qd = armlite.VReg(0)
+		in.DT = armlite.I32
+	}
+	return in
+}
+
+func TestRegOffsetWritebackRejectedByValidate(t *testing.T) {
+	for _, op := range []armlite.Op{armlite.OpLdr, armlite.OpStr, armlite.OpVld1, armlite.OpVst1} {
+		prog := &armlite.Program{Code: []armlite.Instr{regWritebackInstr(op)}}
+		err := prog.Validate()
+		if err == nil || !strings.Contains(err.Error(), "writeback") {
+			t.Errorf("%v: Validate() = %v, want writeback rejection", op, err)
+		}
+		if _, err := New(prog, tinyConfig()); err == nil {
+			t.Errorf("%v: cpu.New accepted a reg-offset writeback instruction", op)
+		}
+	}
+}
+
+func TestVectorOffsetWritebackRejected(t *testing.T) {
+	// The vector "[rn]!" form advances by the vector width; a nonzero
+	// offset combined with writeback has no defined meaning and must
+	// not validate.
+	in := armlite.NewInstr(armlite.OpVld1)
+	in.Qd = armlite.VReg(0)
+	in.DT = armlite.I32
+	in.Mem = armlite.Mem{Kind: armlite.AddrOffset, Base: armlite.R1, Offset: 4, Writeback: true}
+	prog := &armlite.Program{Code: []armlite.Instr{in}}
+	if err := prog.Validate(); err == nil {
+		t.Error("Validate() accepted vld1 with offset+writeback")
+	}
+}

@@ -1,0 +1,92 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+// TestStepZeroAlloc is the allocation-regression gate for the
+// interpreter hot path: once a machine is built, stepping it must not
+// allocate — not for the predecoded dispatch, not for the Record fill,
+// not for cache accesses. A single stray allocation per step costs
+// more than the instruction it models and drags GC pauses into the
+// simulated timing, so this is pinned to exactly zero.
+func TestStepZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	// An endless loop over every hot instruction class: loads and
+	// stores in all scalar addressing modes, ALU ops, compares,
+	// conditional and unconditional branches.
+	prog, err := asm.Parse("hot", `
+start:  mov   r0, #0x100
+        mov   r4, #7
+loop:   ldr   r2, [r0]
+        add   r2, r2, r4
+        str   r2, [r0], #4
+        ldr   r3, [r0, #4]!
+        sub   r3, r3, #1
+        str   r3, [r0, #-4]
+        cmp   r0, #0x200
+        blt   loop
+        b     start
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(prog, tinyConfig())
+	m.cfg.MaxSteps = 1 << 40
+	var rec Record
+	// Warm up so lazy state (nothing today; insurance for tomorrow)
+	// is populated before measuring.
+	for i := 0; i < 1000; i++ {
+		if err := m.Step(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for i := 0; i < 1000; i++ {
+			if err := m.Step(&rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Step allocates: %v allocs per 1000 steps, want 0", avg)
+	}
+}
+
+// TestRunQuietZeroAlloc pins the observer-free Run loop the scalar
+// benchmarks and goldens use: beyond the one Record on Run's frame,
+// running a built machine to completion must not allocate.
+func TestRunQuietZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; run without -race")
+	}
+	prog, err := asm.Parse("sum", `
+        mov   r0, #0x100
+        mov   r1, #0
+        mov   r2, #0
+loop:   ldr   r3, [r0], #4
+        add   r1, r1, r3
+        add   r2, r2, #1
+        cmp   r2, #64
+        blt   loop
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MustNew(prog, tinyConfig())
+	avg := testing.AllocsPerRun(20, func() {
+		m.Halted = false
+		m.PC = 0
+		if err := m.Run(nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Run(nil) allocates: %v allocs per run, want 0", avg)
+	}
+}

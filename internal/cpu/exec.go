@@ -8,14 +8,6 @@ import (
 	"repro/internal/neon"
 )
 
-// op2 resolves the flexible second operand.
-func (m *Machine) op2(in *armlite.Instr) uint32 {
-	if in.HasImm {
-		return uint32(in.Imm)
-	}
-	return m.R[in.Rm]
-}
-
 // setNZ updates N and Z from a result.
 func (m *Machine) setNZ(v uint32) {
 	m.F.N = int32(v) < 0
@@ -38,162 +30,332 @@ func (m *Machine) addFlags(a, b uint32) {
 	m.F.V = (int32(a) >= 0) == (int32(b) >= 0) && (int32(r) >= 0) != (int32(a) >= 0)
 }
 
-// effAddr computes the effective address of a memory operand and the
-// post-execution base value (writeback).
-func (m *Machine) effAddr(mo *armlite.Mem) (addr, newBase uint32, wb bool) {
-	base := m.R[mo.Base]
-	switch mo.Kind {
-	case armlite.AddrPostIndex:
-		return base, base + uint32(mo.Offset), true
-	case armlite.AddrRegOffset:
-		return base + (m.R[mo.Index] << mo.Shift), base, false
-	default: // AddrOffset
-		if mo.Writeback { // vector "[rn]!" form: advance by 16
-			return base, base + armlite.VectorBytes, true
-		}
-		return base + uint32(mo.Offset), base, false
+// op2p resolves the flexible second operand of a kind that keeps the
+// imm/reg choice in flImm (long-latency and float ops).
+func (m *Machine) op2p(u *pInstr) uint32 {
+	if u.fl&flImm != 0 {
+		return uint32(u.imm)
 	}
+	return m.R[u.rm]
 }
 
-func (m *Machine) exec(in *armlite.Instr, rec *Record) error {
-	// Condition check: a skipped instruction still occupies an issue
-	// slot (it is fetched and squashed).
-	if !in.Cond.Holds(m.F) && in.Op != armlite.OpB {
-		m.Ticks += m.issueTicks()
+// exec retires one predecoded instruction. The switch is over the
+// dense pKind space, so it compiles to a single indirect jump; every
+// case reads only the pInstr fields it needs and updates timing and
+// class counters exactly as the pre-predecode interpreter did.
+func (m *Machine) exec(u *pInstr, rec *Record) error {
+	// Condition squash: a skipped instruction still occupies an issue
+	// slot (it is fetched and squashed). flCond is only set on
+	// conditional non-branch instructions, so the hot path pays one
+	// bit test. pB evaluates its own condition.
+	if u.fl&flCond != 0 && !u.cond.Holds(m.F) {
+		m.Ticks += m.issue
 		m.Counts.Total++
 		m.Counts.Nops++
 		m.PC++
 		return nil
 	}
 
-	switch in.Op {
-	case armlite.OpNop:
-		m.Ticks += m.issueTicks()
+	switch u.kind {
+	case pNop:
+		m.Ticks += m.issue
 		m.Counts.Nops++
 
-	case armlite.OpHalt:
+	case pHalt:
 		m.Halted = true
-		m.Ticks += m.issueTicks()
+		m.Ticks += m.issue
 
-	case armlite.OpMov:
-		m.R[in.Rd] = m.op2(in)
-		if in.SetFlags {
-			m.setNZ(m.R[in.Rd])
+	case pMovImm:
+		m.R[u.rd] = uint32(u.imm)
+		if u.fl&flSet != 0 {
+			m.setNZ(uint32(u.imm))
 		}
-		m.Ticks += m.issueTicks()
+		m.Ticks += m.issue
 		m.Counts.ALU++
 
-	case armlite.OpMvn:
-		m.R[in.Rd] = ^m.op2(in)
-		if in.SetFlags {
-			m.setNZ(m.R[in.Rd])
+	case pMovReg:
+		v := m.R[u.rm]
+		m.R[u.rd] = v
+		if u.fl&flSet != 0 {
+			m.setNZ(v)
 		}
-		m.Ticks += m.issueTicks()
+		m.Ticks += m.issue
 		m.Counts.ALU++
 
-	case armlite.OpAdd, armlite.OpSub, armlite.OpRsb, armlite.OpAnd,
-		armlite.OpOrr, armlite.OpEor, armlite.OpBic,
-		armlite.OpLsl, armlite.OpLsr, armlite.OpAsr:
-		a, b := m.R[in.Rn], m.op2(in)
-		var r uint32
-		switch in.Op {
-		case armlite.OpAdd:
-			r = a + b
-		case armlite.OpSub:
-			r = a - b
-		case armlite.OpRsb:
-			r = b - a
-		case armlite.OpAnd:
-			r = a & b
-		case armlite.OpOrr:
-			r = a | b
-		case armlite.OpEor:
-			r = a ^ b
-		case armlite.OpBic:
-			r = a &^ b
-		case armlite.OpLsl:
-			r = a << (b & 31)
-		case armlite.OpLsr:
-			r = a >> (b & 31)
-		case armlite.OpAsr:
-			r = uint32(int32(a) >> (b & 31))
+	case pMvnImm:
+		v := ^uint32(u.imm)
+		m.R[u.rd] = v
+		if u.fl&flSet != 0 {
+			m.setNZ(v)
 		}
-		m.R[in.Rd] = r
-		if in.SetFlags {
-			switch in.Op {
-			case armlite.OpAdd:
-				m.addFlags(a, b)
-			case armlite.OpSub:
-				m.subFlags(a, b)
-			case armlite.OpRsb:
-				m.subFlags(b, a)
-			default:
-				m.setNZ(r)
-			}
-		}
-		m.Ticks += m.issueTicks()
+		m.Ticks += m.issue
 		m.Counts.ALU++
 
-	case armlite.OpMul:
-		m.R[in.Rd] = m.R[in.Rn] * m.op2(in)
-		if in.SetFlags {
-			m.setNZ(m.R[in.Rd])
+	case pMvnReg:
+		v := ^m.R[u.rm]
+		m.R[u.rd] = v
+		if u.fl&flSet != 0 {
+			m.setNZ(v)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pAddImm:
+		a, b := m.R[u.rn], uint32(u.imm)
+		m.R[u.rd] = a + b
+		if u.fl&flSet != 0 {
+			m.addFlags(a, b)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pAddReg:
+		a, b := m.R[u.rn], m.R[u.rm]
+		m.R[u.rd] = a + b
+		if u.fl&flSet != 0 {
+			m.addFlags(a, b)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pSubImm:
+		a, b := m.R[u.rn], uint32(u.imm)
+		m.R[u.rd] = a - b
+		if u.fl&flSet != 0 {
+			m.subFlags(a, b)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pSubReg:
+		a, b := m.R[u.rn], m.R[u.rm]
+		m.R[u.rd] = a - b
+		if u.fl&flSet != 0 {
+			m.subFlags(a, b)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pRsbImm:
+		a, b := m.R[u.rn], uint32(u.imm)
+		m.R[u.rd] = b - a
+		if u.fl&flSet != 0 {
+			m.subFlags(b, a)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pRsbReg:
+		a, b := m.R[u.rn], m.R[u.rm]
+		m.R[u.rd] = b - a
+		if u.fl&flSet != 0 {
+			m.subFlags(b, a)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pAndImm:
+		r := m.R[u.rn] & uint32(u.imm)
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pAndReg:
+		r := m.R[u.rn] & m.R[u.rm]
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pOrrImm:
+		r := m.R[u.rn] | uint32(u.imm)
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pOrrReg:
+		r := m.R[u.rn] | m.R[u.rm]
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pEorImm:
+		r := m.R[u.rn] ^ uint32(u.imm)
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pEorReg:
+		r := m.R[u.rn] ^ m.R[u.rm]
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pBicImm:
+		r := m.R[u.rn] &^ uint32(u.imm)
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pBicReg:
+		r := m.R[u.rn] &^ m.R[u.rm]
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pLslImm:
+		r := m.R[u.rn] << (uint32(u.imm) & 31)
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pLslReg:
+		r := m.R[u.rn] << (m.R[u.rm] & 31)
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pLsrImm:
+		r := m.R[u.rn] >> (uint32(u.imm) & 31)
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pLsrReg:
+		r := m.R[u.rn] >> (m.R[u.rm] & 31)
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pAsrImm:
+		r := uint32(int32(m.R[u.rn]) >> (uint32(u.imm) & 31))
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pAsrReg:
+		r := uint32(int32(m.R[u.rn]) >> (m.R[u.rm] & 31))
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
+		}
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pMul:
+		r := m.R[u.rn] * m.op2p(u)
+		m.R[u.rd] = r
+		if u.fl&flSet != 0 {
+			m.setNZ(r)
 		}
 		m.Ticks += mulTicks
 		m.Counts.Mul++
 
-	case armlite.OpMla:
-		m.R[in.Rd] = m.R[in.Rn]*m.R[in.Rm] + m.R[in.Ra]
+	case pMla:
+		m.R[u.rd] = m.R[u.rn]*m.R[u.rm] + m.R[u.ra]
 		m.Ticks += mulTicks
 		m.Counts.Mul++
 
-	case armlite.OpSdiv:
-		d := int32(m.op2(in))
+	case pSdiv:
+		d := int32(m.op2p(u))
 		if d == 0 {
-			m.R[in.Rd] = 0
+			m.R[u.rd] = 0
 		} else {
-			m.R[in.Rd] = uint32(int32(m.R[in.Rn]) / d)
+			m.R[u.rd] = uint32(int32(m.R[u.rn]) / d)
 		}
 		m.Ticks += divTicks
 		m.Counts.Div++
 
-	case armlite.OpUdiv:
-		d := m.op2(in)
+	case pUdiv:
+		d := m.op2p(u)
 		if d == 0 {
-			m.R[in.Rd] = 0
+			m.R[u.rd] = 0
 		} else {
-			m.R[in.Rd] = m.R[in.Rn] / d
+			m.R[u.rd] = m.R[u.rn] / d
 		}
 		m.Ticks += divTicks
 		m.Counts.Div++
 
-	case armlite.OpCmp:
-		m.subFlags(m.R[in.Rn], m.op2(in))
-		m.Ticks += m.issueTicks()
+	case pCmpImm:
+		m.subFlags(m.R[u.rn], uint32(u.imm))
+		m.Ticks += m.issue
 		m.Counts.ALU++
 
-	case armlite.OpCmn:
-		m.addFlags(m.R[in.Rn], m.op2(in))
-		m.Ticks += m.issueTicks()
+	case pCmpReg:
+		m.subFlags(m.R[u.rn], m.R[u.rm])
+		m.Ticks += m.issue
 		m.Counts.ALU++
 
-	case armlite.OpTst:
-		m.setNZ(m.R[in.Rn] & m.op2(in))
-		m.Ticks += m.issueTicks()
+	case pCmnImm:
+		m.addFlags(m.R[u.rn], uint32(u.imm))
+		m.Ticks += m.issue
 		m.Counts.ALU++
 
-	case armlite.OpFAdd, armlite.OpFSub, armlite.OpFMul, armlite.OpFDiv:
-		a := math.Float32frombits(m.R[in.Rn])
-		b := math.Float32frombits(m.op2(in))
+	case pCmnReg:
+		m.addFlags(m.R[u.rn], m.R[u.rm])
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pTstImm:
+		m.setNZ(m.R[u.rn] & uint32(u.imm))
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pTstReg:
+		m.setNZ(m.R[u.rn] & m.R[u.rm])
+		m.Ticks += m.issue
+		m.Counts.ALU++
+
+	case pFAdd, pFSub, pFMul, pFDiv:
+		a := math.Float32frombits(m.R[u.rn])
+		b := math.Float32frombits(m.op2p(u))
 		var r float32
-		switch in.Op {
-		case armlite.OpFAdd:
+		switch u.kind {
+		case pFAdd:
 			r = a + b
-		case armlite.OpFSub:
+		case pFSub:
 			r = a - b
-		case armlite.OpFMul:
+		case pFMul:
 			r = a * b
-		case armlite.OpFDiv:
+		case pFDiv:
 			if b == 0 {
 				r = float32(math.Inf(1))
 				if a < 0 {
@@ -205,74 +367,67 @@ func (m *Machine) exec(in *armlite.Instr, rec *Record) error {
 				r = a / b
 			}
 		}
-		m.R[in.Rd] = math.Float32bits(r)
-		m.Ticks += fpTicks(in.Op)
+		m.R[u.rd] = math.Float32bits(r)
+		m.Ticks += fpTicks(u.op)
 		m.Counts.FP++
 
-	case armlite.OpFCmp:
-		a := math.Float32frombits(m.R[in.Rn])
-		b := math.Float32frombits(m.op2(in))
+	case pFCmp:
+		a := math.Float32frombits(m.R[u.rn])
+		b := math.Float32frombits(m.op2p(u))
 		m.F.N = a < b
 		m.F.Z = a == b
 		m.F.C = a >= b
 		m.F.V = a != a || b != b // unordered
-		m.Ticks += fpTicks(in.Op)
+		m.Ticks += fpTicks(u.op)
 		m.Counts.FP++
 
-	case armlite.OpLdr:
-		addr, newBase, wb := m.effAddr(&in.Mem)
-		v, err := m.Mem.Load(addr, in.DT.Size())
-		if err != nil {
-			return err
-		}
-		m.R[in.Rd] = v
-		if wb {
-			m.R[in.Mem.Base] = newBase
-		}
-		m.Ticks += m.issueTicks() + m.Caches.Access(addr, in.DT.Size())
-		m.Counts.Loads++
-		rec.addMem(addr, in.DT.Size(), false)
+	case pLdrOff:
+		return m.load(u, rec, m.R[u.rn]+uint32(u.imm), noWriteback, 0)
+	case pLdrPre:
+		addr := m.R[u.rn] + uint32(u.imm)
+		return m.load(u, rec, addr, u.rn, addr)
+	case pLdrPost:
+		addr := m.R[u.rn]
+		return m.load(u, rec, addr, u.rn, addr+uint32(u.imm))
+	case pLdrRegOff:
+		return m.load(u, rec, m.R[u.rn]+(m.R[u.rm]<<u.reshift()), noWriteback, 0)
 
-	case armlite.OpStr:
-		addr, newBase, wb := m.effAddr(&in.Mem)
-		if err := m.Mem.Store(addr, in.DT.Size(), m.R[in.Rd]); err != nil {
-			return err
-		}
-		if wb {
-			m.R[in.Mem.Base] = newBase
-		}
-		m.Ticks += m.issueTicks() + m.Caches.AccessWrite(addr, in.DT.Size())
-		m.Counts.Stores++
-		rec.addMem(addr, in.DT.Size(), true)
-		if m.StoreHook != nil {
-			m.StoreHook(addr, in.DT.Size())
-		}
+	case pStrOff:
+		return m.store(u, rec, m.R[u.rn]+uint32(u.imm), noWriteback, 0)
+	case pStrPre:
+		addr := m.R[u.rn] + uint32(u.imm)
+		return m.store(u, rec, addr, u.rn, addr)
+	case pStrPost:
+		addr := m.R[u.rn]
+		return m.store(u, rec, addr, u.rn, addr+uint32(u.imm))
+	case pStrRegOff:
+		return m.store(u, rec, m.R[u.rn]+(m.R[u.rm]<<u.reshift()), noWriteback, 0)
 
-	case armlite.OpB:
+	case pB:
 		m.Counts.Branches++
 		m.Counts.Total++
-		if in.Cond.Holds(m.F) {
+		if u.cond.Holds(m.F) {
 			rec.Taken = true
-			m.PC = in.Target
+			m.PC = int(u.target)
 			m.Ticks += branchTakenTicks
 		} else {
 			m.PC++
-			m.Ticks += m.issueTicks()
+			m.Ticks += m.issue
 		}
 		return nil
 
-	case armlite.OpBL:
+	case pBL:
 		m.R[armlite.LR] = uint32(m.PC + 1)
 		rec.Taken = true
-		m.PC = in.Target
+		m.PC = int(u.target)
 		m.Ticks += branchTakenTicks
 		m.Counts.Branches++
 		m.Counts.Total++
 		return nil
 
-	case armlite.OpBX:
+	case pBX:
 		rec.Taken = true
-		m.PC = int(m.R[in.Rn])
+		m.PC = int(m.R[u.rn])
 		m.Ticks += branchTakenTicks
 		m.Counts.Branches++
 		m.Counts.Total++
@@ -281,11 +436,11 @@ func (m *Machine) exec(in *armlite.Instr, rec *Record) error {
 		}
 		return nil
 
+	case pVld1, pVst1, pVdup, pVALU:
+		return m.execVector(u, rec)
+
 	default:
-		if in.Op.IsVector() {
-			return m.execVector(in, rec)
-		}
-		return fmt.Errorf("%w: %v", ErrUnimplemented, in.Op)
+		return fmt.Errorf("%w: %v", ErrUnimplemented, u.op)
 	}
 
 	m.Counts.Total++
@@ -293,62 +448,124 @@ func (m *Machine) exec(in *armlite.Instr, rec *Record) error {
 	return nil
 }
 
+// noWriteback marks a memory access with no base-register update.
+const noWriteback = 0xFF
+
+// load retires a scalar load: memory read, optional base writeback,
+// cache timing, counters and the observation record.
+func (m *Machine) load(u *pInstr, rec *Record, addr uint32, wbReg uint8, wbVal uint32) error {
+	size := int(u.size)
+	v, err := m.Mem.Load(addr, size)
+	if err != nil {
+		return err
+	}
+	m.R[u.rd] = v
+	if wbReg != noWriteback {
+		m.R[wbReg] = wbVal
+	}
+	m.Ticks += m.issue + m.Caches.Access(addr, size)
+	m.Counts.Loads++
+	rec.addMem(addr, size, false)
+	m.Counts.Total++
+	m.PC++
+	return nil
+}
+
+// store retires a scalar store.
+func (m *Machine) store(u *pInstr, rec *Record, addr uint32, wbReg uint8, wbVal uint32) error {
+	size := int(u.size)
+	if err := m.Mem.Store(addr, size, m.R[u.rd]); err != nil {
+		return err
+	}
+	if wbReg != noWriteback {
+		m.R[wbReg] = wbVal
+	}
+	m.Ticks += m.issue + m.Caches.AccessWrite(addr, size)
+	m.Counts.Stores++
+	rec.addMem(addr, size, true)
+	if m.StoreHook != nil {
+		m.StoreHook(addr, size)
+	}
+	m.Counts.Total++
+	m.PC++
+	return nil
+}
+
+// vecAddr resolves a vector memory operand's effective address and
+// applies base writeback.
+func (m *Machine) vecAddr(u *pInstr) uint32 {
+	base := m.R[u.rn]
+	switch u.am {
+	case amAdv:
+		m.R[u.rn] = base + armlite.VectorBytes
+		return base
+	case amPost:
+		m.R[u.rn] = base + uint32(u.imm)
+		return base
+	case amRegOff:
+		return base + (m.R[u.rm] << u.reshift())
+	default:
+		return base + uint32(u.imm)
+	}
+}
+
 // execVector executes one NEON instruction on the vector unit.
-func (m *Machine) execVector(in *armlite.Instr, rec *Record) error {
-	u := m.NEON
-	switch in.Op {
-	case armlite.OpVld1:
-		addr, newBase, wb := m.effAddr(&in.Mem)
+func (m *Machine) execVector(u *pInstr, rec *Record) error {
+	nu := m.NEON
+	switch u.kind {
+	case pVld1:
+		addr := m.vecAddr(u)
 		v, err := neon.LoadVec(m.Mem, addr)
 		if err != nil {
 			return err
 		}
-		u.Q[in.Qd] = v
-		if wb {
-			m.R[in.Mem.Base] = newBase
-		}
+		nu.Q[u.qd] = v
 		m.Ticks += m.cfg.NEON.MemIssueTicks + m.Caches.Access(addr, armlite.VectorBytes)
-		u.Loads++
+		nu.Loads++
 		m.Counts.VecLoads++
 		rec.addMem(addr, armlite.VectorBytes, false)
 
-	case armlite.OpVst1:
-		addr, newBase, wb := m.effAddr(&in.Mem)
-		if err := neon.StoreVec(m.Mem, addr, u.Q[in.Qd]); err != nil {
+	case pVst1:
+		addr := m.vecAddr(u)
+		if err := neon.StoreVec(m.Mem, addr, nu.Q[u.qd]); err != nil {
 			return err
 		}
-		if wb {
-			m.R[in.Mem.Base] = newBase
-		}
 		m.Ticks += m.cfg.NEON.MemIssueTicks + m.Caches.AccessWrite(addr, armlite.VectorBytes)
-		u.Stores++
+		nu.Stores++
 		m.Counts.VecStores++
 		rec.addMem(addr, armlite.VectorBytes, true)
 		if m.StoreHook != nil {
 			m.StoreHook(addr, armlite.VectorBytes)
 		}
 
-	case armlite.OpVdup:
-		u.Q[in.Qd] = neon.Splat(in.DT, m.R[in.Rn])
+	case pVdup:
+		nu.Q[u.qd] = neon.Splat(u.dt, m.R[u.rn])
 		m.Ticks += m.cfg.NEON.DupTicks
 		m.Counts.VecDups++
 
 	default:
+		if !u.op.IsVector() {
+			return fmt.Errorf("%w: %v", ErrUnimplemented, u.op)
+		}
 		// Not every vector form has all three register operands
 		// (shifts have no Qm, vmov no Qn); absent slots read as zero.
-		reg := func(v armlite.VReg) neon.Vec {
-			if v.Valid() {
-				return u.Q[v]
-			}
-			return neon.Vec{}
+		var qd, qn, qm neon.Vec
+		if u.qd != uint8(armlite.NoVReg) {
+			qd = nu.Q[u.qd]
 		}
-		out, err := neon.ALU(in.Op, in.DT, reg(in.Qd), reg(in.Qn), reg(in.Qm), in.Imm)
+		if u.qn != uint8(armlite.NoVReg) {
+			qn = nu.Q[u.qn]
+		}
+		if u.qm != uint8(armlite.NoVReg) {
+			qm = nu.Q[u.qm]
+		}
+		out, err := neon.ALU(u.op, u.dt, qd, qn, qm, u.imm)
 		if err != nil {
 			return err
 		}
-		u.Q[in.Qd] = out
+		nu.Q[u.qd] = out
 		m.Ticks += m.cfg.NEON.OpIssueTicks
-		u.Ops++
+		nu.Ops++
 		m.Counts.VecOps++
 	}
 	m.Counts.Total++

@@ -1,0 +1,119 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+)
+
+// flagCorners are the operand values where NZCV computations break
+// first: zero, the sign boundary, both extremes, and values adjacent
+// to each.
+var flagCorners = []uint32{
+	0, 1, 2,
+	0x7ffffffe, 0x7fffffff,
+	0x80000000, 0x80000001,
+	0xfffffffe, 0xffffffff,
+	0x40000000, 0xc0000000,
+}
+
+// refSubFlags is an independent formulation of the ARM ARM's SUBS
+// flag semantics: borrow from the 64-bit unsigned difference, overflow
+// from the 64-bit signed difference leaving int32 range.
+func refSubFlags(a, b uint32) (n, z, c, v bool) {
+	r := a - b
+	n = int32(r) < 0
+	z = r == 0
+	c = uint64(a) >= uint64(b)
+	wide := int64(int32(a)) - int64(int32(b))
+	v = wide != int64(int32(r))
+	return
+}
+
+// refAddFlags is the same for ADDS/CMN: carry out of bit 31, overflow
+// when the signed 64-bit sum leaves int32 range.
+func refAddFlags(a, b uint32) (n, z, c, v bool) {
+	r := a + b
+	n = int32(r) < 0
+	z = r == 0
+	c = uint64(a)+uint64(b) > 0xffffffff
+	wide := int64(int32(a)) + int64(int32(b))
+	v = wide != int64(int32(r))
+	return
+}
+
+func checkFlags(t *testing.T, what string, a, b uint32, f armlite.Flags, n, z, c, v bool) {
+	t.Helper()
+	if f.N != n || f.Z != z || f.C != c || f.V != v {
+		t.Errorf("%s a=%#x b=%#x: NZCV = %v%v%v%v, want %v%v%v%v",
+			what, a, b, f.N, f.Z, f.C, f.V, n, z, c, v)
+	}
+}
+
+// TestFlagsCornerSweep drives cmp and cmn through the interpreter over
+// the full cross product of corner operands, checking all four flags
+// against wide-integer references — the audit the ISSUE asks for on
+// subFlags/addFlags.
+func TestFlagsCornerSweep(t *testing.T) {
+	cmp := asm.MustAssemble("cmp", "cmp r0, r1\nhalt")
+	cmn := asm.MustAssemble("cmn", "cmn r0, r1\nhalt")
+	for _, a := range flagCorners {
+		for _, b := range flagCorners {
+			m := MustNew(cmp, tinyConfig())
+			m.R[armlite.R0], m.R[armlite.R1] = a, b
+			if err := m.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			n, z, c, v := refSubFlags(a, b)
+			checkFlags(t, "cmp", a, b, m.F, n, z, c, v)
+
+			m = MustNew(cmn, tinyConfig())
+			m.R[armlite.R0], m.R[armlite.R1] = a, b
+			if err := m.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			n, z, c, v = refAddFlags(a, b)
+			checkFlags(t, "cmn", a, b, m.F, n, z, c, v)
+		}
+	}
+}
+
+// TestFlagsSubsRsbsCorners checks the writing forms (subs, rsbs, adds)
+// agree with their comparing counterparts on the corner set, and that
+// rsbs computes b-a flags, not a-b.
+func TestFlagsSubsRsbsCorners(t *testing.T) {
+	subs := asm.MustAssemble("subs", "subs r2, r0, r1\nhalt")
+	rsbs := asm.MustAssemble("rsbs", "rsbs r2, r0, r1\nhalt")
+	adds := asm.MustAssemble("adds", "adds r2, r0, r1\nhalt")
+	for _, a := range flagCorners {
+		for _, b := range flagCorners {
+			m := MustNew(subs, tinyConfig())
+			m.R[armlite.R0], m.R[armlite.R1] = a, b
+			if err := m.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			n, z, c, v := refSubFlags(a, b)
+			checkFlags(t, "subs", a, b, m.F, n, z, c, v)
+			if m.R[armlite.R2] != a-b {
+				t.Errorf("subs result = %#x, want %#x", m.R[armlite.R2], a-b)
+			}
+
+			m = MustNew(rsbs, tinyConfig())
+			m.R[armlite.R0], m.R[armlite.R1] = a, b
+			if err := m.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			n, z, c, v = refSubFlags(b, a)
+			checkFlags(t, "rsbs", a, b, m.F, n, z, c, v)
+
+			m = MustNew(adds, tinyConfig())
+			m.R[armlite.R0], m.R[armlite.R1] = a, b
+			if err := m.Run(nil); err != nil {
+				t.Fatal(err)
+			}
+			n, z, c, v = refAddFlags(a, b)
+			checkFlags(t, "adds", a, b, m.F, n, z, c, v)
+		}
+	}
+}

@@ -58,10 +58,17 @@ type MemAccess struct {
 // Record describes one retired instruction — the DSA's observation
 // feed. PC values are instruction indices (the dissertation's
 // "instruction addresses").
+//
+// Instr points into the machine's program, so filling a Record per
+// step costs one pointer write instead of a ~100-byte struct copy.
+// The pointer is stable for the lifetime of the machine: the program
+// is immutable once a Machine is built (rewriting passes like the
+// auto-vectorizer clone before mutating), so observers may retain it
+// across Step calls.
 type Record struct {
 	Seq    uint64 // dynamic instruction number
 	PC     int
-	Instr  armlite.Instr
+	Instr  *armlite.Instr
 	Taken  bool // branch outcome (false for non-branches)
 	NextPC int
 	Mem    [2]MemAccess // capacity for straddling ops; Nmem used
@@ -110,6 +117,12 @@ type Machine struct {
 
 	cfg Config
 
+	// Hot-path state, fixed at construction: the predecoded program
+	// (see predecode.go) and the per-issue tick cost (TicksPerCycle /
+	// Width, precomputed so the step loop doesn't divide).
+	pcode []pInstr
+	issue int64
+
 	// Cancellation hook (SetCancelCheck). cancelLeft counts down per
 	// Step so the hook itself — typically context.Context.Err — runs
 	// only once every cancelEvery instructions; the steady-state cost
@@ -142,6 +155,8 @@ func New(prog *armlite.Program, cfg Config) (*Machine, error) {
 		Caches: mem.NewHierarchy(cfg.Hierarchy),
 		NEON:   neon.New(),
 		cfg:    cfg,
+		pcode:  predecode(prog),
+		issue:  int64(TicksPerCycle / cfg.Width),
 	}
 	return m, nil
 }
@@ -194,20 +209,54 @@ func (f ObserverFunc) Observe(r *Record) { f(r) }
 // Run steps the machine to completion, feeding each record to obs
 // (which may be nil).
 func (m *Machine) Run(obs Observer) error {
+	if obs == nil {
+		return m.runQuiet()
+	}
 	var rec Record
 	for !m.Halted {
 		if err := m.Step(&rec); err != nil {
 			return err
 		}
-		if obs != nil {
-			obs.Observe(&rec)
+		obs.Observe(&rec)
+	}
+	return nil
+}
+
+// runQuiet is the observer-free run loop. With nobody reading the
+// Record, the per-step fill (in particular the Instr pointer store,
+// which drags a GC write barrier into the loop) is dead work, so this
+// loop skips it; architectural state, timing and counters advance
+// exactly as Step does.
+func (m *Machine) runQuiet() error {
+	var rec Record
+	for !m.Halted {
+		if m.cancelFn != nil {
+			if m.cancelLeft--; m.cancelLeft == 0 {
+				m.cancelLeft = m.cancelEvery
+				if err := m.cancelFn(); err != nil {
+					return fmt.Errorf("%w at pc=%d after %d steps: %w", ErrCanceled, m.PC, m.Steps, err)
+				}
+			}
+		}
+		if m.Steps >= m.cfg.MaxSteps {
+			return fmt.Errorf("%w: %d steps at pc=%d (runaway loop?)", ErrMaxSteps, m.cfg.MaxSteps, m.PC)
+		}
+		pc := m.PC
+		if uint(pc) >= uint(len(m.pcode)) {
+			return fmt.Errorf("%w: pc %d outside program", ErrInvalidPC, pc)
+		}
+		m.Steps++
+		if err := m.exec(&m.pcode[pc], &rec); err != nil {
+			return fmt.Errorf("cpu: pc=%d %q: %w", pc, m.Prog.Code[pc].String(), err)
 		}
 	}
 	return nil
 }
 
 // Step retires one instruction, filling rec in place (to avoid a
-// per-instruction allocation on the hot path).
+// per-instruction allocation on the hot path). Dispatch runs over the
+// predecoded program; rec.Instr points at the armlite source of the
+// retired instruction.
 func (m *Machine) Step(rec *Record) error {
 	if m.Halted {
 		return fmt.Errorf("cpu: machine is halted")
@@ -223,19 +272,20 @@ func (m *Machine) Step(rec *Record) error {
 	if m.Steps >= m.cfg.MaxSteps {
 		return fmt.Errorf("%w: %d steps at pc=%d (runaway loop?)", ErrMaxSteps, m.cfg.MaxSteps, m.PC)
 	}
-	if m.PC < 0 || m.PC >= len(m.Prog.Code) {
-		return fmt.Errorf("%w: pc %d outside program", ErrInvalidPC, m.PC)
+	pc := m.PC
+	if uint(pc) >= uint(len(m.pcode)) {
+		return fmt.Errorf("%w: pc %d outside program", ErrInvalidPC, pc)
 	}
-	in := m.Prog.Code[m.PC]
+	u := &m.pcode[pc]
 	rec.Seq = m.Steps
-	rec.PC = m.PC
-	rec.Instr = in
+	rec.PC = pc
+	rec.Instr = &m.Prog.Code[pc]
 	rec.Taken = false
 	rec.Nmem = 0
 	m.Steps++
 
-	if err := m.exec(&in, rec); err != nil {
-		return fmt.Errorf("cpu: pc=%d %q: %w", rec.PC, in.String(), err)
+	if err := m.exec(u, rec); err != nil {
+		return fmt.Errorf("cpu: pc=%d %q: %w", rec.PC, m.Prog.Code[pc].String(), err)
 	}
 	rec.NextPC = m.PC
 	return nil

@@ -1,0 +1,342 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/armlite"
+)
+
+// The predecoded instruction form. armlite.Instr is a convenient
+// assembler-facing representation, but it is a poor one to interpret:
+// every Step would re-branch on HasImm, re-resolve the addressing mode
+// and re-read fields scattered over ~100 bytes (including a string).
+// predecode lowers each program once into a dense array of pInstr
+// entries whose kind fuses the opcode with its resolved operand form
+// (add-immediate vs add-register, offset vs pre-index vs post-index
+// load, ...), so the step loop dispatches through one jump table and
+// touches exactly the fields the instruction needs.
+//
+// The lowering is purely mechanical — no reordering, no fusion across
+// instructions — so PCs, timing and architectural side effects are
+// bit-identical to interpreting armlite.Instr directly (pinned by the
+// golden differential test in internal/experiments).
+
+// pKind is a fused opcode + operand-form tag. The constants must stay
+// dense: the interpreter's switch relies on that to compile into a
+// jump table.
+type pKind uint8
+
+const (
+	pNop pKind = iota
+	pHalt
+
+	// Moves, split by operand form.
+	pMovImm
+	pMovReg
+	pMvnImm
+	pMvnReg
+
+	// Two-source ALU ops, split by operand form.
+	pAddImm
+	pAddReg
+	pSubImm
+	pSubReg
+	pRsbImm
+	pRsbReg
+	pAndImm
+	pAndReg
+	pOrrImm
+	pOrrReg
+	pEorImm
+	pEorReg
+	pBicImm
+	pBicReg
+	pLslImm
+	pLslReg
+	pLsrImm
+	pLsrReg
+	pAsrImm
+	pAsrReg
+
+	// Long-latency integer ops (operand form resolved via flImm).
+	pMul
+	pMla
+	pSdiv
+	pUdiv
+
+	// Compares, split by operand form.
+	pCmpImm
+	pCmpReg
+	pCmnImm
+	pCmnReg
+	pTstImm
+	pTstReg
+
+	// Float ops (operand form resolved via flImm; cold next to the
+	// integer loop bodies the DSA targets).
+	pFAdd
+	pFSub
+	pFMul
+	pFDiv
+	pFCmp
+
+	// Scalar memory, split by resolved addressing mode.
+	pLdrOff    // addr = R[rn] + imm
+	pLdrPre    // addr = R[rn] + imm, R[rn] = addr
+	pLdrPost   // addr = R[rn],       R[rn] = addr + imm
+	pLdrRegOff // addr = R[rn] + R[rm] << shift
+	pStrOff
+	pStrPre
+	pStrPost
+	pStrRegOff
+
+	// Control.
+	pB
+	pBL
+	pBX
+
+	// Vector. The addressing mode of vector memory ops lives in the am
+	// field (they are off the scalar hot path).
+	pVld1
+	pVst1
+	pVdup
+	pVALU // everything neon.ALU handles: arithmetic, shifts, vmov, vbsl
+
+	numPKinds
+)
+
+// pInstr flag bits.
+const (
+	flSet  uint8 = 1 << 0 // SetFlags (the S suffix)
+	flCond uint8 = 1 << 1 // cond != AL on a non-pB instruction (squash check)
+	flImm  uint8 = 1 << 2 // operand 2 is an immediate (pMul/pSdiv/pUdiv/float)
+)
+
+// Vector-memory addressing modes (pInstr.am).
+const (
+	amOff    uint8 = iota // addr = R[rn] + imm
+	amAdv                 // addr = R[rn], R[rn] += VectorBytes ("[rn]!")
+	amPost                // addr = R[rn], R[rn] += imm
+	amRegOff              // addr = R[rn] + R[rm] << shift
+)
+
+// pInstr is one predecoded instruction: 16 bytes of scalar fields plus
+// two 32-bit immediates, dense enough that a loop body stays in one or
+// two cache lines.
+type pInstr struct {
+	kind pKind
+	cond armlite.Cond
+	fl   uint8
+	size uint8 // memory element size in bytes
+	dt   armlite.DataType
+	am   uint8 // vector addressing mode
+	rd   uint8
+	rn   uint8
+	rm   uint8 // also the reg-offset index register
+	ra   uint8
+	qd   uint8 // 0xFF = unused slot (reads as the zero vector)
+	qn   uint8
+	qm   uint8
+	op   armlite.Op // original opcode (vector ALU dispatch, errors)
+
+	imm    int32 // operand-2 immediate / memory offset / vector shift
+	target int32 // branch target
+}
+
+// lowerALU maps a two-source ALU opcode to its (imm, reg) kind pair.
+func lowerALU(op armlite.Op) (immK, regK pKind, ok bool) {
+	switch op {
+	case armlite.OpAdd:
+		return pAddImm, pAddReg, true
+	case armlite.OpSub:
+		return pSubImm, pSubReg, true
+	case armlite.OpRsb:
+		return pRsbImm, pRsbReg, true
+	case armlite.OpAnd:
+		return pAndImm, pAndReg, true
+	case armlite.OpOrr:
+		return pOrrImm, pOrrReg, true
+	case armlite.OpEor:
+		return pEorImm, pEorReg, true
+	case armlite.OpBic:
+		return pBicImm, pBicReg, true
+	case armlite.OpLsl:
+		return pLslImm, pLslReg, true
+	case armlite.OpLsr:
+		return pLsrImm, pLsrReg, true
+	case armlite.OpAsr:
+		return pAsrImm, pAsrReg, true
+	}
+	return 0, 0, false
+}
+
+// pick returns immK when the instruction's operand 2 is an immediate,
+// regK otherwise.
+func pick(in *armlite.Instr, immK, regK pKind) pKind {
+	if in.HasImm {
+		return immK
+	}
+	return regK
+}
+
+// lowerMem resolves a scalar load/store addressing mode to its fused
+// kind. The base kind (off/pre/post/regoff) is offset from ldrBase.
+func lowerMem(in *armlite.Instr, ldrBase pKind) pKind {
+	switch in.Mem.Kind {
+	case armlite.AddrPostIndex:
+		return ldrBase + (pLdrPost - pLdrOff)
+	case armlite.AddrRegOffset:
+		return ldrBase + (pLdrRegOff - pLdrOff)
+	default: // AddrOffset
+		if in.Mem.Writeback {
+			return ldrBase + (pLdrPre - pLdrOff)
+		}
+		return ldrBase
+	}
+}
+
+// lowerVecAM resolves a vector load/store addressing mode.
+func lowerVecAM(in *armlite.Instr) uint8 {
+	switch in.Mem.Kind {
+	case armlite.AddrPostIndex:
+		return amPost
+	case armlite.AddrRegOffset:
+		return amRegOff
+	default:
+		if in.Mem.Writeback {
+			return amAdv
+		}
+		return amOff
+	}
+}
+
+// predecode lowers a validated program. It never fails on a program
+// that passed armlite validation; an unknown opcode is lowered to a
+// trapping entry that reports ErrUnimplemented when reached (matching
+// the interpreter's old late-binding behaviour).
+func predecode(prog *armlite.Program) []pInstr {
+	out := make([]pInstr, len(prog.Code))
+	for i := range prog.Code {
+		out[i] = lower(&prog.Code[i])
+	}
+	return out
+}
+
+// lower translates one instruction.
+func lower(in *armlite.Instr) pInstr {
+	u := pInstr{
+		cond: in.Cond,
+		dt:   in.DT,
+		size: uint8(in.DT.Size()),
+		rd:   uint8(in.Rd),
+		rn:   uint8(in.Rn),
+		rm:   uint8(in.Rm),
+		ra:   uint8(in.Ra),
+		qd:   uint8(in.Qd),
+		qn:   uint8(in.Qn),
+		qm:   uint8(in.Qm),
+		op:   in.Op,
+		imm:  in.Imm,
+	}
+	if in.SetFlags {
+		u.fl |= flSet
+	}
+	if in.Cond != armlite.CondAL && in.Op != armlite.OpB {
+		u.fl |= flCond
+	}
+	if in.HasImm {
+		u.fl |= flImm
+	}
+
+	switch in.Op {
+	case armlite.OpNop:
+		u.kind = pNop
+	case armlite.OpHalt:
+		u.kind = pHalt
+	case armlite.OpMov:
+		u.kind = pick(in, pMovImm, pMovReg)
+	case armlite.OpMvn:
+		u.kind = pick(in, pMvnImm, pMvnReg)
+	case armlite.OpMul:
+		u.kind = pMul
+	case armlite.OpMla:
+		u.kind = pMla
+	case armlite.OpSdiv:
+		u.kind = pSdiv
+	case armlite.OpUdiv:
+		u.kind = pUdiv
+	case armlite.OpCmp:
+		u.kind = pick(in, pCmpImm, pCmpReg)
+	case armlite.OpCmn:
+		u.kind = pick(in, pCmnImm, pCmnReg)
+	case armlite.OpTst:
+		u.kind = pick(in, pTstImm, pTstReg)
+	case armlite.OpFAdd:
+		u.kind = pFAdd
+	case armlite.OpFSub:
+		u.kind = pFSub
+	case armlite.OpFMul:
+		u.kind = pFMul
+	case armlite.OpFDiv:
+		u.kind = pFDiv
+	case armlite.OpFCmp:
+		u.kind = pFCmp
+	case armlite.OpLdr:
+		u.kind = lowerMem(in, pLdrOff)
+		u.rn = uint8(in.Mem.Base)
+		u.rm = uint8(in.Mem.Index)
+		u.imm = in.Mem.Offset
+		u.am = in.Mem.Shift
+	case armlite.OpStr:
+		u.kind = lowerMem(in, pStrOff)
+		u.rn = uint8(in.Mem.Base)
+		u.rm = uint8(in.Mem.Index)
+		u.imm = in.Mem.Offset
+		u.am = in.Mem.Shift
+	case armlite.OpB:
+		u.kind = pB
+		u.target = int32(in.Target)
+	case armlite.OpBL:
+		u.kind = pBL
+		u.target = int32(in.Target)
+	case armlite.OpBX:
+		u.kind = pBX
+	case armlite.OpVld1:
+		u.kind = pVld1
+		u.rn = uint8(in.Mem.Base)
+		u.rm = uint8(in.Mem.Index)
+		u.imm = in.Mem.Offset
+		u.am = lowerVecAM(in)
+	case armlite.OpVst1:
+		u.kind = pVst1
+		u.rn = uint8(in.Mem.Base)
+		u.rm = uint8(in.Mem.Index)
+		u.imm = in.Mem.Offset
+		u.am = lowerVecAM(in)
+	case armlite.OpVdup:
+		u.kind = pVdup
+	default:
+		if immK, regK, ok := lowerALU(in.Op); ok {
+			u.kind = pick(in, immK, regK)
+		} else if in.Op.IsVector() {
+			u.kind = pVALU
+		} else {
+			// Unknown opcode: keep the entry trapping. pVALU rejects
+			// non-vector opcodes with ErrUnimplemented at execution
+			// time, preserving the old interpreter's behaviour for
+			// structurally valid but unexecutable instructions.
+			u.kind = pVALU
+		}
+	}
+	return u
+}
+
+// reshift recovers the reg-offset shift amount (stashed in am for
+// scalar memory kinds, where the vector addressing mode is unused).
+func (u *pInstr) reshift() uint8 { return u.am }
+
+// String aids debugging of the predecoded form.
+func (u *pInstr) String() string {
+	return fmt.Sprintf("pInstr{kind=%d op=%s cond=%v fl=%#x rd=%d rn=%d rm=%d imm=%d target=%d}",
+		u.kind, u.op, u.cond, u.fl, u.rd, u.rn, u.rm, u.imm, u.target)
+}

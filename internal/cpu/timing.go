@@ -16,11 +16,9 @@ const (
 	branchTakenTicks = 20 // 2 cycles: redirect bubble (predictor-amortized)
 )
 
-// issueTicks is the cost of one simple operation at the configured
-// superscalar width (1 cycle / width).
-func (m *Machine) issueTicks() int64 {
-	return int64(TicksPerCycle / m.cfg.Width)
-}
+// The cost of one simple operation at the configured superscalar
+// width (1 cycle / width) is precomputed into Machine.issue at
+// construction so the step loop never divides.
 
 func fpTicks(op armlite.Op) int64 {
 	switch op {

@@ -26,7 +26,7 @@ func (e *Engine) deriveTrip(t *track) *TripInfo {
 	}
 	var fs *StepRec
 	for i := len(recs) - 2; i >= 0; i-- {
-		in := &recs[i].Instr
+		in := recs[i].Instr
 		if in.Op.SetsFlagsAlways() || in.SetFlags {
 			fs = &recs[i]
 			break
@@ -91,7 +91,7 @@ func (e *Engine) deriveTrip(t *track) *TripInfo {
 func (e *Engine) buildRegEnv(t *track, recs []StepRec) *regEnv {
 	env := &regEnv{delta: t.delta, deltaOK: t.deltaOK}
 	for i := range recs {
-		in := &recs[i].Instr
+		in := recs[i].Instr
 		if in.Op.IsMem() {
 			env.ind.Add(in.Mem.Base)
 			env.ind.Add(in.Mem.Index)
@@ -117,7 +117,7 @@ func (t *track) tripLimitValue() uint32 {
 func (e *Engine) buildPatterns(t *track, recs []StepRec, iterA, iterB int) ([]MemPattern, map[memKey]int, error) {
 	// Instruction metadata per site, from the representative records.
 	type siteInfo struct {
-		instr armlite.Instr
+		instr *armlite.Instr
 		store bool
 		size  int
 	}
@@ -183,7 +183,7 @@ func (t *track) structuralPCs(env *regEnv, recs []StepRec) map[int]bool {
 	}
 	induction := func(r armlite.Reg) bool { return env.class(r) == clInduction }
 	for i := range recs {
-		in := &recs[i].Instr
+		in := recs[i].Instr
 		if in.Op.IsMem() || in.Op.IsBranch() || !in.Op.IsALU() {
 			continue
 		}

@@ -209,7 +209,7 @@ func (x *extractor) setElem(dt armlite.DataType) error {
 }
 
 func (x *extractor) step(r *StepRec) error {
-	in := &r.Instr
+	in := r.Instr
 	// Memory-site occurrence numbering must advance even for skipped
 	// instructions so patIdx keys stay aligned.
 	var site memKey

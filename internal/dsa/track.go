@@ -65,9 +65,12 @@ func (s stage) String() string {
 }
 
 // StepRec is one retired instruction inside a tracked iteration.
+// Instr aliases the machine's program (see cpu.Record): the program
+// is immutable while a machine runs, so retained records stay valid
+// across iterations and takeovers.
 type StepRec struct {
 	PC       int
-	Instr    armlite.Instr
+	Instr    *armlite.Instr
 	Taken    bool
 	HasMem   bool
 	MemAddr  uint32

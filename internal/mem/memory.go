@@ -56,17 +56,28 @@ func (m *Memory) Sum64() uint64 {
 	return h
 }
 
+// rangeErr and badSizeErr build the cold-path errors out of line so
+// check, Load and Store stay within the compiler's inlining budget —
+// they sit on the interpreter's per-instruction path.
+func (m *Memory) rangeErr(addr uint32, n int) error {
+	return fmt.Errorf("mem: access [%#x, %#x) %w (size %#x)", addr, int(addr)+n, ErrOutOfRange, len(m.data))
+}
+
+func badSizeErr(size int) error {
+	return fmt.Errorf("mem: bad access size %d", size)
+}
+
 func (m *Memory) check(addr uint32, n int) error {
 	if int(addr)+n > len(m.data) {
-		return fmt.Errorf("mem: access [%#x, %#x) %w (size %#x)", addr, int(addr)+n, ErrOutOfRange, len(m.data))
+		return m.rangeErr(addr, n)
 	}
 	return nil
 }
 
 // Load reads size (1, 2 or 4) bytes at addr, zero-extended.
 func (m *Memory) Load(addr uint32, size int) (uint32, error) {
-	if err := m.check(addr, size); err != nil {
-		return 0, err
+	if int(addr)+size > len(m.data) {
+		return 0, m.rangeErr(addr, size)
 	}
 	switch size {
 	case 1:
@@ -76,14 +87,14 @@ func (m *Memory) Load(addr uint32, size int) (uint32, error) {
 	case 4:
 		return binary.LittleEndian.Uint32(m.data[addr:]), nil
 	default:
-		return 0, fmt.Errorf("mem: bad access size %d", size)
+		return 0, badSizeErr(size)
 	}
 }
 
 // Store writes the low size bytes of v at addr.
 func (m *Memory) Store(addr uint32, size int, v uint32) error {
-	if err := m.check(addr, size); err != nil {
-		return err
+	if int(addr)+size > len(m.data) {
+		return m.rangeErr(addr, size)
 	}
 	if m.journal != nil {
 		m.journal.record(addr, size)
@@ -96,7 +107,7 @@ func (m *Memory) Store(addr uint32, size int, v uint32) error {
 	case 4:
 		binary.LittleEndian.PutUint32(m.data[addr:], v)
 	default:
-		return fmt.Errorf("mem: bad access size %d", size)
+		return badSizeErr(size)
 	}
 	return nil
 }

@@ -1,0 +1,84 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+// Simulator-throughput benchmarks: these time the host interpreter
+// itself (wall-clock, steps/sec) rather than the simulated machine.
+// Machine construction and workload setup run outside the timer —
+// they are dominated by zeroing the 16 MiB memory image, not by
+// interpreter work. cmd/benchsim persists the same measurement to
+// BENCH_sim.json; these exist so `go test -bench` and pprof see it.
+
+// BenchmarkSimThroughputScalar runs the Article-1 suite in scalar mode
+// and reports retired simulated instructions per second.
+func BenchmarkSimThroughputScalar(b *testing.B) {
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var ms []*cpu.Machine
+		for _, name := range experiments.Article1Workloads {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := cpu.MustNew(w.Scalar(), cpu.DefaultConfig())
+			w.Setup(m)
+			ms = append(ms, m)
+		}
+		b.StartTimer()
+		for _, m := range ms {
+			if err := m.Run(nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		steps = 0
+		for _, m := range ms {
+			steps += m.Steps
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkSimThroughputDSA is the same measurement with the extended
+// DSA system attached — detection, analysis and takeovers included.
+func BenchmarkSimThroughputDSA(b *testing.B) {
+	var steps uint64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var ss []*dsa.System
+		for _, name := range experiments.Article1Workloads {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), dsa.DefaultConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.Setup(s.M)
+			ss = append(ss, s)
+		}
+		b.StartTimer()
+		for _, s := range ss {
+			if err := s.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		steps = 0
+		for _, s := range ss {
+			steps += s.M.Steps
+		}
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(steps)*float64(b.N)/b.Elapsed().Seconds(), "steps/s")
+}
