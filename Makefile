@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt race allocs fuzz verify bench bench-smoke batch soak soak-short
+.PHONY: all build test check vet fmt lint race allocs fuzz verify resume-oracle bench bench-smoke batch soak soak-short
 
 all: build test
 
@@ -17,6 +17,15 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# lint runs go vet always, and staticcheck when it is installed (the
+# offline build environment does not ship it; CI installs it).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipped (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -40,6 +49,14 @@ fuzz:
 # verify runs the differential oracle over the whole workload suite.
 verify:
 	$(GO) run ./cmd/dsasim -verify
+
+# resume-oracle runs the interrupt/resume differential oracle on a
+# 3-workload subset (the full sweep runs with the regular test suite):
+# kill at a random step, resume from the snapshot, require bit-identical
+# results. DSASIM_RESUME_SEED replays a failing kill point.
+resume-oracle:
+	DSASIM_RESUME_WORKLOADS=mm_32x32,str_prep,bit_count \
+		$(GO) test -race -run TestInterruptResumeOracle -v ./internal/experiments
 
 # batch runs the whole workload x config matrix under the simulation
 # supervisor (concurrent, deadline-guarded, panic-isolated).

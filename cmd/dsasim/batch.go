@@ -27,6 +27,9 @@ type batchFlags struct {
 	verifyOn  bool
 	hard      bool
 	verbose   bool
+	snapDir   string
+	snapEvery uint64
+	resume    bool
 }
 
 // batchConfig resolves one -configs name to a DSA setup (or scalar).
@@ -95,10 +98,13 @@ func runBatch(f batchFlags) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	opts := runner.Options{
-		Workers: f.workers,
-		Timeout: f.timeout,
-		Retries: f.retries,
-		Backoff: 100 * time.Millisecond,
+		Workers:       f.workers,
+		Timeout:       f.timeout,
+		Retries:       f.retries,
+		Backoff:       100 * time.Millisecond,
+		SnapshotDir:   f.snapDir,
+		SnapshotEvery: f.snapEvery,
+		Resume:        f.resume,
 	}
 	if f.memBudget > 0 {
 		opts.MemBudgetBytes = f.memBudget << 20
@@ -115,6 +121,12 @@ func runBatch(f batchFlags) int {
 		}
 		if r.Attempts > 1 {
 			line += fmt.Sprintf(" attempts=%d", r.Attempts)
+		}
+		if r.ResumedFromStep > 0 {
+			line += fmt.Sprintf(" resumed-from=%d", r.ResumedFromStep)
+		}
+		if r.ResumeNote != "" {
+			line += " snapshot=" + r.ResumeNote
 		}
 		if r.Stats != nil {
 			line += fmt.Sprintf(" takeovers=%d", r.Stats.Takeovers)

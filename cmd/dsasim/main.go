@@ -51,6 +51,9 @@ func main() {
 	retries := flag.Int("retries", 1, "batch: extra attempts after a fault-classified failure")
 	memBudget := flag.Int64("mem-budget", 0, "batch: cap on in-flight job memory in MiB (0 = default, -1 = unlimited)")
 	hard := flag.Bool("hard", false, "batch: surface oracle divergences as job failures (retry/degrade) instead of in-run fallbacks")
+	snapshotDir := flag.String("snapshot-dir", "", "batch: directory for durable per-job checkpoints (empty = checkpointing off)")
+	snapshotEvery := flag.Uint64("snapshot-every", 0, "batch: steps between checkpoints (0 = runner default)")
+	resume := flag.Bool("resume", false, "batch: resume each job from a checkpoint left in -snapshot-dir by a previous run")
 	flag.Parse()
 
 	faultKind, err := dsa.ParseFaultKind(*fault)
@@ -71,6 +74,9 @@ func main() {
 			verifyOn:  *verify,
 			hard:      *hard,
 			verbose:   *verbose,
+			snapDir:   *snapshotDir,
+			snapEvery: *snapshotEvery,
+			resume:    *resume,
 		}))
 	}
 	if *verify || faultKind != dsa.FaultNone {

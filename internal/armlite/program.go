@@ -32,12 +32,17 @@ func (p *Program) Validate() error {
 
 // LabelAt returns the label naming instruction index i, or "".
 func (p *Program) LabelAt(i int) string {
+	// Several labels may share an index (a label line directly above
+	// another); pick the lexicographically smallest so the choice — and
+	// everything derived from String(), like snapshot program
+	// fingerprints — is deterministic across map iteration orders.
+	best := ""
 	for name, idx := range p.Labels {
-		if idx == i {
-			return name
+		if idx == i && (best == "" || name < best) {
+			best = name
 		}
 	}
-	return ""
+	return best
 }
 
 // String disassembles the whole program with labels.

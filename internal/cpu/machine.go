@@ -130,6 +130,11 @@ type Machine struct {
 	cancelFn    func() error
 	cancelEvery uint64
 	cancelLeft  uint64
+
+	// runHook (SetRunHook) fires between retired instructions in the
+	// Run/runQuiet loops only — never inside Step — so snapshot writers
+	// observe the machine exclusively at step boundaries.
+	runHook func() error
 }
 
 // New builds a machine for prog. The program must validate.
@@ -214,6 +219,11 @@ func (m *Machine) Run(obs Observer) error {
 	}
 	var rec Record
 	for !m.Halted {
+		if m.runHook != nil {
+			if err := m.runHook(); err != nil {
+				return err
+			}
+		}
 		if err := m.Step(&rec); err != nil {
 			return err
 		}
@@ -230,6 +240,11 @@ func (m *Machine) Run(obs Observer) error {
 func (m *Machine) runQuiet() error {
 	var rec Record
 	for !m.Halted {
+		if m.runHook != nil {
+			if err := m.runHook(); err != nil {
+				return err
+			}
+		}
 		if m.cancelFn != nil {
 			if m.cancelLeft--; m.cancelLeft == 0 {
 				m.cancelLeft = m.cancelEvery

@@ -1,8 +1,10 @@
 package dsa
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"os"
 )
 
 // ErrInjected is the error an armed FaultExecutorError surfaces from
@@ -170,6 +172,70 @@ func forEachPatternTable(a *Analysis, fn func([]MemPattern)) {
 			fn(cv.Fall.Patterns)
 		}
 	}
+}
+
+// SnapshotFault is a fault class applied to a snapshot *file* rather
+// than to a live takeover: the ways a checkpoint on disk goes bad
+// between the write and the resume. Each class must be detected at
+// restore time — by the container's checksums or version gate — and
+// degrade to an attributed restart-from-zero, never to resuming
+// silently corrupted state.
+type SnapshotFault int
+
+// Snapshot-file fault classes.
+const (
+	// SnapTruncate cuts the file short — a torn write or a filesystem
+	// that lost the tail on power failure.
+	SnapTruncate SnapshotFault = iota
+	// SnapBitFlip flips one bit inside a section — media corruption.
+	SnapBitFlip
+	// SnapVersionSkew rewrites the header version word — a checkpoint
+	// left behind by a different simulator build.
+	SnapVersionSkew
+)
+
+func (k SnapshotFault) String() string {
+	switch k {
+	case SnapTruncate:
+		return "snap-truncate"
+	case SnapBitFlip:
+		return "snap-bitflip"
+	case SnapVersionSkew:
+		return "snap-version-skew"
+	default:
+		return fmt.Sprintf("SnapshotFault(%d)", int(k))
+	}
+}
+
+// SnapshotFaults lists every snapshot-file fault class, for harnesses
+// that sweep them all.
+var SnapshotFaults = []SnapshotFault{SnapTruncate, SnapBitFlip, SnapVersionSkew}
+
+// InjectSnapshotFault corrupts the snapshot file at path in place
+// according to kind. The file must be a valid snapshot container
+// (magic + version header) large enough to damage meaningfully.
+func InjectSnapshotFault(path string, kind SnapshotFault) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	// Header layout (see internal/snapshot): magic [0,4) + version [4,8).
+	if len(raw) < 16 {
+		return fmt.Errorf("snapshot %s too small (%d bytes) to fault", path, len(raw))
+	}
+	switch kind {
+	case SnapTruncate:
+		raw = raw[:len(raw)*2/3]
+	case SnapBitFlip:
+		// Flip a bit in the middle of the body: well past the header, so
+		// detection must come from a section CRC, not the magic check.
+		raw[8+(len(raw)-8)/2] ^= 0x10
+	case SnapVersionSkew:
+		binary.LittleEndian.PutUint32(raw[4:8], binary.LittleEndian.Uint32(raw[4:8])+1)
+	default:
+		return fmt.Errorf("unknown snapshot fault %v", kind)
+	}
+	return os.WriteFile(path, raw, 0o644)
 }
 
 // truncated reports whether the current takeover's windows should be

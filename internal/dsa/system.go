@@ -28,6 +28,10 @@ type System struct {
 
 	cfg    Config
 	faults *FaultInjector
+
+	// runHook (SetRunHook) fires between steps at engine-quiescent
+	// points only — the periodic snapshot tap.
+	runHook func() error
 }
 
 // NewSystem builds a DSA-equipped machine for prog.
@@ -56,6 +60,14 @@ func (s *System) Run() error {
 		if req := s.E.TakeRequest(); req != nil {
 			if err := s.guarded(req); err != nil {
 				return fmt.Errorf("dsa takeover at loop %d: %w", req.Analysis.LoopID, err)
+			}
+		}
+		// Snapshot tap: only between steps, only with no analysis in
+		// flight. A hook due mid-analysis simply fires at the next
+		// quiescent point (tracks decide within ~3 iterations).
+		if s.runHook != nil && s.E.Quiescent() {
+			if err := s.runHook(); err != nil {
+				return err
 			}
 		}
 	}

@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/vectorize"
+	"repro/internal/workloads"
+)
+
+func TestAutoVecDeterministic(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p1, _, err := vectorize.AutoVectorize(w.Scalar(), vectorize.Options{NoAlias: w.NoAlias})
+			if err != nil {
+				t.Skipf("not vectorizable: %v", err)
+			}
+			s1 := p1.String()
+			for i := 0; i < 10; i++ {
+				p2, _, err := vectorize.AutoVectorize(w.Scalar(), vectorize.Options{NoAlias: w.NoAlias})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p2.String() != s1 {
+					t.Fatalf("iter %d: emitted program differs between runs", i)
+				}
+			}
+		})
+	}
+}

@@ -89,8 +89,15 @@ func PageSize() int { return journalPageBytes }
 // when the page was never written under this journal).
 func (j *Journal) SavedPage(base uint32) []byte { return j.pages[base] }
 
-// SnapshotPage copies the *current* contents of the page at base —
-// used to capture a speculative outcome before rolling back.
+// SnapshotPage returns a copy of the *current* contents of the page at
+// base — used to capture a speculative outcome before rolling back,
+// and by snapshot writers serializing the memory image.
+//
+// Copy semantics are part of the contract: the returned slice is
+// freshly allocated and never aliases live memory, so later stores
+// (including journal rollbacks) cannot mutate it after the fact. A
+// snapshot writer that held an aliasing view here could persist a torn
+// read — half pre-store, half post-store bytes.
 func (m *Memory) SnapshotPage(base uint32) []byte {
 	end := int(base) + journalPageBytes
 	if end > len(m.data) {

@@ -78,3 +78,31 @@ func TestSnapshotPage(t *testing.T) {
 		t.Error("snapshot does not match memory contents")
 	}
 }
+
+// TestSnapshotPageNoAlias pins the copy-semantics contract: the slice
+// SnapshotPage returns must never alias live memory, in either
+// direction, including across a journal rollback.
+func TestSnapshotPageNoAlias(t *testing.T) {
+	m := New(1 << 12)
+	m.Store(8, 4, 0xabcd)
+	snap := m.SnapshotPage(0)
+	frozen := append([]byte(nil), snap...)
+
+	// Later stores — plain, and journaled-then-rolled-back — must not
+	// reach into the snapshot.
+	m.Store(8, 4, 0x1111)
+	j := m.BeginJournal()
+	m.Store(12, 4, 0x2222)
+	j.Rollback()
+	if !bytes.Equal(snap, frozen) {
+		t.Error("snapshot mutated by stores after it was taken — SnapshotPage aliases live memory")
+	}
+
+	// Writes through the snapshot must not reach back into memory.
+	for i := range snap {
+		snap[i] = 0xff
+	}
+	if v, _ := m.Load(8, 4); v != 0x1111 {
+		t.Errorf("memory word = %#x after scribbling on snapshot, want 0x1111", v)
+	}
+}

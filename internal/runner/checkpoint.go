@@ -1,0 +1,186 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/dsa"
+	"repro/internal/snapshot"
+)
+
+// DefaultSnapshotEvery is the step interval between periodic
+// checkpoints when Options.SnapshotEvery is zero.
+const DefaultSnapshotEvery = 5_000_000
+
+// DefaultSnapshotInterval is the wall-clock interval between periodic
+// checkpoints when Options.SnapshotInterval is zero — a checkpoint is
+// written when *either* threshold is crossed.
+const DefaultSnapshotInterval = 30 * time.Second
+
+// checkpointer owns one job's snapshot file: it decides when a
+// checkpoint is due, writes it crash-consistently, and restores the
+// last good one. Save failures disable further checkpointing but never
+// fail the run — a job without durability still beats no job.
+type checkpointer struct {
+	path       string
+	everySteps uint64
+	interval   time.Duration
+
+	lastSteps uint64
+	lastWall  time.Time
+	disabled  bool
+	saveErr   error
+}
+
+func newCheckpointer(jobName string, opts Options) *checkpointer {
+	if opts.SnapshotDir == "" {
+		return nil
+	}
+	ck := &checkpointer{
+		path:       filepath.Join(opts.SnapshotDir, snapshotFileName(jobName)),
+		everySteps: opts.SnapshotEvery,
+		interval:   opts.SnapshotInterval,
+	}
+	if ck.everySteps == 0 {
+		ck.everySteps = DefaultSnapshotEvery
+	}
+	if ck.interval == 0 {
+		ck.interval = DefaultSnapshotInterval
+	}
+	return ck
+}
+
+// snapshotFileName maps a job name ("mm_32/extended") to a flat,
+// filesystem-safe file name.
+func snapshotFileName(jobName string) string {
+	r := strings.NewReplacer("/", "_", string(os.PathSeparator), "_", " ", "_")
+	return r.Replace(jobName) + ".dsnp"
+}
+
+// hook returns the run-hook closure for one attempt: it fires between
+// steps (at quiescent points for DSA systems), checks whether a
+// checkpoint is due by steps or wall clock, and saves. steps reads the
+// machine's current step counter; save serializes the full state.
+func (ck *checkpointer) hook(steps func() uint64, save func(w *snapshot.Writer) error) func() error {
+	ck.lastSteps = steps()
+	ck.lastWall = time.Now()
+	return func() error {
+		if ck.disabled {
+			return nil
+		}
+		now := steps()
+		if now-ck.lastSteps < ck.everySteps && time.Since(ck.lastWall) < ck.interval {
+			return nil
+		}
+		var w snapshot.Writer
+		if err := save(&w); err != nil {
+			ck.disable(err)
+			return nil
+		}
+		if err := w.WriteFile(ck.path); err != nil {
+			ck.disable(err)
+			return nil
+		}
+		ck.lastSteps = now
+		ck.lastWall = time.Now()
+		return nil
+	}
+}
+
+func (ck *checkpointer) disable(err error) {
+	ck.disabled = true
+	if ck.saveErr == nil {
+		ck.saveErr = err
+	}
+}
+
+// restore loads the last good checkpoint into the restorer. It returns
+// (resumedFromStep, "") on success and (0, note) when no resume was
+// possible — the note attributes why the run restarts from zero
+// (missing file, corruption class, version skew, mismatch). A bad file
+// is deleted so the next attempt does not trip over it again, and the
+// caller MUST rebuild its machine from scratch: a failed restore may
+// have partially overwritten state.
+func (ck *checkpointer) restore(restoreFn func(r *snapshot.Reader) error, steps func() uint64) (uint64, string) {
+	rd, err := snapshot.ReadFile(ck.path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, ""
+		}
+		os.Remove(ck.path)
+		return 0, "restart-from-zero: " + restoreCause(err)
+	}
+	if err := restoreFn(rd); err != nil {
+		os.Remove(ck.path)
+		return 0, "restart-from-zero: " + restoreCause(err)
+	}
+	return steps(), ""
+}
+
+// restoreCause classifies a restore failure through the snapshot
+// package's typed sentinels, never message text.
+func restoreCause(err error) string {
+	switch {
+	case errors.Is(err, snapshot.ErrVersion):
+		return "snapshot-version-skew"
+	case errors.Is(err, snapshot.ErrMismatch):
+		return "snapshot-mismatch"
+	case errors.Is(err, snapshot.ErrBadMagic):
+		return "snapshot-bad-magic"
+	case errors.Is(err, snapshot.ErrTruncated), errors.Is(err, snapshot.ErrCorrupt):
+		return "snapshot-corrupt"
+	default:
+		return "snapshot-read-error"
+	}
+}
+
+// cleanup removes the job's snapshot after a successful terminal
+// result; a failed job's last checkpoint stays on disk for post-mortem
+// resume.
+func (ck *checkpointer) cleanup() {
+	os.Remove(ck.path)
+}
+
+// attachMachine wires periodic checkpointing into a scalar machine.
+func (ck *checkpointer) attachMachine(m *cpu.Machine) {
+	m.SetRunHook(ck.hook(
+		func() uint64 { return m.Steps },
+		func(w *snapshot.Writer) error { m.SaveState(w); return nil },
+	))
+}
+
+// attachSystem wires periodic checkpointing into a DSA system; the
+// system calls the hook only at engine-quiescent points, so a due
+// checkpoint mid-analysis is postponed a few steps.
+func (ck *checkpointer) attachSystem(sys *dsa.System) {
+	sys.SetRunHook(ck.hook(
+		func() uint64 { return sys.M.Steps },
+		sys.SaveState,
+	))
+}
+
+// resumeMachine tries to restore a scalar machine from the last good
+// checkpoint. On failure the machine must be rebuilt by the caller.
+func (ck *checkpointer) resumeMachine(m *cpu.Machine) (uint64, string) {
+	return ck.restore(m.RestoreState, func() uint64 { return m.Steps })
+}
+
+// resumeSystem tries to restore a DSA system from the last good
+// checkpoint. On failure the system must be rebuilt by the caller.
+func (ck *checkpointer) resumeSystem(sys *dsa.System) (uint64, string) {
+	return ck.restore(sys.RestoreState, func() uint64 { return sys.M.Steps })
+}
+
+// note renders the checkpointer's non-fatal trouble (a disabled save)
+// for result attribution.
+func (ck *checkpointer) note() string {
+	if ck == nil || ck.saveErr == nil {
+		return ""
+	}
+	return fmt.Sprintf("checkpointing-disabled: %v", ck.saveErr)
+}

@@ -26,6 +26,7 @@ package runner
 import (
 	"context"
 	"fmt"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sort"
@@ -91,6 +92,26 @@ type Options struct {
 	// NoDegrade disables the final DSA-off rung (ablation runs where
 	// a degraded result would be misleading).
 	NoDegrade bool
+	// SnapshotDir, when non-empty, enables durable checkpointing: each
+	// job periodically writes a crash-consistent snapshot of its full
+	// simulation state under this directory, retries resume from the
+	// last good checkpoint instead of restarting, and a snapshot whose
+	// restore fails validation is discarded with an attributed
+	// restart-from-zero. Snapshots of successful jobs are deleted; a
+	// failed job's last checkpoint is kept for post-mortem resume.
+	SnapshotDir string
+	// SnapshotEvery is the step interval between checkpoints
+	// (0 = DefaultSnapshotEvery).
+	SnapshotEvery uint64
+	// SnapshotInterval is the wall-clock interval between checkpoints
+	// (0 = DefaultSnapshotInterval); a checkpoint is written when
+	// either threshold is crossed.
+	SnapshotInterval time.Duration
+	// Resume lets the *first* attempt of each job restore from a
+	// checkpoint left by a previous batch run. Without it, pre-existing
+	// snapshot files are ignored (and overwritten); retries within this
+	// run resume from their own checkpoints regardless.
+	Resume bool
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +144,13 @@ type Result struct {
 	// MemSum digests the successful run's final memory image; equal
 	// digests mean byte-identical images.
 	MemSum uint64
+	// ResumedFromStep is the step count the successful attempt restored
+	// from (0 = ran from the beginning).
+	ResumedFromStep uint64
+	// ResumeNote attributes snapshot trouble that did not fail the job:
+	// a discarded-as-corrupt checkpoint ("restart-from-zero: ...") or
+	// checkpointing disabled after a save error.
+	ResumeNote string
 	// Err is the terminal error of a failed job.
 	Err error
 }
@@ -145,6 +173,11 @@ type Report struct {
 // report still accounts for every job.
 func Run(ctx context.Context, jobs []Job, opts Options) *Report {
 	opts = opts.withDefaults()
+	if opts.SnapshotDir != "" {
+		// Best-effort: if the directory cannot be created, each job's
+		// first save fails and disables its checkpointing with a note.
+		_ = os.MkdirAll(opts.SnapshotDir, 0o755)
+	}
 	bud := newMemBudget(ctx, opts.MemBudgetBytes)
 	results := make([]Result, len(jobs))
 
@@ -191,6 +224,8 @@ func runJob(ctx context.Context, job Job, opts Options, bud *memBudget) (res Res
 	res = Result{Job: job.Name, Status: StatusFailed, Cause: "error"}
 	defer func() { res.Wall = time.Since(start) }()
 
+	ck := newCheckpointer(job.Name, opts)
+
 	var lastCause string
 	var lastErr error
 	for a := 0; a <= opts.Retries; a++ {
@@ -200,11 +235,15 @@ func runJob(ctx context.Context, job Job, opts Options, bud *memBudget) (res Res
 			}
 		}
 		res.Attempts++
-		out, err := attempt(ctx, job, opts, bud, job.DSAOff)
+		// The first attempt resumes a previous run's checkpoint only
+		// when the batch opted in; retries always resume from this
+		// run's own last good checkpoint.
+		resume := opts.Resume || a > 0
+		out, err := attempt(ctx, job, opts, bud, job.DSAOff, ck, resume)
 		if err == nil {
 			res.Status = StatusOK
 			res.Cause = ""
-			res.Ticks, res.Stats, res.MemSum = out.ticks, out.stats, out.memSum
+			fillOutcome(&res, out, ck)
 			return res
 		}
 		cause, retryable := classify(err)
@@ -215,14 +254,17 @@ func runJob(ctx context.Context, job Job, opts Options, bud *memBudget) (res Res
 	}
 
 	// Degradation rung: the DSA path is lost; salvage a scalar result.
+	// It always runs fresh from zero with no checkpointing: the last
+	// checkpoint belongs to the abandoned DSA path and must not leak
+	// simulation state into the scalar-correct rerun.
 	if !opts.NoDegrade && !job.DSAOff && ctx.Err() == nil && degradable(lastErr) {
 		res.Attempts++
-		out, err := attempt(ctx, job, opts, bud, true)
+		out, err := attempt(ctx, job, opts, bud, true, nil, false)
 		if err == nil {
 			res.Status = StatusDegraded
 			res.Degraded = true
 			res.Cause = lastCause
-			res.Ticks, res.Stats, res.MemSum = out.ticks, out.stats, out.memSum
+			fillOutcome(&res, out, ck)
 			return res
 		}
 		// The scalar rerun's own failure is the terminal one, but keep
@@ -240,14 +282,34 @@ func runJob(ctx context.Context, job Job, opts Options, bud *memBudget) (res Res
 // outcome carries what a successful attempt leaves behind — counters
 // and a digest, never the machine.
 type outcome struct {
-	ticks  int64
-	stats  *dsa.Stats
-	memSum uint64
+	ticks       int64
+	stats       *dsa.Stats
+	memSum      uint64
+	resumedFrom uint64
+	resumeNote  string
+}
+
+// fillOutcome copies a successful attempt's outcome into the terminal
+// result and retires the job's snapshot — a finished job needs no
+// checkpoint, and a stale one would poison a future -resume batch.
+func fillOutcome(res *Result, out *outcome, ck *checkpointer) {
+	res.Ticks, res.Stats, res.MemSum = out.ticks, out.stats, out.memSum
+	res.ResumedFromStep = out.resumedFrom
+	res.ResumeNote = out.resumeNote
+	if res.ResumeNote == "" {
+		res.ResumeNote = ck.note()
+	}
+	if ck != nil {
+		ck.cleanup()
+	}
 }
 
 // attempt runs the job once, DSA on or off, under the memory budget,
-// the per-attempt deadline and the panic guard.
-func attempt(ctx context.Context, job Job, opts Options, bud *memBudget, dsaOff bool) (out *outcome, err error) {
+// the per-attempt deadline and the panic guard. A non-nil ck wires
+// periodic checkpointing into the run; resume additionally restores
+// the last good checkpoint before running (restart-from-zero with an
+// attributed note if the file is missing, corrupt, or mismatched).
+func attempt(ctx context.Context, job Job, opts Options, bud *memBudget, dsaOff bool, ck *checkpointer, resume bool) (out *outcome, err error) {
 	fp := footprint(job)
 	if err := bud.acquire(ctx, fp); err != nil {
 		return nil, err
@@ -275,34 +337,79 @@ func attempt(ctx context.Context, job Job, opts Options, bud *memBudget, dsaOff 
 	}()
 
 	if dsaOff {
-		m, err := cpu.New(job.Workload.Scalar(), job.CPU)
+		// Baseline jobs carry machine-only snapshots (no dsa.* sections).
+		newM := func() (*cpu.Machine, error) {
+			m, err := cpu.New(job.Workload.Scalar(), job.CPU)
+			if err != nil {
+				return nil, err
+			}
+			m.SetCancelCheck(actx.Err, opts.CancelEvery)
+			job.Workload.Setup(m)
+			if ck != nil {
+				ck.attachMachine(m)
+			}
+			return m, nil
+		}
+		m, err := newM()
 		if err != nil {
 			return nil, err
 		}
-		m.SetCancelCheck(actx.Err, opts.CancelEvery)
-		job.Workload.Setup(m)
+		var resumedFrom uint64
+		var resumeNote string
+		if ck != nil && resume {
+			resumedFrom, resumeNote = ck.resumeMachine(m)
+			if resumeNote != "" {
+				// A failed restore may leave the machine half-written;
+				// rebuild it from scratch and run from zero.
+				if m, err = newM(); err != nil {
+					return nil, err
+				}
+			}
+		}
 		if err := m.Run(nil); err != nil {
 			return nil, err
 		}
 		if err := job.Workload.Check(m); err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrCheckFailed, err)
 		}
-		return &outcome{ticks: m.Ticks, memSum: m.Mem.Sum64()}, nil
+		return &outcome{ticks: m.Ticks, memSum: m.Mem.Sum64(),
+			resumedFrom: resumedFrom, resumeNote: resumeNote}, nil
 	}
 
-	sys, err := dsa.NewSystem(job.Workload.Scalar(), job.CPU, job.DSA)
+	newSys := func() (*dsa.System, error) {
+		sys, err := dsa.NewSystem(job.Workload.Scalar(), job.CPU, job.DSA)
+		if err != nil {
+			return nil, err
+		}
+		sys.M.SetCancelCheck(actx.Err, opts.CancelEvery)
+		job.Workload.Setup(sys.M)
+		if ck != nil {
+			ck.attachSystem(sys)
+		}
+		return sys, nil
+	}
+	sys, err := newSys()
 	if err != nil {
 		return nil, err
 	}
-	sys.M.SetCancelCheck(actx.Err, opts.CancelEvery)
-	job.Workload.Setup(sys.M)
+	var resumedFrom uint64
+	var resumeNote string
+	if ck != nil && resume {
+		resumedFrom, resumeNote = ck.resumeSystem(sys)
+		if resumeNote != "" {
+			if sys, err = newSys(); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if err := sys.Run(); err != nil {
 		return nil, err
 	}
 	if err := job.Workload.Check(sys.M); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCheckFailed, err)
 	}
-	return &outcome{ticks: sys.M.Ticks, stats: sys.Stats().Snapshot(), memSum: sys.M.Mem.Sum64()}, nil
+	return &outcome{ticks: sys.M.Ticks, stats: sys.Stats().Snapshot(), memSum: sys.M.Mem.Sum64(),
+		resumedFrom: resumedFrom, resumeNote: resumeNote}, nil
 }
 
 // sleepCtx sleeps for d unless ctx is canceled first; it reports

@@ -1,0 +1,188 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample(t *testing.T) []byte {
+	t.Helper()
+	var w Writer
+	w.Add("alpha", []byte("hello world"))
+	w.Add("beta", make([]byte, 4096))
+	var e Enc
+	e.U32(7)
+	e.I64(-42)
+	e.Str("gamma-data")
+	e.Bool(true)
+	w.Add("gamma", e.Bytes())
+	return w.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := sample(t)
+	r, err := Parse(b)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := r.Names(); len(got) != 3 || got[0] != "alpha" || got[2] != "gamma" {
+		t.Fatalf("Names = %v", got)
+	}
+	a, err := r.Section("alpha")
+	if err != nil || string(a) != "hello world" {
+		t.Fatalf("alpha = %q, %v", a, err)
+	}
+	g, _ := r.Section("gamma")
+	d := NewDec(g)
+	if v := d.U32(); v != 7 {
+		t.Fatalf("U32 = %d", v)
+	}
+	if v := d.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := d.Str(); v != "gamma-data" {
+		t.Fatalf("Str = %q", v)
+	}
+	if !d.Bool() {
+		t.Fatal("Bool = false")
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("Done: %v", err)
+	}
+	if _, err := r.Section("missing"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing section: %v", err)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.dsnp")
+	var w Writer
+	w.Add("s", []byte{1, 2, 3})
+	if err := w.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	// No temp droppings left behind.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(ents))
+	}
+	r, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	s, _ := r.Section("s")
+	if len(s) != 3 || s[2] != 3 {
+		t.Fatalf("section = %v", s)
+	}
+}
+
+func TestDetectsBadMagic(t *testing.T) {
+	b := sample(t)
+	b[0] = 'X'
+	if _, err := Parse(b); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+	if _, err := Parse(nil); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("empty file: %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDetectsVersionSkew(t *testing.T) {
+	b := sample(t)
+	binary.LittleEndian.PutUint32(b[4:], Version+1)
+	err := parseErr(t, b)
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+	// Version skew must NOT be reported as corruption: the caller
+	// messaging differs ("stale snapshot after upgrade" vs "damaged
+	// file").
+	if errors.Is(err, ErrCorrupt) {
+		t.Fatalf("version skew misattributed as corruption: %v", err)
+	}
+}
+
+func TestDetectsTruncation(t *testing.T) {
+	b := sample(t)
+	for _, n := range []int{len(b) - 1, len(b) / 2, len(magic) + 3, 10} {
+		if _, err := Parse(b[:n]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+func TestDetectsBitFlips(t *testing.T) {
+	orig := sample(t)
+	// Flip one bit at a time across the whole body (skip the 4-byte
+	// version word: flipping it is version skew by design, and the
+	// magic which is its own class).
+	for i := len(magic) + 4; i < len(orig); i++ {
+		b := append([]byte(nil), orig...)
+		b[i] ^= 0x40
+		if _, err := Parse(b); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestDetectsTrailingGarbage(t *testing.T) {
+	b := append(sample(t), 0xAA, 0xBB)
+	if _, err := Parse(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDetectsDuplicateSections(t *testing.T) {
+	var w Writer
+	w.Add("dup", []byte{1})
+	w.Add("dup", []byte{2})
+	if _, err := Parse(w.Bytes()); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDetectsHugeClaimedLengths(t *testing.T) {
+	// A corrupted section count or length must not drive a huge
+	// allocation; it should fail cleanly.
+	b := []byte(magic)
+	b = binary.LittleEndian.AppendUint32(b, Version)
+	b = binary.LittleEndian.AppendUint32(b, 1<<31)
+	if _, err := Parse(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge count: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecStickyErrors(t *testing.T) {
+	d := NewDec([]byte{1, 2})
+	_ = d.U64() // overruns
+	if d.Err() == nil {
+		t.Fatal("overrun not detected")
+	}
+	if v := d.U32(); v != 0 {
+		t.Fatalf("post-error read = %d, want 0", v)
+	}
+	if err := d.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Done = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecTrailingBytes(t *testing.T) {
+	d := NewDec([]byte{1, 0, 0, 0, 99})
+	_ = d.U32()
+	if err := d.Done(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Done = %v, want ErrCorrupt for trailing bytes", err)
+	}
+}
+
+func parseErr(t *testing.T, b []byte) error {
+	t.Helper()
+	_, err := Parse(b)
+	if err == nil {
+		t.Fatal("Parse succeeded on damaged input")
+	}
+	return err
+}

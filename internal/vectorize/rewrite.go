@@ -155,10 +155,13 @@ func rewriteLoop(p *armlite.Program, an *analysis) (*armlite.Program, error) {
 	// Back-branch target patched after layout.
 	vbody = append(vbody, armlite.Branch(armlite.CondNE, -1))
 
-	// Fixups: advance induction registers the vector loop did not.
+	// Fixups: advance induction registers the vector loop did not, in
+	// register order so the emitted program is deterministic (snapshot
+	// fingerprints hash the listing).
 	advanced := int64(chunks * lanes)
-	for r, d := range an.induction {
-		if vecAdvanced[r] {
+	for r := armlite.Reg(0); r < armlite.NumRegs; r++ {
+		d, ok := an.induction[r]
+		if !ok || vecAdvanced[r] {
 			continue
 		}
 		fix = append(fix, armlite.ALUImm(armlite.OpAdd, r, r, int32(d*advanced)))
