@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race allocs fuzz verify resume-oracle bench bench-smoke batch soak soak-short
+.PHONY: all build test check vet fmt lint race allocs fuzz verify resume-oracle bench bench-smoke batch soak soak-short serve service-smoke
 
 all: build test
 
@@ -72,6 +72,20 @@ soak-short:
 # soak is the extended chaos soak (adds sparse fault arming).
 soak:
 	$(GO) test -race -run TestChaosSoak -timeout 1800s ./internal/integration
+
+# serve boots the dsasimd simulation service on :8077 with its state
+# under ./dsasimd-data (job table + per-job checkpoints). SIGTERM
+# drains gracefully; restarting resumes interrupted jobs.
+serve:
+	$(GO) run ./cmd/dsasimd -addr :8077 -data dsasimd-data
+
+# service-smoke is the CI gate for the dsasimd service: the HTTP e2e
+# suite (submit/poll parity, 429 backpressure, SSE progress, metric
+# names, drain→restart resume) under the race detector, then the real
+# binary booted and driven over HTTP with a SIGTERM shutdown.
+service-smoke:
+	$(GO) test -race -timeout 600s ./internal/server
+	$(GO) test -run TestDaemonSmoke -timeout 300s ./cmd/dsasimd
 
 # bench measures simulator throughput (wall-clock, steps/sec, scalar
 # and DSA modes) and persists it as BENCH_sim.json, then runs the Go

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/signal"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dsa"
 	"repro/internal/runner"
+	"repro/internal/server"
 	"repro/internal/workloads"
 )
 
@@ -30,20 +32,11 @@ type batchFlags struct {
 	snapDir   string
 	snapEvery uint64
 	resume    bool
-}
-
-// batchConfig resolves one -configs name to a DSA setup (or scalar).
-func batchConfig(name string) (cfg dsa.Config, dsaOff bool, err error) {
-	switch name {
-	case "extended":
-		return dsa.DefaultConfig(), false, nil
-	case "original":
-		return dsa.OriginalConfig(), false, nil
-	case "scalar":
-		return dsa.Config{}, true, nil
-	default:
-		return dsa.Config{}, false, fmt.Errorf("unknown config %q (want extended, original or scalar)", name)
-	}
+	// jsonOut emits one JSON result line per job to stdout — the same
+	// ResultJSON schema the dsasimd service returns, so CLI and
+	// service results are diffable. Human-readable reporting moves to
+	// stderr.
+	jsonOut bool
 }
 
 // runBatch executes the workload × config job matrix under the
@@ -67,7 +60,7 @@ func runBatch(f batchFlags) int {
 	var jobs []runner.Job
 	for _, cfgName := range strings.Split(f.configs, ",") {
 		cfgName = strings.TrimSpace(cfgName)
-		cfg, dsaOff, err := batchConfig(cfgName)
+		cfg, dsaOff, err := server.ConfigByName(cfgName)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
@@ -113,6 +106,22 @@ func runBatch(f batchFlags) int {
 	}
 
 	rep := runner.Run(ctx, jobs, opts)
+
+	if f.jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, r := range rep.Results {
+			if err := enc.Encode(server.ResultFromRunner(r)); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 1
+			}
+		}
+		fmt.Fprintf(os.Stderr, "batch: %d jobs — %d ok, %d degraded, %d failed; %d retries; wall %s\n",
+			len(rep.Results), rep.OK, rep.Degrade, rep.Failed, rep.Retries, rep.Wall.Round(time.Millisecond))
+		if rep.Failed > 0 {
+			return 1
+		}
+		return 0
+	}
 
 	for _, r := range rep.Results {
 		line := fmt.Sprintf("%-24s %-9s", r.Job, r.Status)

@@ -54,6 +54,7 @@ func main() {
 	snapshotDir := flag.String("snapshot-dir", "", "batch: directory for durable per-job checkpoints (empty = checkpointing off)")
 	snapshotEvery := flag.Uint64("snapshot-every", 0, "batch: steps between checkpoints (0 = runner default)")
 	resume := flag.Bool("resume", false, "batch: resume each job from a checkpoint left in -snapshot-dir by a previous run")
+	jsonOut := flag.Bool("json", false, "batch: emit one JSON result line per job to stdout (the dsasimd service schema); summary goes to stderr")
 	flag.Parse()
 
 	faultKind, err := dsa.ParseFaultKind(*fault)
@@ -77,6 +78,7 @@ func main() {
 			snapDir:   *snapshotDir,
 			snapEvery: *snapshotEvery,
 			resume:    *resume,
+			jsonOut:   *jsonOut,
 		}))
 	}
 	if *verify || faultKind != dsa.FaultNone {

@@ -1,0 +1,116 @@
+// Command dsasimd is the networked simulation service: it accepts
+// simulation jobs over HTTP/JSON (built-in workloads or raw armlite
+// assembly × a DSA configuration), admits them through a bounded
+// queue with explicit backpressure, executes them on the simulation
+// supervisor's worker pool, and reports job lifecycle via polling,
+// server-sent events, and Prometheus metrics.
+//
+//	dsasimd -addr :8077 -data dsasimd-data
+//
+//	curl -s localhost:8077/v1/jobs -d '{"workload":"mm_32x32","config":"extended"}'
+//	curl -s localhost:8077/v1/jobs/j000001
+//	curl -N  localhost:8077/v1/jobs/j000001/events
+//	curl -s  localhost:8077/metrics
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: running jobs write a
+// final checkpoint and unwind, the job table is persisted, and a
+// restarted daemon resumes the interrupted jobs bit-identically.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8077", "listen address (host:port; port 0 picks a free port)")
+	dataDir := flag.String("data", "dsasimd-data", "state directory: job table + per-job checkpoints")
+	queueDepth := flag.Int("queue", server.DefaultQueueDepth, "admission queue capacity (full queue answers 429)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 2*time.Minute, "per-attempt deadline (0 = none)")
+	retries := flag.Int("retries", 1, "extra attempts after a fault-classified failure")
+	memBudget := flag.Int64("mem-budget", 0, "cap on in-flight job memory in MiB (0 = default, -1 = unlimited)")
+	snapshotEvery := flag.Uint64("snapshot-every", 0, "steps between periodic job checkpoints (0 = runner default)")
+	progressEvery := flag.Uint64("progress-every", 0, "steps between live progress samples (0 = runner default)")
+	retryAfter := flag.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint on 429 responses")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs to checkpoint on shutdown")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+
+	if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+		logger.Fatalf("dsasimd: %v", err)
+	}
+	ropts := runner.Options{
+		Timeout:       *jobTimeout,
+		Retries:       *retries,
+		Backoff:       100 * time.Millisecond,
+		SnapshotEvery: *snapshotEvery,
+		ProgressEvery: *progressEvery,
+	}
+	if *memBudget > 0 {
+		ropts.MemBudgetBytes = *memBudget << 20
+	} else if *memBudget < 0 {
+		ropts.MemBudgetBytes = -1
+	}
+
+	srv, err := server.New(server.Config{
+		QueueDepth:  *queueDepth,
+		Workers:     *workers,
+		SnapshotDir: filepath.Join(*dataDir, "snapshots"),
+		StateFile:   filepath.Join(*dataDir, "jobs.dsnp"),
+		Runner:      ropts,
+		RetryAfter:  *retryAfter,
+		Logf:        logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("dsasimd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("dsasimd: %v", err)
+	}
+	// The resolved address line is load-bearing: the smoke test (and
+	// scripts using -addr :0) scrape it to find the port.
+	logger.Printf("dsasimd: listening on %s", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case got := <-sig:
+		logger.Printf("dsasimd: %s — draining", got)
+	case err := <-errCh:
+		logger.Fatalf("dsasimd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain first: the pool's draining flag already turns new
+	// submissions into 503s, running jobs checkpoint and unwind, and
+	// the job table is persisted. Only then tear the listener down —
+	// interrupted jobs never emit a terminal SSE event, so a graceful
+	// http.Shutdown would hang on their open streams.
+	if err := srv.Drain(ctx); err != nil {
+		logger.Printf("dsasimd: drain: %v", err)
+		_ = hs.Close()
+		os.Exit(1)
+	}
+	_ = hs.Close()
+	logger.Printf("dsasimd: bye")
+}

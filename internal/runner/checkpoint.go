@@ -35,6 +35,10 @@ type checkpointer struct {
 	lastWall  time.Time
 	disabled  bool
 	saveErr   error
+
+	// save is the current attempt's serializer, retained so a drain
+	// can force a final checkpoint outside the periodic cadence.
+	save func(w *snapshot.Writer) error
 }
 
 func newCheckpointer(jobName string, opts Options) *checkpointer {
@@ -69,6 +73,7 @@ func snapshotFileName(jobName string) string {
 func (ck *checkpointer) hook(steps func() uint64, save func(w *snapshot.Writer) error) func() error {
 	ck.lastSteps = steps()
 	ck.lastWall = time.Now()
+	ck.save = save
 	return func() error {
 		if ck.disabled {
 			return nil
@@ -77,19 +82,32 @@ func (ck *checkpointer) hook(steps func() uint64, save func(w *snapshot.Writer) 
 		if now-ck.lastSteps < ck.everySteps && time.Since(ck.lastWall) < ck.interval {
 			return nil
 		}
-		var w snapshot.Writer
-		if err := save(&w); err != nil {
-			ck.disable(err)
-			return nil
-		}
-		if err := w.WriteFile(ck.path); err != nil {
-			ck.disable(err)
+		if !ck.saveNow() {
 			return nil
 		}
 		ck.lastSteps = now
 		ck.lastWall = time.Now()
 		return nil
 	}
+}
+
+// saveNow serializes and writes a checkpoint immediately, reporting
+// whether it succeeded. Failures disable the checkpointer (attributed
+// via note) but never fail the run.
+func (ck *checkpointer) saveNow() bool {
+	if ck == nil || ck.disabled || ck.save == nil {
+		return false
+	}
+	var w snapshot.Writer
+	if err := ck.save(&w); err != nil {
+		ck.disable(err)
+		return false
+	}
+	if err := w.WriteFile(ck.path); err != nil {
+		ck.disable(err)
+		return false
+	}
+	return true
 }
 
 func (ck *checkpointer) disable(err error) {
@@ -146,22 +164,23 @@ func (ck *checkpointer) cleanup() {
 	os.Remove(ck.path)
 }
 
-// attachMachine wires periodic checkpointing into a scalar machine.
-func (ck *checkpointer) attachMachine(m *cpu.Machine) {
-	m.SetRunHook(ck.hook(
+// machineHook wires a scalar machine's serializer into the
+// checkpointer and returns the periodic hook for the attempt's chain.
+func (ck *checkpointer) machineHook(m *cpu.Machine) func() error {
+	return ck.hook(
 		func() uint64 { return m.Steps },
 		func(w *snapshot.Writer) error { m.SaveState(w); return nil },
-	))
+	)
 }
 
-// attachSystem wires periodic checkpointing into a DSA system; the
-// system calls the hook only at engine-quiescent points, so a due
+// systemHook wires a DSA system's serializer into the checkpointer;
+// the system calls the hook only at engine-quiescent points, so a due
 // checkpoint mid-analysis is postponed a few steps.
-func (ck *checkpointer) attachSystem(sys *dsa.System) {
-	sys.SetRunHook(ck.hook(
+func (ck *checkpointer) systemHook(sys *dsa.System) func() error {
+	return ck.hook(
 		func() uint64 { return sys.M.Steps },
 		sys.SaveState,
-	))
+	)
 }
 
 // resumeMachine tries to restore a scalar machine from the last good

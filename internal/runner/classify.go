@@ -41,6 +41,10 @@ func classify(err error) (cause string, retryable bool) {
 	switch {
 	case errors.As(err, &pe):
 		return "panic", true
+	case errors.Is(err, ErrDrained):
+		// A pool drain is not a failure of the job: the attempt
+		// checkpointed and unwound so the owner can resume it later.
+		return CauseDrained, false
 	case errors.Is(err, context.DeadlineExceeded):
 		return "deadline", true
 	case errors.Is(err, context.Canceled):
@@ -77,6 +81,7 @@ func classify(err error) (cause string, retryable bool) {
 func degradable(err error) bool {
 	switch {
 	case errors.Is(err, context.Canceled),
+		errors.Is(err, ErrDrained),
 		errors.Is(err, cpu.ErrMaxSteps),
 		errors.Is(err, cpu.ErrInvalidPC),
 		errors.Is(err, cpu.ErrUnimplemented):

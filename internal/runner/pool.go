@@ -1,0 +1,197 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"sync/atomic"
+)
+
+// ErrDrained marks an attempt stopped by Pool.Drain: the attempt wrote
+// a final checkpoint at a step boundary (when checkpointing is on) and
+// unwound, so a restarted owner can resume it bit-identically. Drained
+// jobs are neither retried nor degraded — they are not failures of the
+// job, only of the moment.
+var ErrDrained = errors.New("runner: drained")
+
+// CauseDrained is the classified cause of a drained job, exposed so
+// callers (the service daemon) can tell interrupted work from failed
+// work without string-matching errors.
+const CauseDrained = "drained"
+
+// Progress is a live sample of one running attempt, emitted through
+// Options.OnProgress from the attempt's own goroutine at step
+// boundaries (engine-quiescent points for DSA systems).
+type Progress struct {
+	// Job is the job's name (the service uses job IDs here).
+	Job string
+	// Attempt numbers the run this sample belongs to, 1-based;
+	// degradation reruns count like retries.
+	Attempt int
+	// DSAOff marks samples from scalar-only runs (baseline jobs and
+	// the degradation rung).
+	DSAOff bool
+	// Steps/Ticks are the machine's counters at the sample point; a
+	// resumed attempt starts from its checkpoint's counters, not zero.
+	Steps uint64
+	Ticks int64
+	// Takeovers/Fallbacks mirror the DSA stats counters (0 when DSAOff).
+	Takeovers uint64
+	Fallbacks uint64
+}
+
+// DefaultProgressEvery is the step interval between progress samples
+// when Options.ProgressEvery is zero.
+const DefaultProgressEvery = 250_000
+
+// Pool is a long-lived job executor: the same robustness ladder as
+// Run, but accepting jobs one at a time for as long as the pool lives.
+// The service daemon owns one Pool across all HTTP submissions so the
+// memory budget and worker bound hold globally, not per batch.
+type Pool struct {
+	opts     Options
+	bud      *memBudget
+	sem      chan struct{}
+	stop     context.CancelFunc
+	draining atomic.Bool
+	inflight atomic.Int64
+}
+
+// NewPool builds a pool. opts.Workers bounds how many jobs Do admits
+// concurrently; Close releases the pool's internals.
+func NewPool(opts Options) *Pool {
+	opts = opts.withDefaults()
+	if opts.SnapshotDir != "" {
+		// Best-effort: if the directory cannot be created, each job's
+		// first save fails and disables its checkpointing with a note.
+		_ = os.MkdirAll(opts.SnapshotDir, 0o755)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Pool{
+		opts: opts,
+		bud:  newMemBudget(ctx, opts.MemBudgetBytes),
+		sem:  make(chan struct{}, opts.Workers),
+		stop: cancel,
+	}
+}
+
+// Do runs one job to its terminal result, blocking until a worker slot
+// frees. Like Run it never loses a job: a canceled ctx yields a failed
+// result with cause "canceled", a drain in flight yields cause
+// "drained" with the job's checkpoint preserved on disk.
+func (p *Pool) Do(ctx context.Context, job Job) Result {
+	name := job.Name
+	if name == "" && job.Workload != nil {
+		name = job.Workload.Name
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return Result{Job: name, Status: StatusFailed, Cause: "canceled", Err: ctx.Err()}
+	}
+	defer func() { <-p.sem }()
+	p.inflight.Add(1)
+	defer p.inflight.Add(-1)
+	return runJob(ctx, job, p.opts, p)
+}
+
+// Drain asks every running attempt to stop at its next step boundary
+// after writing a final checkpoint (when checkpointing is on). Drained
+// jobs return with Status failed / Cause CauseDrained and keep their
+// snapshot files, so a later pool (or daemon restart) resumes them.
+// Drain does not block; callers wait on their own Do calls.
+func (p *Pool) Drain() { p.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (p *Pool) Draining() bool { return p.draining.Load() }
+
+// Inflight returns the number of jobs currently inside Do.
+func (p *Pool) Inflight() int64 { return p.inflight.Load() }
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// MemUsage returns the in-flight memory budget occupancy in bytes;
+// capacity is 0 when the budget is unlimited.
+func (p *Pool) MemUsage() (inUse, capacity int64) {
+	if p.bud == nil {
+		return 0, 0
+	}
+	p.bud.mu.Lock()
+	defer p.bud.mu.Unlock()
+	return p.bud.inUse, p.bud.cap
+}
+
+// Close releases the pool's background resources. Jobs already inside
+// Do finish normally; new Do calls after Close are a caller bug.
+func (p *Pool) Close() { p.stop() }
+
+// drainHook returns the hook that turns a pool drain into a clean
+// attempt stop: force a final checkpoint, then unwind with ErrDrained.
+// Nil when the attempt runs outside a pool (plain Run batches drain
+// via context cancellation instead).
+func (p *Pool) drainHook(ck *checkpointer) func() error {
+	if p == nil {
+		return nil
+	}
+	return func() error {
+		if !p.draining.Load() {
+			return nil
+		}
+		ck.saveNow()
+		return ErrDrained
+	}
+}
+
+// progressHook samples the attempt's counters every ProgressEvery
+// steps and hands them to OnProgress. stats is nil for scalar runs.
+func progressHook(opts Options, job string, attempt int, dsaOff bool,
+	steps func() uint64, ticks func() int64, stats func() (takeovers, fallbacks uint64)) func() error {
+	if opts.OnProgress == nil {
+		return nil
+	}
+	every := opts.ProgressEvery
+	if every == 0 {
+		every = DefaultProgressEvery
+	}
+	last := steps()
+	return func() error {
+		now := steps()
+		if now-last < every {
+			return nil
+		}
+		last = now
+		p := Progress{Job: job, Attempt: attempt, DSAOff: dsaOff, Steps: now, Ticks: ticks()}
+		if stats != nil {
+			p.Takeovers, p.Fallbacks = stats()
+		}
+		opts.OnProgress(p)
+		return nil
+	}
+}
+
+// chainHooks composes run hooks in order, skipping nils; the first
+// error stops the chain (and the run).
+func chainHooks(hooks ...func() error) func() error {
+	live := hooks[:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	chain := append([]func() error(nil), live...)
+	return func() error {
+		for _, h := range chain {
+			if err := h(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

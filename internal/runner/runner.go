@@ -26,10 +26,10 @@ package runner
 import (
 	"context"
 	"fmt"
-	"os"
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -68,6 +68,10 @@ type Job struct {
 	DSAOff bool
 	// Timeout overrides Options.Timeout for this job (0 = inherit).
 	Timeout time.Duration
+	// Resume lets this job's first attempt restore from a pre-existing
+	// checkpoint even when Options.Resume is off — the service daemon
+	// sets it per job when re-enqueueing work interrupted by a drain.
+	Resume bool
 }
 
 // Options parameterizes a batch.
@@ -112,6 +116,13 @@ type Options struct {
 	// snapshot files are ignored (and overwritten); retries within this
 	// run resume from their own checkpoints regardless.
 	Resume bool
+	// OnProgress, when non-nil, receives periodic Progress samples from
+	// running attempts. It is called from worker goroutines — it must
+	// be fast and safe for concurrent use.
+	OnProgress func(Progress)
+	// ProgressEvery is the step interval between progress samples
+	// (0 = DefaultProgressEvery).
+	ProgressEvery uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -138,6 +149,13 @@ type Result struct {
 	// Ticks is the simulated wall-clock of the successful run (0 when
 	// failed).
 	Ticks int64
+	// Steps counts the retired instructions of the successful run
+	// (0 when failed).
+	Steps uint64
+	// AttemptCauses records the classified cause of every *failed*
+	// attempt in the order they occurred (degradation rerun included),
+	// so retry attribution survives however the job ends.
+	AttemptCauses []string
 	// Stats is a deep snapshot of the successful run's DSA counters
 	// (nil for DSA-off and failed runs).
 	Stats *dsa.Stats
@@ -172,24 +190,19 @@ type Report struct {
 // the queue, failing the remaining jobs with cause "canceled" so the
 // report still accounts for every job.
 func Run(ctx context.Context, jobs []Job, opts Options) *Report {
-	opts = opts.withDefaults()
-	if opts.SnapshotDir != "" {
-		// Best-effort: if the directory cannot be created, each job's
-		// first save fails and disables its checkpointing with a note.
-		_ = os.MkdirAll(opts.SnapshotDir, 0o755)
-	}
-	bud := newMemBudget(ctx, opts.MemBudgetBytes)
+	p := NewPool(opts)
+	defer p.Close()
 	results := make([]Result, len(jobs))
 
 	start := time.Now()
 	idx := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
+	for w := 0; w < p.opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runJob(ctx, jobs[i], opts, bud)
+				results[i] = runJob(ctx, jobs[i], p.opts, p)
 			}
 		}()
 	}
@@ -216,7 +229,7 @@ func Run(ctx context.Context, jobs []Job, opts Options) *Report {
 
 // runJob walks one job down the ladder. It always returns a terminal
 // Result; no error or panic escapes.
-func runJob(ctx context.Context, job Job, opts Options, bud *memBudget) (res Result) {
+func runJob(ctx context.Context, job Job, opts Options, p *Pool) (res Result) {
 	start := time.Now()
 	if job.Name == "" && job.Workload != nil {
 		job.Name = job.Workload.Name
@@ -225,6 +238,16 @@ func runJob(ctx context.Context, job Job, opts Options, bud *memBudget) (res Res
 	defer func() { res.Wall = time.Since(start) }()
 
 	ck := newCheckpointer(job.Name, opts)
+
+	// notes accumulates every attempt's snapshot trouble in the order
+	// it occurred, so a note from a failed or resumed-over attempt
+	// survives into the terminal result however the job ends.
+	var notes []string
+	addNote := func(attempt int, n string) {
+		if n != "" {
+			notes = append(notes, fmt.Sprintf("attempt %d: %s", attempt, n))
+		}
+	}
 
 	var lastCause string
 	var lastErr error
@@ -236,17 +259,20 @@ func runJob(ctx context.Context, job Job, opts Options, bud *memBudget) (res Res
 		}
 		res.Attempts++
 		// The first attempt resumes a previous run's checkpoint only
-		// when the batch opted in; retries always resume from this
-		// run's own last good checkpoint.
-		resume := opts.Resume || a > 0
-		out, err := attempt(ctx, job, opts, bud, job.DSAOff, ck, resume)
+		// when the batch or the job opted in; retries always resume
+		// from this run's own last good checkpoint.
+		resume := opts.Resume || job.Resume || a > 0
+		out, rf, note, err := attempt(ctx, job, opts, p, job.DSAOff, ck, resume, res.Attempts)
+		addNote(res.Attempts, note)
 		if err == nil {
 			res.Status = StatusOK
 			res.Cause = ""
-			fillOutcome(&res, out, ck)
+			res.ResumedFromStep = rf
+			fillOutcome(&res, out, ck, notes)
 			return res
 		}
 		cause, retryable := classify(err)
+		res.AttemptCauses = append(res.AttemptCauses, cause)
 		lastCause, lastErr = cause, err
 		if !retryable || ctx.Err() != nil {
 			break
@@ -259,49 +285,58 @@ func runJob(ctx context.Context, job Job, opts Options, bud *memBudget) (res Res
 	// simulation state into the scalar-correct rerun.
 	if !opts.NoDegrade && !job.DSAOff && ctx.Err() == nil && degradable(lastErr) {
 		res.Attempts++
-		out, err := attempt(ctx, job, opts, bud, true, nil, false)
+		out, _, note, err := attempt(ctx, job, opts, p, true, nil, false, res.Attempts)
+		addNote(res.Attempts, note)
 		if err == nil {
 			res.Status = StatusDegraded
 			res.Degraded = true
 			res.Cause = lastCause
-			fillOutcome(&res, out, ck)
+			fillOutcome(&res, out, ck, notes)
 			return res
 		}
 		// The scalar rerun's own failure is the terminal one, but keep
 		// the DSA cause visible in the chain.
-		lastCause, _ = classify(err)
+		cause, _ := classify(err)
+		res.AttemptCauses = append(res.AttemptCauses, cause)
+		lastCause = cause
 		lastErr = fmt.Errorf("degraded rerun: %w (dsa path: %v)", err, lastErr)
 	}
 
 	res.Status = StatusFailed
 	res.Cause = lastCause
 	res.Err = lastErr
+	res.ResumeNote = joinNotes(notes, ck)
 	return res
 }
 
 // outcome carries what a successful attempt leaves behind — counters
 // and a digest, never the machine.
 type outcome struct {
-	ticks       int64
-	stats       *dsa.Stats
-	memSum      uint64
-	resumedFrom uint64
-	resumeNote  string
+	ticks  int64
+	steps  uint64
+	stats  *dsa.Stats
+	memSum uint64
 }
 
 // fillOutcome copies a successful attempt's outcome into the terminal
 // result and retires the job's snapshot — a finished job needs no
 // checkpoint, and a stale one would poison a future -resume batch.
-func fillOutcome(res *Result, out *outcome, ck *checkpointer) {
-	res.Ticks, res.Stats, res.MemSum = out.ticks, out.stats, out.memSum
-	res.ResumedFromStep = out.resumedFrom
-	res.ResumeNote = out.resumeNote
-	if res.ResumeNote == "" {
-		res.ResumeNote = ck.note()
-	}
+func fillOutcome(res *Result, out *outcome, ck *checkpointer, notes []string) {
+	res.Ticks, res.Steps, res.Stats, res.MemSum = out.ticks, out.steps, out.stats, out.memSum
+	res.ResumeNote = joinNotes(notes, ck)
 	if ck != nil {
 		ck.cleanup()
 	}
+}
+
+// joinNotes renders the ordered per-attempt snapshot notes plus the
+// checkpointer's own non-fatal trouble (a disabled save) as the
+// result's ResumeNote.
+func joinNotes(notes []string, ck *checkpointer) string {
+	if n := ck.note(); n != "" {
+		notes = append(notes, n)
+	}
+	return strings.Join(notes, "; ")
 }
 
 // attempt runs the job once, DSA on or off, under the memory budget,
@@ -309,12 +344,15 @@ func fillOutcome(res *Result, out *outcome, ck *checkpointer) {
 // periodic checkpointing into the run; resume additionally restores
 // the last good checkpoint before running (restart-from-zero with an
 // attributed note if the file is missing, corrupt, or mismatched).
-func attempt(ctx context.Context, job Job, opts Options, bud *memBudget, dsaOff bool, ck *checkpointer, resume bool) (out *outcome, err error) {
+// resumedFrom and note are valid even when err is non-nil — they are
+// set the moment the resume decision is made, so a later failure (or
+// panic) cannot erase the attribution.
+func attempt(ctx context.Context, job Job, opts Options, p *Pool, dsaOff bool, ck *checkpointer, resume bool, attemptNo int) (out *outcome, resumedFrom uint64, note string, err error) {
 	fp := footprint(job)
-	if err := bud.acquire(ctx, fp); err != nil {
-		return nil, err
+	if err := p.bud.acquire(ctx, fp); err != nil {
+		return nil, 0, "", err
 	}
-	defer bud.release(fp)
+	defer p.bud.release(fp)
 
 	timeout := opts.Timeout
 	if job.Timeout > 0 {
@@ -345,35 +383,39 @@ func attempt(ctx context.Context, job Job, opts Options, bud *memBudget, dsaOff 
 			}
 			m.SetCancelCheck(actx.Err, opts.CancelEvery)
 			job.Workload.Setup(m)
+			var ckHook func() error
 			if ck != nil {
-				ck.attachMachine(m)
+				ckHook = ck.machineHook(m)
 			}
+			m.SetRunHook(chainHooks(
+				p.drainHook(ck),
+				ckHook,
+				progressHook(opts, job.Name, attemptNo, true,
+					func() uint64 { return m.Steps }, func() int64 { return m.Ticks }, nil),
+			))
 			return m, nil
 		}
 		m, err := newM()
 		if err != nil {
-			return nil, err
+			return nil, 0, "", err
 		}
-		var resumedFrom uint64
-		var resumeNote string
 		if ck != nil && resume {
-			resumedFrom, resumeNote = ck.resumeMachine(m)
-			if resumeNote != "" {
+			resumedFrom, note = ck.resumeMachine(m)
+			if note != "" {
 				// A failed restore may leave the machine half-written;
 				// rebuild it from scratch and run from zero.
 				if m, err = newM(); err != nil {
-					return nil, err
+					return nil, resumedFrom, note, err
 				}
 			}
 		}
 		if err := m.Run(nil); err != nil {
-			return nil, err
+			return nil, resumedFrom, note, err
 		}
 		if err := job.Workload.Check(m); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCheckFailed, err)
+			return nil, resumedFrom, note, fmt.Errorf("%w: %v", ErrCheckFailed, err)
 		}
-		return &outcome{ticks: m.Ticks, memSum: m.Mem.Sum64(),
-			resumedFrom: resumedFrom, resumeNote: resumeNote}, nil
+		return &outcome{ticks: m.Ticks, steps: m.Steps, memSum: m.Mem.Sum64()}, resumedFrom, note, nil
 	}
 
 	newSys := func() (*dsa.System, error) {
@@ -383,33 +425,39 @@ func attempt(ctx context.Context, job Job, opts Options, bud *memBudget, dsaOff 
 		}
 		sys.M.SetCancelCheck(actx.Err, opts.CancelEvery)
 		job.Workload.Setup(sys.M)
+		var ckHook func() error
 		if ck != nil {
-			ck.attachSystem(sys)
+			ckHook = ck.systemHook(sys)
 		}
+		st := sys.Stats()
+		sys.SetRunHook(chainHooks(
+			p.drainHook(ck),
+			ckHook,
+			progressHook(opts, job.Name, attemptNo, false,
+				func() uint64 { return sys.M.Steps }, func() int64 { return sys.M.Ticks },
+				func() (uint64, uint64) { return st.Takeovers, st.Fallbacks }),
+		))
 		return sys, nil
 	}
 	sys, err := newSys()
 	if err != nil {
-		return nil, err
+		return nil, 0, "", err
 	}
-	var resumedFrom uint64
-	var resumeNote string
 	if ck != nil && resume {
-		resumedFrom, resumeNote = ck.resumeSystem(sys)
-		if resumeNote != "" {
+		resumedFrom, note = ck.resumeSystem(sys)
+		if note != "" {
 			if sys, err = newSys(); err != nil {
-				return nil, err
+				return nil, resumedFrom, note, err
 			}
 		}
 	}
 	if err := sys.Run(); err != nil {
-		return nil, err
+		return nil, resumedFrom, note, err
 	}
 	if err := job.Workload.Check(sys.M); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCheckFailed, err)
+		return nil, resumedFrom, note, fmt.Errorf("%w: %v", ErrCheckFailed, err)
 	}
-	return &outcome{ticks: sys.M.Ticks, stats: sys.Stats().Snapshot(), memSum: sys.M.Mem.Sum64(),
-		resumedFrom: resumedFrom, resumeNote: resumeNote}, nil
+	return &outcome{ticks: sys.M.Ticks, steps: sys.M.Steps, stats: sys.Stats().Snapshot(), memSum: sys.M.Mem.Sum64()}, resumedFrom, note, nil
 }
 
 // sleepCtx sleeps for d unless ctx is canceled first; it reports

@@ -1,0 +1,82 @@
+package server
+
+import (
+	"sync"
+)
+
+// broadcaster fans one job's event stream out to any number of SSE
+// subscribers. Slow subscribers never block the publisher: a
+// subscriber whose buffer is full drops intermediate progress events
+// (each sample supersedes the last) but always receives status changes
+// and the terminal event, because publish retries those after clearing
+// room.
+type broadcaster struct {
+	mu   sync.Mutex
+	subs map[chan Event]struct{}
+	// last terminal event, replayed to late subscribers so a client
+	// attaching after completion still gets its answer.
+	done *Event
+}
+
+func newBroadcaster() *broadcaster {
+	return &broadcaster{subs: map[chan Event]struct{}{}}
+}
+
+// subscribe registers a new listener. If the job already finished, the
+// terminal event is pre-queued. The returned cancel func must be
+// called exactly once; it closes the channel.
+func (b *broadcaster) subscribe() (<-chan Event, func()) {
+	ch := make(chan Event, 16)
+	b.mu.Lock()
+	if b.done != nil {
+		ch <- *b.done
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	cancel := func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+			close(ch)
+		}
+		b.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+// publish delivers ev to every subscriber. Progress events are
+// droppable; status and done events evict the oldest buffered event
+// until they fit.
+func (b *broadcaster) publish(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ev.Type == "done" {
+		done := ev
+		b.done = &done
+	}
+	for ch := range b.subs {
+		select {
+		case ch <- ev:
+			continue
+		default:
+		}
+		if ev.Type == "progress" {
+			continue // droppable; the subscriber keeps older events
+		}
+		// Must-deliver event on a full buffer: evict the oldest until
+		// it fits. publish holds the mutex, so no other goroutine can
+		// race the eviction.
+		delivered := false
+		for !delivered {
+			select {
+			case ch <- ev:
+				delivered = true
+			default:
+				select {
+				case <-ch:
+				default:
+				}
+			}
+		}
+	}
+}

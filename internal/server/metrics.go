@@ -1,0 +1,161 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics is the service's Prometheus registry — hand-rolled, since
+// the repo takes no dependencies: counters and histograms guarded by
+// one mutex (updates happen at job-lifecycle cadence, not per step),
+// gauges sampled at scrape time by the server.
+type metrics struct {
+	mu          sync.Mutex
+	submitted   uint64
+	rejected    uint64
+	completed   map[string]uint64 // terminal status → count
+	interrupted uint64
+	resumed     uint64
+	retries     uint64
+	duration    *histogram // job wall time, seconds
+	throughput  *histogram // retired steps per wall second
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		completed: map[string]uint64{"ok": 0, "degraded": 0, "failed": 0},
+		// Wall-time buckets: 1ms to ~2min in decades.
+		duration: newHistogram(0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 120),
+		// Step-throughput buckets: 100k/s to 200M/s.
+		throughput: newHistogram(1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 2e8),
+	}
+}
+
+func (m *metrics) onSubmit() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) onReject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) onInterrupt() {
+	m.mu.Lock()
+	m.interrupted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) onResume() {
+	m.mu.Lock()
+	m.resumed++
+	m.mu.Unlock()
+}
+
+// onDone folds one terminal result into the counters and histograms.
+func (m *metrics) onDone(status string, attempts int, wall time.Duration, steps uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.completed[status]++
+	if attempts > 1 {
+		m.retries += uint64(attempts - 1)
+	}
+	sec := wall.Seconds()
+	m.duration.observe(sec)
+	if sec > 0 && steps > 0 {
+		m.throughput.observe(float64(steps) / sec)
+	}
+}
+
+// gauges are point-in-time values the server samples at scrape.
+type gauges struct {
+	queueDepth    int
+	queueCapacity int
+	inflight      int64
+	memInUse      int64
+	memCapacity   int64
+}
+
+// render writes the whole registry in Prometheus text exposition
+// format (version 0.0.4), deterministically ordered.
+func (m *metrics) render(g gauges) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("dsasimd_queue_depth", "Jobs admitted and waiting for a worker.", int64(g.queueDepth))
+	gauge("dsasimd_queue_capacity", "Bounded queue capacity.", int64(g.queueCapacity))
+	gauge("dsasimd_jobs_inflight", "Jobs currently executing on the worker pool.", g.inflight)
+	gauge("dsasimd_mem_inflight_bytes", "In-flight memory budget occupancy.", g.memInUse)
+	gauge("dsasimd_mem_budget_bytes", "In-flight memory budget capacity (0 = unlimited).", g.memCapacity)
+
+	counter("dsasimd_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted)
+	counter("dsasimd_jobs_rejected_total", "Submissions refused with 429 (queue full) or 503 (draining).", m.rejected)
+
+	fmt.Fprintf(&b, "# HELP dsasimd_jobs_completed_total Jobs finished, by terminal status.\n# TYPE dsasimd_jobs_completed_total counter\n")
+	statuses := make([]string, 0, len(m.completed))
+	for s := range m.completed {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	for _, s := range statuses {
+		fmt.Fprintf(&b, "dsasimd_jobs_completed_total{status=%q} %d\n", s, m.completed[s])
+	}
+
+	counter("dsasimd_jobs_interrupted_total", "Jobs checkpointed and unwound by a drain.", m.interrupted)
+	counter("dsasimd_jobs_resumed_total", "Jobs restored from a checkpoint after a restart.", m.resumed)
+	counter("dsasimd_job_retries_total", "Extra attempts across all jobs (degradation reruns included).", m.retries)
+
+	m.duration.render(&b, "dsasimd_job_duration_seconds", "Terminal job wall time in seconds.")
+	m.throughput.render(&b, "dsasimd_job_steps_per_second", "Retired simulation steps per wall second, per terminal job.")
+	return b.String()
+}
+
+// histogram is a fixed-bucket Prometheus histogram.
+type histogram struct {
+	bounds []float64
+	counts []uint64
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(bounds ...float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds))}
+}
+
+func (h *histogram) observe(v float64) {
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+		}
+	}
+	h.sum += v
+	h.total++
+}
+
+func (h *histogram) render(b *strings.Builder, name, help string) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for i, ub := range h.bounds {
+		fmt.Fprintf(b, "%s_bucket{le=%q} %d\n", name, formatBound(ub), h.counts[i])
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.total)
+	fmt.Fprintf(b, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, h.total)
+}
+
+func formatBound(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}

@@ -1,0 +1,522 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// Config parameterizes the service.
+type Config struct {
+	// QueueDepth bounds the admission queue (0 = DefaultQueueDepth).
+	// A full queue refuses submissions with 429 + Retry-After.
+	QueueDepth int
+	// Workers bounds concurrent simulations (0 = runner default).
+	Workers int
+	// SnapshotDir holds per-job runner checkpoints. Empty disables
+	// durability: drains then interrupt without resume.
+	SnapshotDir string
+	// StateFile is the daemon-owned job table (snapshot container).
+	// Empty disables job-table persistence.
+	StateFile string
+	// Runner carries the execution knobs (timeout, retries, backoff,
+	// memory budget, snapshot cadence, progress cadence). Workers,
+	// SnapshotDir and OnProgress are owned by the server and
+	// overwritten.
+	Runner runner.Options
+	// RetryAfter is the backpressure hint on 429 responses
+	// (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Service defaults.
+const (
+	DefaultQueueDepth = 64
+	DefaultRetryAfter = 2 * time.Second
+)
+
+// jobState is one job's in-memory record. Mutable fields are guarded
+// by Server.mu; events has its own lock.
+type jobState struct {
+	id     string
+	spec   JobSpec
+	status string
+	queued time.Time
+	// started/finished bracket the job's time on the pool.
+	started  time.Time
+	finished time.Time
+	progress *ProgressJSON
+	result   *ResultJSON
+	// resume marks a job re-queued after a drain or restart: its first
+	// attempt restores from its checkpoint file.
+	resume bool
+	events *broadcaster
+}
+
+// Server is the dsasimd service core, transport-agnostic: Handler
+// serves its HTTP API, Drain runs the graceful shutdown. One Server
+// owns one runner.Pool for its whole life.
+type Server struct {
+	cfg     Config
+	pool    *runner.Pool
+	queue   chan *jobState
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	metrics *metrics
+
+	mu     sync.Mutex
+	jobs   map[string]*jobState
+	order  []string
+	nextID int
+
+	drainOnce sync.Once
+}
+
+// New builds the service, restores the job table from cfg.StateFile
+// (re-queueing unfinished jobs with resume semantics), and starts the
+// worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		queue:   make(chan *jobState, cfg.QueueDepth),
+		stopCh:  make(chan struct{}),
+		metrics: newMetrics(),
+		jobs:    map[string]*jobState{},
+		nextID:  1,
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+
+	ropts := cfg.Runner
+	ropts.Workers = cfg.Workers
+	ropts.SnapshotDir = cfg.SnapshotDir
+	ropts.OnProgress = s.onProgress
+	s.pool = runner.NewPool(ropts)
+
+	if err := s.restore(); err != nil {
+		// A bad state file is quarantined, not fatal: the service must
+		// come back up even when its own table is damaged.
+		cfg.Logf("dsasimd: %v", err)
+	}
+
+	// One server worker per pool slot: queue latency stays visible in
+	// queue depth instead of hiding inside blocked Do calls.
+	for i := 0; i < s.pool.Workers(); i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// restore loads the persisted job table and re-queues unfinished work.
+func (s *Server) restore() error {
+	st, err := loadState(s.cfg.StateFile)
+	if st == nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID = st.NextID
+	requeued := 0
+	for i := range st.Jobs {
+		pj := st.Jobs[i]
+		js := &jobState{
+			id:     pj.ID,
+			spec:   pj.Spec,
+			status: pj.Status,
+			result: pj.Result,
+			events: newBroadcaster(),
+		}
+		if t, terr := time.Parse(time.RFC3339Nano, pj.Queued); terr == nil {
+			js.queued = t
+		}
+		s.jobs[js.id] = js
+		s.order = append(s.order, js.id)
+		if Terminal(js.status) {
+			if js.result != nil {
+				done := Event{Type: "done", Job: js.id, Status: js.status, Result: js.result}
+				js.events.publish(done)
+			}
+			continue
+		}
+		// Interrupted and mid-run jobs resume from their checkpoint;
+		// queued ones simply run (their resume finds no file and
+		// starts clean).
+		js.resume = js.status != StatusQueued
+		js.status = StatusQueued
+		select {
+		case s.queue <- js:
+			requeued++
+		default:
+			// More surviving jobs than queue slots: keep them queued in
+			// the table; they re-enter on the next restart. This can
+			// only happen when QueueDepth shrank across the restart.
+			s.cfg.Logf("dsasimd: job %s does not fit the shrunken queue; parked", js.id)
+		}
+	}
+	if requeued > 0 {
+		s.cfg.Logf("dsasimd: restored %d job(s) from %s, %d re-queued", len(st.Jobs), s.cfg.StateFile, requeued)
+	}
+	return err
+}
+
+// worker pulls admitted jobs until the server drains or closes.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		if s.pool.Draining() {
+			return
+		}
+		select {
+		case <-s.stopCh:
+			return
+		case js := <-s.queue:
+			s.runOne(js)
+		}
+	}
+}
+
+// runOne executes one admitted job through the pool and publishes its
+// lifecycle.
+func (s *Server) runOne(js *jobState) {
+	job, err := js.spec.RunnerJob(js.id)
+	if err != nil {
+		// Validate() gates submissions, so this is a state-file edit or
+		// a workload renamed across versions — fail the job, keep the
+		// service.
+		s.finish(js, ResultJSON{Job: js.id, Status: string(runner.StatusFailed), Cause: "bad-spec", Error: err.Error()})
+		return
+	}
+	job.Resume = js.resume
+
+	s.mu.Lock()
+	js.status = StatusRunning
+	js.started = time.Now()
+	s.mu.Unlock()
+	js.events.publish(Event{Type: "status", Job: js.id, Status: StatusRunning})
+
+	res := s.pool.Do(s.baseCtx, job)
+
+	if res.Status == runner.StatusFailed && res.Cause == runner.CauseDrained {
+		s.mu.Lock()
+		js.status = StatusInterrupted
+		js.resume = true
+		s.mu.Unlock()
+		s.metrics.onInterrupt()
+		js.events.publish(Event{Type: "status", Job: js.id, Status: StatusInterrupted})
+		s.cfg.Logf("dsasimd: job %s interrupted by drain (checkpoint kept)", js.id)
+		return
+	}
+	if res.ResumedFromStep > 0 {
+		s.metrics.onResume()
+	}
+	s.finish(js, ResultFromRunner(res))
+}
+
+// finish records a terminal result, persists the table, and notifies.
+func (s *Server) finish(js *jobState, r ResultJSON) {
+	s.mu.Lock()
+	js.status = r.Status
+	js.finished = time.Now()
+	js.result = &r
+	wall := js.finished.Sub(js.started)
+	if err := s.saveStateLocked(); err != nil {
+		s.cfg.Logf("dsasimd: saving state: %v", err)
+	}
+	s.mu.Unlock()
+	s.metrics.onDone(r.Status, r.Attempts, wall, r.Steps)
+	js.events.publish(Event{Type: "done", Job: js.id, Status: r.Status, Result: &r})
+	s.cfg.Logf("dsasimd: job %s %s (attempts=%d wall=%s)", js.id, r.Status, r.Attempts, wall.Round(time.Millisecond))
+}
+
+// onProgress routes pool progress samples to their job.
+func (s *Server) onProgress(p runner.Progress) {
+	s.mu.Lock()
+	js := s.jobs[p.Job]
+	var pj *ProgressJSON
+	if js != nil {
+		pj = &ProgressJSON{Job: p.Job, Attempt: p.Attempt, DSAOff: p.DSAOff,
+			Steps: p.Steps, Ticks: p.Ticks, Takeovers: p.Takeovers, Fallbacks: p.Fallbacks}
+		js.progress = pj
+	}
+	s.mu.Unlock()
+	if js != nil {
+		js.events.publish(Event{Type: "progress", Job: p.Job, Status: StatusRunning, Progress: pj})
+	}
+}
+
+// Submit admits a job. It returns the assigned ID, or an admissionError
+// carrying the HTTP status the transport should answer with.
+func (s *Server) Submit(spec JobSpec) (*JobView, error) {
+	spec.Name = trimSourceName(spec.Name)
+	if err := spec.Validate(); err != nil {
+		return nil, &admissionError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	s.mu.Lock()
+	if s.pool.Draining() {
+		s.mu.Unlock()
+		s.metrics.onReject()
+		return nil, &admissionError{code: http.StatusServiceUnavailable, msg: "draining"}
+	}
+	id := fmt.Sprintf("j%06d", s.nextID)
+	js := &jobState{id: id, spec: spec, status: StatusQueued, queued: time.Now(), events: newBroadcaster()}
+	select {
+	case s.queue <- js:
+	default:
+		s.mu.Unlock()
+		s.metrics.onReject()
+		return nil, &admissionError{code: http.StatusTooManyRequests,
+			msg: fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueDepth), retryAfter: s.cfg.RetryAfter}
+	}
+	s.nextID++
+	s.jobs[id] = js
+	s.order = append(s.order, id)
+	if err := s.saveStateLocked(); err != nil {
+		s.cfg.Logf("dsasimd: saving state: %v", err)
+	}
+	view := s.viewLocked(js)
+	s.mu.Unlock()
+	s.metrics.onSubmit()
+	return &view, nil
+}
+
+// Job returns one job's current view.
+func (s *Server) Job(id string) (*JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	v := s.viewLocked(js)
+	return &v, true
+}
+
+// Jobs lists every job in submission order.
+func (s *Server) Jobs() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.viewLocked(s.jobs[id]))
+	}
+	return out
+}
+
+func (s *Server) viewLocked(js *jobState) JobView {
+	return JobView{
+		ID:       js.id,
+		Status:   js.status,
+		Spec:     js.spec,
+		Queued:   fmtTime(js.queued),
+		Started:  fmtTime(js.started),
+		Finished: fmtTime(js.finished),
+		Progress: js.progress,
+		Result:   js.result,
+	}
+}
+
+// Drain is the graceful-shutdown path: refuse new work, ask every
+// running attempt to checkpoint and unwind, wait for the workers
+// (bounded by ctx), persist the job table, and release the pool.
+// Interrupted and queued jobs survive in the table; a New() on the
+// same StateFile/SnapshotDir resumes them bit-identically. Drain is
+// idempotent: only the first call does the work (and reports errors),
+// repeats return nil immediately.
+func (s *Server) Drain(ctx context.Context) error {
+	var err error
+	s.drainOnce.Do(func() { err = s.drain(ctx) })
+	return err
+}
+
+func (s *Server) drain(ctx context.Context) error {
+	s.pool.Drain()
+	close(s.stopCh)
+
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = fmt.Errorf("drain: workers still busy: %w", ctx.Err())
+	}
+
+	s.mu.Lock()
+	if serr := s.saveStateLocked(); serr != nil && err == nil {
+		err = serr
+	}
+	s.mu.Unlock()
+	s.cancel()
+	s.pool.Close()
+	s.cfg.Logf("dsasimd: drained")
+	return err
+}
+
+// Metrics renders the Prometheus exposition.
+func (s *Server) Metrics() string {
+	inUse, capacity := s.pool.MemUsage()
+	return s.metrics.render(gauges{
+		queueDepth:    len(s.queue),
+		queueCapacity: s.cfg.QueueDepth,
+		inflight:      s.pool.Inflight(),
+		memInUse:      inUse,
+		memCapacity:   capacity,
+	})
+}
+
+// admissionError carries the HTTP answer for a refused submission.
+type admissionError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *admissionError) Error() string { return e.msg }
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	view, err := s.Submit(spec)
+	if err != nil {
+		var ae *admissionError
+		if !errors.As(err, &ae) {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int((ae.retryAfter+time.Second-1)/time.Second)))
+		}
+		httpError(w, ae.code, ae.msg)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.Jobs()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleEvents streams a job's lifecycle as server-sent events until
+// the job finishes or the client disconnects. A client attaching after
+// completion receives the terminal event immediately.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	js, ok := s.jobs[r.PathValue("id")]
+	var status string
+	if ok {
+		status = js.status
+	}
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	ch, cancel := js.events.subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if !Terminal(status) {
+		// Opening snapshot; terminal jobs get their replayed "done"
+		// from the subscription instead.
+		writeSSE(w, Event{Type: "status", Job: js.id, Status: status})
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			writeSSE(w, ev)
+			fl.Flush()
+			if ev.Type == "done" {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.Metrics())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	if s.pool.Draining() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": state})
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, payload)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

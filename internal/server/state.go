@@ -1,0 +1,86 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/snapshot"
+)
+
+// stateSection names the one section of the daemon's job-state file —
+// a snapshot-container file ("DSNP" magic, CRC-validated, written
+// atomically) whose payload is JSON: the surviving job table and the
+// ID counter. Per-job simulation state lives in the runner's own
+// checkpoint files; this file only records *which* jobs exist and
+// where they stood, so a restarted daemon can re-queue and resume.
+const stateSection = "dsasimd.jobs"
+
+// persistedJob is one job's durable row.
+type persistedJob struct {
+	ID     string      `json:"id"`
+	Spec   JobSpec     `json:"spec"`
+	Status string      `json:"status"`
+	Queued string      `json:"queued,omitempty"`
+	Result *ResultJSON `json:"result,omitempty"`
+}
+
+// stateFile is the payload of the state section.
+type stateFile struct {
+	NextID int            `json:"next_id"`
+	Jobs   []persistedJob `json:"jobs"`
+}
+
+// saveState writes the daemon's job table crash-consistently. The
+// caller must hold s.mu.
+func (s *Server) saveStateLocked() error {
+	if s.cfg.StateFile == "" {
+		return nil
+	}
+	st := stateFile{NextID: s.nextID}
+	for _, id := range s.order {
+		js := s.jobs[id]
+		st.Jobs = append(st.Jobs, persistedJob{
+			ID:     js.id,
+			Spec:   js.spec,
+			Status: js.status,
+			Queued: fmtTime(js.queued),
+			Result: js.result,
+		})
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	var w snapshot.Writer
+	w.Add(stateSection, payload)
+	return w.WriteFile(s.cfg.StateFile)
+}
+
+// loadState reads a previous daemon's job table. A missing file means
+// a fresh start; a corrupt or mismatched file is renamed aside (never
+// silently overwritten) and reported, also starting fresh.
+func loadState(path string) (*stateFile, error) {
+	if path == "" {
+		return nil, nil
+	}
+	rd, err := snapshot.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		quarantine := path + ".bad"
+		_ = os.Rename(path, quarantine)
+		return nil, fmt.Errorf("state file %s unreadable (%w); moved to %s, starting fresh", path, err, quarantine)
+	}
+	payload, err := rd.Section(stateSection)
+	if err != nil {
+		return nil, fmt.Errorf("state file %s: %w", path, err)
+	}
+	var st stateFile
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return nil, fmt.Errorf("state file %s: %w", path, err)
+	}
+	return &st, nil
+}
