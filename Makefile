@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race allocs fuzz verify resume-oracle bench bench-smoke batch soak soak-short serve service-smoke
+.PHONY: all build test check vet fmt lint race allocs fuzz verify resume-oracle bench bench-smoke batch soak soak-short serve service-smoke cluster-smoke
 
 all: build test
 
@@ -86,6 +86,16 @@ serve:
 service-smoke:
 	$(GO) test -race -timeout 600s ./internal/server
 	$(GO) test -run TestDaemonSmoke -timeout 300s ./cmd/dsasimd
+
+# cluster-smoke is the CI gate for multi-worker dsasimd: the
+# in-process lease-protocol suite (expiry takeover, zombie fencing,
+# coordinator restart recovery, metric names) under the race
+# detector, then real processes — a coordinator plus two workers, one
+# SIGKILLed mid-run — with zero lost jobs and results bit-identical
+# to a single-process run.
+cluster-smoke:
+	$(GO) test -race -timeout 600s ./internal/cluster
+	$(GO) test -run TestClusterSmoke -timeout 600s ./cmd/dsasimd
 
 # bench measures simulator throughput (wall-clock, steps/sec, scalar
 # and DSA modes) and persists it as BENCH_sim.json, then runs the Go

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/runner"
+)
+
+// runCoordinator serves the cluster control plane: the public job API
+// plus the worker lease protocol. It runs no jobs itself — workers
+// join over HTTP with `dsasimd -worker -join <url>`.
+func runCoordinator(logger *log.Logger, addr, dataDir string, lease, retryAfter time.Duration, maxJobs int) {
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		logger.Fatalf("dsasimd: %v", err)
+	}
+	c, err := cluster.NewCoordinator(cluster.Config{
+		LeaseTTL:   lease,
+		MaxJobs:    maxJobs,
+		RetryAfter: retryAfter,
+		StateFile:  filepath.Join(dataDir, "cluster.dsnp"),
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		logger.Fatalf("dsasimd: %v", err)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		logger.Fatalf("dsasimd: %v", err)
+	}
+	// Same load-bearing line as the standalone daemon: tests and
+	// scripts using -addr :0 scrape the resolved port from it.
+	logger.Printf("dsasimd: listening on %s", ln.Addr())
+
+	hs := &http.Server{Handler: c.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case got := <-sig:
+		logger.Printf("dsasimd: %s — shutting down", got)
+	case err := <-errCh:
+		logger.Fatalf("dsasimd: serve: %v", err)
+	}
+
+	// Close persists the job and lease tables; a restarted coordinator
+	// picks both up, so worker leases (and their fencing epochs)
+	// survive a control-plane bounce.
+	c.Close()
+	_ = hs.Close()
+	logger.Printf("dsasimd: bye")
+}
+
+// runWorker executes leased jobs for a coordinator. Workers have no
+// listener of their own: desired state arrives via their heartbeats.
+// On SIGTERM the worker self-fences — running jobs checkpoint and
+// unwind, and their next owners resume from those checkpoints.
+func runWorker(logger *log.Logger, join, dataDir string, capacity int, ropts runner.Options) {
+	if join == "" {
+		logger.Fatalf("dsasimd: -worker requires -join <coordinator-url>")
+	}
+	if err := os.MkdirAll(filepath.Join(dataDir, "snapshots"), 0o755); err != nil {
+		logger.Fatalf("dsasimd: %v", err)
+	}
+	w := cluster.NewWorker(cluster.WorkerConfig{
+		Coordinator: join,
+		Capacity:    capacity,
+		SnapshotDir: filepath.Join(dataDir, "snapshots"),
+		Runner:      ropts,
+		Logf:        logger.Printf,
+	})
+	done := make(chan struct{})
+	go func() { w.Run(); close(done) }()
+	logger.Printf("dsasimd-worker: serving %s (capacity %d)", join, capacity)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case got := <-sig:
+		logger.Printf("dsasimd-worker: %s — fencing", got)
+		w.Close()
+		<-done
+	case <-done:
+	}
+	logger.Printf("dsasimd-worker: bye")
+}

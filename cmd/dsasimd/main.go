@@ -15,6 +15,19 @@
 // On SIGTERM/SIGINT the daemon drains gracefully: running jobs write a
 // final checkpoint and unwind, the job table is persisted, and a
 // restarted daemon resumes the interrupted jobs bit-identically.
+//
+// The same binary also runs as a cluster. A coordinator serves the
+// identical job API but executes nothing itself, leasing jobs to
+// worker processes with time-bounded, epoch-fenced ownership:
+//
+//	dsasimd -coordinator -addr :8077 -data coord-data
+//	dsasimd -worker -join http://localhost:8077 -data shared-data
+//
+// Workers that stop heartbeating lose their lease; their jobs are
+// reassigned at a higher epoch and the next owner resumes from the
+// dead worker's last checkpoint in the shared -data directory. Writes
+// under a stale epoch are fenced with 409, so a completed job's
+// result is recorded exactly once.
 package main
 
 import (
@@ -29,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/runner"
 	"repro/internal/server"
 )
@@ -45,9 +59,18 @@ func main() {
 	progressEvery := flag.Uint64("progress-every", 0, "steps between live progress samples (0 = runner default)")
 	retryAfter := flag.Duration("retry-after", server.DefaultRetryAfter, "Retry-After hint on 429 responses")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for running jobs to checkpoint on shutdown")
+	coordinator := flag.Bool("coordinator", false, "run as cluster coordinator (no local execution; workers join via /cluster/v1)")
+	worker := flag.Bool("worker", false, "run as cluster worker (requires -join; no HTTP listener)")
+	join := flag.String("join", "", "coordinator base URL a -worker joins (e.g. http://host:8077)")
+	lease := flag.Duration("lease", cluster.DefaultLeaseTTL, "coordinator: worker lease TTL (missed heartbeats past this trigger takeover)")
+	capacity := flag.Int("capacity", 1, "worker: jobs to run concurrently")
+	maxJobs := flag.Int("max-jobs", cluster.DefaultMaxJobs, "coordinator: open-job admission limit (full table answers 429)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	if *coordinator && *worker {
+		logger.Fatalf("dsasimd: -coordinator and -worker are mutually exclusive")
+	}
 
 	if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 		logger.Fatalf("dsasimd: %v", err)
@@ -63,6 +86,15 @@ func main() {
 		ropts.MemBudgetBytes = *memBudget << 20
 	} else if *memBudget < 0 {
 		ropts.MemBudgetBytes = -1
+	}
+
+	switch {
+	case *coordinator:
+		runCoordinator(logger, *addr, *dataDir, *lease, *retryAfter, *maxJobs)
+		return
+	case *worker:
+		runWorker(logger, *join, *dataDir, *capacity, ropts)
+		return
 	}
 
 	srv, err := server.New(server.Config{

@@ -1,0 +1,361 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Config parameterizes the coordinator.
+type Config struct {
+	// LeaseTTL is how long a worker lease lives without a heartbeat
+	// renewal (0 = DefaultLeaseTTL). Workers learn it at join and
+	// heartbeat at a third of it.
+	LeaseTTL time.Duration
+	// MaxJobs bounds the non-terminal job table (0 = DefaultMaxJobs).
+	// A full table refuses submissions with 429 + Retry-After.
+	MaxJobs int
+	// RetryAfter is the backpressure hint base on 429 responses
+	// (0 = server.DefaultRetryAfter); the advertised value is jittered.
+	RetryAfter time.Duration
+	// StateFile persists the job table, the lease table, and — load
+	// bearing for fencing — the epoch counter across restarts. Empty
+	// disables persistence.
+	StateFile string
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Coordinator defaults.
+const (
+	DefaultLeaseTTL = 5 * time.Second
+	DefaultMaxJobs  = 256
+)
+
+// cjob is one job's record in the coordinator's table. Guarded by
+// Coordinator.mu; events has its own lock.
+type cjob struct {
+	id     string
+	spec   server.JobSpec
+	status string
+	// owner/epoch are the current lease: which worker may write this
+	// job's results, and the fencing token those writes must carry.
+	// owner "" means unassigned (epoch then remembers the *last*
+	// assignment, so reassignment always bumps past it).
+	owner string
+	epoch uint64
+	// resume marks a requeued job (takeover or coordinator restart):
+	// its next owner restores from the highest-epoch checkpoint.
+	resume   bool
+	queued   time.Time
+	started  time.Time
+	finished time.Time
+	progress *server.ProgressJSON
+	result   *server.ResultJSON
+	events   *server.Broadcaster
+}
+
+// workerEntry is one live worker's lease.
+type workerEntry struct {
+	id       string
+	capacity int
+	deadline time.Time
+	// jobs is the set of job IDs currently leased to this worker.
+	jobs map[string]struct{}
+}
+
+// Coordinator owns the cluster's job table and lease table, serves the
+// public job API (same shapes as the standalone daemon), and runs the
+// lease protocol against worker processes. Failure detection is the
+// expiry loop: a worker that misses its lease TTL is declared dead and
+// its jobs are reassigned at higher epochs.
+type Coordinator struct {
+	cfg      Config
+	metrics  *clusterMetrics
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	jobs    map[string]*cjob
+	order   []string
+	workers map[string]*workerEntry
+	// nextEpoch is the fencing-token counter: every assignment gets
+	// epoch ++nextEpoch, globally monotonic across jobs, workers, and
+	// (via the state file) coordinator restarts.
+	nextJob, nextWorker, nextEpoch uint64
+}
+
+// NewCoordinator builds the coordinator, restores its tables from
+// cfg.StateFile, and starts the expiry/assignment loop.
+func NewCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = DefaultMaxJobs
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = server.DefaultRetryAfter
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		metrics: newClusterMetrics(),
+		stopCh:  make(chan struct{}),
+		jobs:    map[string]*cjob{},
+		workers: map[string]*workerEntry{},
+	}
+	if err := c.restore(); err != nil {
+		// A bad state file is quarantined, not fatal — same policy as
+		// the standalone daemon.
+		cfg.Logf("dsasimd: %v", err)
+	}
+
+	// The expiry loop must notice a lapsed lease well before a whole
+	// TTL passes again, but not burn a core on tiny test TTLs.
+	tick := cfg.LeaseTTL / 4
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	c.wg.Add(1)
+	go c.loop(tick)
+	return c, nil
+}
+
+// loop is the failure detector: every tick it expires lapsed leases,
+// requeues their jobs, and assigns pending work.
+func (c *Coordinator) loop(tick time.Duration) {
+	defer c.wg.Done()
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopCh:
+			return
+		case <-t.C:
+			c.mu.Lock()
+			c.expireLocked(time.Now())
+			c.assignLocked()
+			c.mu.Unlock()
+		}
+	}
+}
+
+// expireLocked declares workers with lapsed leases dead and requeues
+// their non-terminal jobs for takeover.
+func (c *Coordinator) expireLocked(now time.Time) {
+	for id, w := range c.workers {
+		if !now.After(w.deadline) {
+			continue
+		}
+		delete(c.workers, id)
+		c.metrics.onLeaseExpire()
+		released := 0
+		for jid := range w.jobs {
+			j := c.jobs[jid]
+			if j == nil || server.Terminal(j.status) || j.owner != id {
+				continue
+			}
+			j.owner = ""
+			j.resume = true
+			j.status = server.StatusQueued
+			released++
+		}
+		c.metrics.onTakeover(released)
+		c.cfg.Logf("dsasimd: worker %s lease expired, %d job(s) requeued for takeover", id, released)
+		c.saveStateLocked()
+	}
+}
+
+// assignLocked hands every unassigned queued job to a worker with
+// spare capacity, chosen by consistent hashing on the job ID, each
+// assignment under a freshly bumped fencing epoch. Jobs that find no
+// eligible worker stay pending for the next pass.
+func (c *Coordinator) assignLocked() {
+	if len(c.workers) == 0 {
+		return
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	r := newRing(ids)
+	changed := false
+	for _, jid := range c.order {
+		j := c.jobs[jid]
+		if j.status != server.StatusQueued || j.owner != "" {
+			continue
+		}
+		w := r.owner(jid, func(wid string) bool {
+			we := c.workers[wid]
+			return len(we.jobs) < we.capacity
+		})
+		if w == "" {
+			break // every worker is at capacity; later jobs can't do better
+		}
+		c.nextEpoch++
+		j.owner = w
+		j.epoch = c.nextEpoch
+		c.workers[w].jobs[jid] = struct{}{}
+		changed = true
+	}
+	if changed {
+		c.saveStateLocked()
+	}
+}
+
+// Submit admits a job into the cluster table. Admission mirrors the
+// standalone daemon: 400 invalid, 503 draining, 429 table full.
+func (c *Coordinator) Submit(spec server.JobSpec) (*server.JobView, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, &admissionError{code: http.StatusBadRequest, msg: err.Error()}
+	}
+	c.mu.Lock()
+	if c.draining.Load() {
+		c.mu.Unlock()
+		c.metrics.onReject()
+		return nil, &admissionError{code: http.StatusServiceUnavailable, msg: "draining"}
+	}
+	open := 0
+	for _, jid := range c.order {
+		if !server.Terminal(c.jobs[jid].status) {
+			open++
+		}
+	}
+	if open >= c.cfg.MaxJobs {
+		c.mu.Unlock()
+		c.metrics.onReject()
+		return nil, &admissionError{
+			code:       http.StatusTooManyRequests,
+			msg:        fmt.Sprintf("job table full (%d open jobs)", open),
+			retryAfter: c.cfg.RetryAfter,
+		}
+	}
+	c.nextJob++
+	j := &cjob{
+		id:     fmt.Sprintf("j%06d", c.nextJob),
+		spec:   spec,
+		status: server.StatusQueued,
+		queued: time.Now(),
+		events: server.NewBroadcaster(),
+	}
+	c.jobs[j.id] = j
+	c.order = append(c.order, j.id)
+	c.assignLocked()
+	c.saveStateLocked()
+	view := c.viewLocked(j)
+	c.mu.Unlock()
+	c.metrics.onSubmit()
+	return &view, nil
+}
+
+// Job returns one job's current view.
+func (c *Coordinator) Job(id string) (*server.JobView, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	v := c.viewLocked(j)
+	return &v, true
+}
+
+// Jobs lists every job in submission order.
+func (c *Coordinator) Jobs() []server.JobView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]server.JobView, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.viewLocked(c.jobs[id]))
+	}
+	return out
+}
+
+func (c *Coordinator) viewLocked(j *cjob) server.JobView {
+	return server.JobView{
+		ID:       j.id,
+		Status:   j.status,
+		Spec:     j.spec,
+		Queued:   fmtTime(j.queued),
+		Started:  fmtTime(j.started),
+		Finished: fmtTime(j.finished),
+		Progress: j.progress,
+		Result:   j.result,
+		Owner:    j.owner,
+		Epoch:    j.epoch,
+	}
+}
+
+// Metrics renders the Prometheus exposition.
+func (c *Coordinator) Metrics() string {
+	c.mu.Lock()
+	inflight := make(map[string]int, len(c.workers))
+	for id, w := range c.workers {
+		inflight[id] = len(w.jobs)
+	}
+	pending := 0
+	for _, jid := range c.order {
+		j := c.jobs[jid]
+		if j.status == server.StatusQueued && j.owner == "" {
+			pending++
+		}
+	}
+	g := clusterGauges{workersLive: len(c.workers), jobsPending: pending, inflight: inflight}
+	c.mu.Unlock()
+	return c.metrics.render(g)
+}
+
+// Close stops the expiry loop, marks the coordinator draining, and
+// persists a final state snapshot. Workers keep running until their
+// heartbeats fail; on the next coordinator start they either renew
+// (restart within the grace TTL) or rejoin.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() {
+		c.draining.Store(true)
+		close(c.stopCh)
+		c.wg.Wait()
+		c.mu.Lock()
+		c.saveStateLocked()
+		c.mu.Unlock()
+		c.cfg.Logf("dsasimd: coordinator closed")
+	})
+}
+
+// admissionError mirrors the server's: the HTTP answer for a refusal.
+type admissionError struct {
+	code       int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *admissionError) Error() string { return e.msg }
+
+func fmtTime(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

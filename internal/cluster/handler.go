@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Handler returns the coordinator's HTTP API: the public job surface
+// (same shapes as the standalone daemon, so clients don't care which
+// they talk to) plus the worker-facing lease protocol under
+// /cluster/v1/.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", c.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", c.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", c.handleEvents)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", c.handleHealth)
+	mux.HandleFunc("GET /readyz", c.handleReady)
+
+	mux.HandleFunc("POST /cluster/v1/join", c.handleJoin)
+	mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /cluster/v1/complete", c.handleComplete)
+	mux.HandleFunc("POST /cluster/v1/progress", c.handleProgress)
+	return mux
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec server.JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	view, err := c.Submit(spec)
+	if err != nil {
+		var ae *admissionError
+		if !errors.As(err, &ae) {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if ae.retryAfter > 0 {
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", server.JitterSeconds(ae.retryAfter)))
+		}
+		httpError(w, ae.code, ae.msg)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, view)
+}
+
+func (c *Coordinator) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": c.Jobs()})
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := c.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	j, ok := c.jobs[r.PathValue("id")]
+	var status string
+	var events *server.Broadcaster
+	if ok {
+		status, events = j.status, j.events
+	}
+	c.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	server.StreamEvents(w, r, events, r.PathValue("id"), status)
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, c.Metrics())
+}
+
+func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
+	state := "ok"
+	if c.draining.Load() {
+		state = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": state})
+}
+
+// handleReady: the cluster can usefully accept a submission only when
+// it is not draining and at least one worker holds a current lease.
+func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	if c.draining.Load() {
+		reason = "draining"
+	} else {
+		c.mu.Lock()
+		if len(c.workers) == 0 {
+			reason = "no live workers"
+		}
+		c.mu.Unlock()
+	}
+	if reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready", "reason": reason})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// decodeBody decodes a protocol request, answering 400 on garbage.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(v); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req JoinRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if c.draining.Load() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if req.Capacity <= 0 {
+		req.Capacity = 1
+	}
+	c.mu.Lock()
+	c.nextWorker++
+	we := &workerEntry{
+		id:       fmt.Sprintf("w%04d", c.nextWorker),
+		capacity: req.Capacity,
+		deadline: time.Now().Add(c.cfg.LeaseTTL),
+		jobs:     map[string]struct{}{},
+	}
+	c.workers[we.id] = we
+	c.assignLocked()
+	c.saveStateLocked()
+	c.mu.Unlock()
+	c.metrics.onLeaseGrant()
+	c.cfg.Logf("dsasimd: worker %s joined (capacity %d)", we.id, req.Capacity)
+	writeJSON(w, http.StatusOK, JoinResponse{Worker: we.id, LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+// handleHeartbeat renews the worker's lease and reconciles its running
+// set against the coordinator's desired state.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp := HeartbeatResponse{LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds()}
+	var statusEvents []server.Event
+
+	c.mu.Lock()
+	we := c.workers[req.Worker]
+	if we == nil {
+		// Expired (or pre-restart) lease: the worker is a zombie until
+		// it self-fences and rejoins under a fresh identity.
+		c.mu.Unlock()
+		resp.Rejoin = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	we.deadline = time.Now().Add(c.cfg.LeaseTTL)
+
+	// The worker's reality: everything it runs without a current lease
+	// gets a stop; everything leased that it isn't running gets a
+	// start.
+	running := make(map[string]uint64, len(req.Running))
+	for _, rj := range req.Running {
+		running[rj.Job] = rj.Epoch
+		j := c.jobs[rj.Job]
+		if j == nil || j.owner != req.Worker || j.epoch != rj.Epoch || server.Terminal(j.status) {
+			resp.Stop = append(resp.Stop, rj.Job)
+			continue
+		}
+		if j.status == server.StatusQueued {
+			j.status = server.StatusRunning
+			j.started = time.Now()
+			statusEvents = append(statusEvents,
+				server.Event{Type: "status", Job: j.id, Status: server.StatusRunning})
+		}
+	}
+	for jid := range we.jobs {
+		j := c.jobs[jid]
+		if j == nil || server.Terminal(j.status) || j.owner != req.Worker {
+			delete(we.jobs, jid)
+			continue
+		}
+		if ep, ok := running[jid]; ok && ep == j.epoch {
+			continue
+		}
+		resp.Start = append(resp.Start, Assignment{Job: jid, Epoch: j.epoch, Spec: j.spec, Resume: j.resume})
+	}
+	c.mu.Unlock()
+
+	if n := len(resp.Stop); n > 0 {
+		c.metrics.onRevoke(n)
+	}
+	for _, ev := range statusEvents {
+		c.publish(ev)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleComplete records a terminal result — exactly once. Any write
+// that does not carry the job's current (owner, epoch) lease, or
+// arrives after the job is already terminal, is fenced with 409.
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	j := c.jobs[req.Job]
+	if j == nil {
+		c.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if server.Terminal(j.status) || j.owner != req.Worker || j.epoch != req.Epoch {
+		c.mu.Unlock()
+		c.metrics.onFencedWrite()
+		httpError(w, http.StatusConflict, "stale lease: result fenced")
+		return
+	}
+	res := req.Result
+	j.status = res.Status
+	j.result = &res
+	j.finished = time.Now()
+	j.owner = ""
+	if we := c.workers[req.Worker]; we != nil {
+		delete(we.jobs, req.Job)
+	}
+	c.assignLocked() // a capacity slot just freed
+	c.saveStateLocked()
+	c.mu.Unlock()
+
+	c.metrics.onDone(res.Status)
+	c.publish(server.Event{Type: "done", Job: req.Job, Status: res.Status, Result: &res})
+	c.cfg.Logf("dsasimd: job %s %s (worker %s, epoch %d)", req.Job, res.Status, req.Worker, req.Epoch)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+}
+
+// handleProgress records a live sample, fenced like a completion.
+func (c *Coordinator) handleProgress(w http.ResponseWriter, r *http.Request) {
+	var req ProgressRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	j := c.jobs[req.Job]
+	if j == nil {
+		c.mu.Unlock()
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if server.Terminal(j.status) || j.owner != req.Worker || j.epoch != req.Epoch {
+		c.mu.Unlock()
+		c.metrics.onFencedWrite()
+		httpError(w, http.StatusConflict, "stale lease: progress fenced")
+		return
+	}
+	p := req.Progress
+	j.progress = &p
+	c.mu.Unlock()
+	c.publish(server.Event{Type: "progress", Job: req.Job, Status: server.StatusRunning, Progress: &p})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "accepted"})
+}
+
+// publish routes an event to its job's broadcaster.
+func (c *Coordinator) publish(ev server.Event) {
+	c.mu.Lock()
+	j := c.jobs[ev.Job]
+	c.mu.Unlock()
+	if j != nil {
+		j.events.Publish(ev)
+	}
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// clusterMetrics is the coordinator's Prometheus registry, hand-rolled
+// like the server's: counters under one mutex (lease-protocol cadence,
+// not per step), gauges sampled at scrape time.
+type clusterMetrics struct {
+	mu            sync.Mutex
+	submitted     uint64
+	rejected      uint64
+	completed     map[string]uint64 // terminal status → count
+	leasesGranted uint64
+	leasesExpired uint64
+	leasesRevoked uint64
+	takeovers     uint64
+	fencedWrites  uint64
+}
+
+func newClusterMetrics() *clusterMetrics {
+	return &clusterMetrics{
+		completed: map[string]uint64{"ok": 0, "degraded": 0, "failed": 0},
+	}
+}
+
+func (m *clusterMetrics) inc(field *uint64) {
+	m.mu.Lock()
+	*field++
+	m.mu.Unlock()
+}
+
+func (m *clusterMetrics) onSubmit()      { m.inc(&m.submitted) }
+func (m *clusterMetrics) onReject()      { m.inc(&m.rejected) }
+func (m *clusterMetrics) onLeaseGrant()  { m.inc(&m.leasesGranted) }
+func (m *clusterMetrics) onLeaseExpire() { m.inc(&m.leasesExpired) }
+func (m *clusterMetrics) onFencedWrite() { m.inc(&m.fencedWrites) }
+
+func (m *clusterMetrics) onRevoke(n int) {
+	m.mu.Lock()
+	m.leasesRevoked += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *clusterMetrics) onTakeover(n int) {
+	m.mu.Lock()
+	m.takeovers += uint64(n)
+	m.mu.Unlock()
+}
+
+func (m *clusterMetrics) onDone(status string) {
+	m.mu.Lock()
+	m.completed[status]++
+	m.mu.Unlock()
+}
+
+// clusterGauges are point-in-time values sampled at scrape.
+type clusterGauges struct {
+	workersLive int
+	jobsPending int
+	// inflight maps live worker ID → leased job count.
+	inflight map[string]int
+}
+
+// render writes the registry in Prometheus text exposition format,
+// deterministically ordered.
+func (m *clusterMetrics) render(g clusterGauges) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b strings.Builder
+
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("dsasimd_cluster_workers_live", "Workers holding a current lease.", int64(g.workersLive))
+	gauge("dsasimd_cluster_jobs_pending", "Jobs waiting for a worker assignment.", int64(g.jobsPending))
+
+	fmt.Fprintf(&b, "# HELP dsasimd_cluster_worker_inflight Jobs currently leased, per live worker.\n# TYPE dsasimd_cluster_worker_inflight gauge\n")
+	workers := make([]string, 0, len(g.inflight))
+	for w := range g.inflight {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+	for _, w := range workers {
+		fmt.Fprintf(&b, "dsasimd_cluster_worker_inflight{worker=%q} %d\n", w, g.inflight[w])
+	}
+
+	counter("dsasimd_cluster_leases_granted_total", "Worker leases granted at join.", m.leasesGranted)
+	counter("dsasimd_cluster_leases_expired_total", "Worker leases that lapsed without renewal.", m.leasesExpired)
+	counter("dsasimd_cluster_leases_revoked_total", "Job leases withdrawn from workers via heartbeat stop lists.", m.leasesRevoked)
+	counter("dsasimd_cluster_takeovers_total", "Jobs reassigned after their owner's lease expired.", m.takeovers)
+	counter("dsasimd_cluster_fenced_writes_total", "Stale-epoch completions and progress reports rejected with 409.", m.fencedWrites)
+	counter("dsasimd_cluster_jobs_submitted_total", "Jobs accepted into the cluster job table.", m.submitted)
+	counter("dsasimd_cluster_jobs_rejected_total", "Submissions refused (table full or draining).", m.rejected)
+
+	fmt.Fprintf(&b, "# HELP dsasimd_cluster_jobs_completed_total Jobs finished, by terminal status.\n# TYPE dsasimd_cluster_jobs_completed_total counter\n")
+	statuses := make([]string, 0, len(m.completed))
+	for s := range m.completed {
+		statuses = append(statuses, s)
+	}
+	sort.Strings(statuses)
+	for _, s := range statuses {
+		fmt.Fprintf(&b, "dsasimd_cluster_jobs_completed_total{status=%q} %d\n", s, m.completed[s])
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is how many virtual nodes each worker contributes to the
+// hash ring — enough to spread load evenly across a handful of
+// workers without making ring construction expensive.
+const ringVnodes = 64
+
+// ring is a consistent-hash ring over worker IDs. Jobs map to workers
+// by walking clockwise from the job's hash point, so adding or losing
+// one worker only moves the jobs that hashed to it — a takeover
+// reassigns the dead worker's jobs without reshuffling everyone
+// else's.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+// newRing builds a ring over the given worker IDs. Construction cost
+// is O(n·vnodes·log) and the coordinator rebuilds it per assignment
+// pass; at the scales dsasimd runs (a handful of workers) that is
+// cheaper than keeping an incrementally-updated structure correct.
+func newRing(workers []string) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(workers)*ringVnodes)}
+	for _, w := range workers {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", w, v)), worker: w})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].worker < r.points[j].worker
+	})
+	return r
+}
+
+// owner walks the ring from key's hash point to the first worker that
+// eligible() accepts (capacity filtering), wrapping once. It returns
+// "" when no worker qualifies. Each distinct worker is tried at most
+// once even though it owns many points.
+func (r *ring) owner(key string, eligible func(worker string) bool) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	tried := map[string]struct{}{}
+	for i := 0; i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, ok := tried[p.worker]; ok {
+			continue
+		}
+		tried[p.worker] = struct{}{}
+		if eligible(p.worker) {
+			return p.worker
+		}
+	}
+	return ""
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/snapshot"
+)
+
+// stateSection names the one section of the coordinator's state file —
+// a snapshot-container file (CRC-validated, written atomically) whose
+// JSON payload holds the job table, the lease table, and the counters.
+// The epoch counter is the load-bearing part: fencing only works if a
+// restarted coordinator never re-issues an epoch a zombie still holds.
+const stateSection = "dsasimd.cluster"
+
+type persistedJob struct {
+	ID     string             `json:"id"`
+	Spec   server.JobSpec     `json:"spec"`
+	Status string             `json:"status"`
+	Owner  string             `json:"owner,omitempty"`
+	Epoch  uint64             `json:"epoch,omitempty"`
+	Resume bool               `json:"resume,omitempty"`
+	Queued string             `json:"queued,omitempty"`
+	Result *server.ResultJSON `json:"result,omitempty"`
+}
+
+type persistedWorker struct {
+	ID       string `json:"id"`
+	Capacity int    `json:"capacity"`
+}
+
+type clusterState struct {
+	NextJob    uint64            `json:"next_job"`
+	NextWorker uint64            `json:"next_worker"`
+	NextEpoch  uint64            `json:"next_epoch"`
+	Jobs       []persistedJob    `json:"jobs"`
+	Workers    []persistedWorker `json:"workers,omitempty"`
+}
+
+// saveStateLocked writes the coordinator's tables crash-consistently.
+// The caller must hold c.mu. Failures are logged, never fatal.
+func (c *Coordinator) saveStateLocked() {
+	if c.cfg.StateFile == "" {
+		return
+	}
+	st := clusterState{NextJob: c.nextJob, NextWorker: c.nextWorker, NextEpoch: c.nextEpoch}
+	for _, jid := range c.order {
+		j := c.jobs[jid]
+		st.Jobs = append(st.Jobs, persistedJob{
+			ID:     j.id,
+			Spec:   j.spec,
+			Status: j.status,
+			Owner:  j.owner,
+			Epoch:  j.epoch,
+			Resume: j.resume,
+			Queued: fmtTime(j.queued),
+			Result: j.result,
+		})
+	}
+	for _, we := range c.workers {
+		st.Workers = append(st.Workers, persistedWorker{ID: we.id, Capacity: we.capacity})
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		c.cfg.Logf("dsasimd: saving cluster state: %v", err)
+		return
+	}
+	var w snapshot.Writer
+	w.Add(stateSection, payload)
+	if err := w.WriteFile(c.cfg.StateFile); err != nil {
+		c.cfg.Logf("dsasimd: saving cluster state: %v", err)
+	}
+}
+
+// restore loads a previous coordinator's tables. Restored workers get
+// a fresh grace deadline: if they are still alive their next heartbeat
+// renews the same lease (their in-flight epochs stay valid); if they
+// died during the outage, the grace TTL expires and takeover proceeds
+// normally. A missing file is a fresh start; a corrupt one is renamed
+// aside and reported.
+func (c *Coordinator) restore() error {
+	path := c.cfg.StateFile
+	if path == "" {
+		return nil
+	}
+	rd, err := snapshot.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		quarantine := path + ".bad"
+		_ = os.Rename(path, quarantine)
+		return fmt.Errorf("cluster state %s unreadable (%w); moved to %s, starting fresh", path, err, quarantine)
+	}
+	payload, err := rd.Section(stateSection)
+	if err != nil {
+		return fmt.Errorf("cluster state %s: %w", path, err)
+	}
+	var st clusterState
+	if err := json.Unmarshal(payload, &st); err != nil {
+		return fmt.Errorf("cluster state %s: %w", path, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextJob, c.nextWorker, c.nextEpoch = st.NextJob, st.NextWorker, st.NextEpoch
+	grace := time.Now().Add(c.cfg.LeaseTTL)
+	for _, pw := range st.Workers {
+		c.workers[pw.ID] = &workerEntry{
+			id:       pw.ID,
+			capacity: pw.Capacity,
+			deadline: grace,
+			jobs:     map[string]struct{}{},
+		}
+	}
+	for i := range st.Jobs {
+		pj := st.Jobs[i]
+		j := &cjob{
+			id:     pj.ID,
+			spec:   pj.Spec,
+			status: pj.Status,
+			owner:  pj.Owner,
+			epoch:  pj.Epoch,
+			resume: pj.Resume,
+			result: pj.Result,
+			events: server.NewBroadcaster(),
+		}
+		if t, terr := time.Parse(time.RFC3339Nano, pj.Queued); terr == nil {
+			j.queued = t
+		}
+		c.jobs[j.id] = j
+		c.order = append(c.order, j.id)
+		if server.Terminal(j.status) {
+			if j.result != nil {
+				j.events.Publish(server.Event{Type: "done", Job: j.id, Status: j.status, Result: j.result})
+			}
+			continue
+		}
+		if j.owner != "" {
+			if we := c.workers[j.owner]; we != nil {
+				// The lease survives the restart; if the worker still
+				// runs the job, its next heartbeat simply confirms it.
+				we.jobs[j.id] = struct{}{}
+				j.resume = true
+			} else {
+				// Owner not in the persisted lease table (crashed before
+				// the last save): requeue for takeover.
+				j.owner = ""
+				j.resume = true
+				j.status = server.StatusQueued
+			}
+		}
+	}
+	c.cfg.Logf("dsasimd: restored %d job(s), %d worker lease(s) from %s (epoch counter %d)",
+		len(st.Jobs), len(st.Workers), path, st.NextEpoch)
+	return nil
+}

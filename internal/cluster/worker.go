@@ -1,0 +1,324 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/server"
+)
+
+// WorkerConfig parameterizes one worker process.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Capacity is how many jobs to run concurrently (0 = 1).
+	Capacity int
+	// SnapshotDir is the checkpoint directory — shared with the other
+	// workers; files are namespaced by worker ID and lease epoch, and
+	// takeover resumes happen through it.
+	SnapshotDir string
+	// Runner carries execution knobs (snapshot cadence, retries,
+	// timeout…). Workers, SnapshotDir, SnapshotOwner and OnProgress
+	// are owned by the worker and overwritten.
+	Runner runner.Options
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// assignment is one leased job the worker is running.
+type assignment struct {
+	job   string
+	epoch uint64
+}
+
+// Worker executes leased jobs against a coordinator. It has no HTTP
+// listener: it pulls desired state through its own heartbeats and
+// pushes progress and results, every write stamped with its lease
+// epoch. When its lease lapses — heartbeats failing long enough, or
+// the coordinator answering Rejoin — it self-fences: every running
+// attempt is revoked (checkpointing and unwinding), and the worker
+// joins again under a fresh identity and pool.
+type Worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	stopCh chan struct{}
+	once   sync.Once
+	jobWG  sync.WaitGroup
+
+	mu      sync.Mutex
+	id      string
+	pool    *runner.Pool
+	running map[string]assignment
+}
+
+// NewWorker builds a worker; Run starts it.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: 10 * time.Second},
+		stopCh:  make(chan struct{}),
+		running: map[string]assignment{},
+	}
+}
+
+// Run joins the coordinator and serves leases until Close. Each fence
+// (lease lapse or coordinator-ordered rejoin) ends one session — its
+// pool and identity are discarded — and a fresh join starts the next.
+func (w *Worker) Run() {
+	for {
+		id, ttl, ok := w.join()
+		if !ok {
+			return
+		}
+		if !w.session(id, ttl) {
+			return
+		}
+		w.cfg.Logf("dsasimd-worker: fenced as %s; rejoining", id)
+	}
+}
+
+// Close stops the worker: running attempts are revoked (each leaves a
+// checkpoint for its next owner) and Run returns.
+func (w *Worker) Close() { w.once.Do(func() { close(w.stopCh) }) }
+
+// join obtains an identity and lease, retrying with backoff until it
+// succeeds or the worker is closed.
+func (w *Worker) join() (id string, ttl time.Duration, ok bool) {
+	backoff := 50 * time.Millisecond
+	for {
+		var resp JoinResponse
+		code, err := w.post("/cluster/v1/join", JoinRequest{Capacity: w.cfg.Capacity}, &resp)
+		if err == nil && code == http.StatusOK && resp.Worker != "" {
+			return resp.Worker, time.Duration(resp.LeaseTTLMS) * time.Millisecond, true
+		}
+		if err != nil {
+			w.cfg.Logf("dsasimd-worker: join: %v (retrying)", err)
+		} else {
+			w.cfg.Logf("dsasimd-worker: join refused (%d, retrying)", code)
+		}
+		select {
+		case <-w.stopCh:
+			return "", 0, false
+		case <-time.After(backoff):
+		}
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
+}
+
+// session drives one lease lifetime: heartbeat at TTL/3, reconcile the
+// response, self-fence at the end. Returns true to rejoin, false when
+// the worker is closing.
+func (w *Worker) session(id string, ttl time.Duration) (rejoin bool) {
+	ropts := w.cfg.Runner
+	ropts.Workers = w.cfg.Capacity
+	ropts.SnapshotDir = w.cfg.SnapshotDir
+	ropts.SnapshotOwner = id
+	ropts.OnProgress = w.onProgress
+	pool := runner.NewPool(ropts)
+
+	w.mu.Lock()
+	w.id, w.pool, w.running = id, pool, map[string]assignment{}
+	w.mu.Unlock()
+	defer w.fence(pool)
+
+	w.cfg.Logf("dsasimd-worker: joined as %s (lease %s)", id, ttl)
+	hb := ttl / 3
+	if hb < 5*time.Millisecond {
+		hb = 5 * time.Millisecond
+	}
+	// The lease clock runs from each heartbeat's *send* time: if the
+	// coordinator saw the renewal any later than that, our view of the
+	// deadline is only more conservative than its.
+	leaseUntil := time.Now().Add(ttl)
+	for {
+		sent := time.Now()
+		resp, err := w.heartbeat(id)
+		switch {
+		case err == nil && resp.Rejoin:
+			return true
+		case err == nil:
+			leaseUntil = sent.Add(ttl)
+			w.reconcile(id, pool, resp)
+		case time.Now().After(leaseUntil):
+			// Could not renew within our own TTL: the coordinator has
+			// (or soon will have) expired us and reassigned our jobs.
+			// Run nothing we cannot prove we still lease.
+			w.cfg.Logf("dsasimd-worker: %s lease lapsed (%v)", id, err)
+			return true
+		default:
+			w.cfg.Logf("dsasimd-worker: heartbeat: %v", err)
+		}
+		select {
+		case <-w.stopCh:
+			return false
+		case <-time.After(hb):
+		}
+	}
+}
+
+// heartbeat reports the running set and fetches the desired-state
+// delta.
+func (w *Worker) heartbeat(id string) (*HeartbeatResponse, error) {
+	w.mu.Lock()
+	req := HeartbeatRequest{Worker: id}
+	for _, a := range w.running {
+		req.Running = append(req.Running, RunningJob{Job: a.job, Epoch: a.epoch})
+	}
+	w.mu.Unlock()
+	var resp HeartbeatResponse
+	code, err := w.post("/cluster/v1/heartbeat", req, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if code != http.StatusOK {
+		return nil, fmt.Errorf("heartbeat: HTTP %d", code)
+	}
+	return &resp, nil
+}
+
+// reconcile applies a heartbeat's stop and start lists.
+func (w *Worker) reconcile(id string, pool *runner.Pool, resp *HeartbeatResponse) {
+	for _, job := range resp.Stop {
+		w.cfg.Logf("dsasimd-worker: %s revoking %s (fenced)", id, job)
+		pool.Revoke(job)
+	}
+	w.mu.Lock()
+	var starts []Assignment
+	for _, a := range resp.Start {
+		// Never double-start: if the job is still unwinding from a
+		// revocation (a stop and a re-start for the same job can ride
+		// one response), wait for the next heartbeat to re-deliver.
+		if _, ok := w.running[a.Job]; ok {
+			continue
+		}
+		w.running[a.Job] = assignment{job: a.Job, epoch: a.Epoch}
+		starts = append(starts, a)
+	}
+	w.mu.Unlock()
+	for _, a := range starts {
+		w.launch(id, pool, a)
+	}
+}
+
+// launch runs one assignment on the pool in its own goroutine and
+// reports the terminal result.
+func (w *Worker) launch(id string, pool *runner.Pool, a Assignment) {
+	w.jobWG.Add(1)
+	go func() {
+		defer w.jobWG.Done()
+		defer func() {
+			w.mu.Lock()
+			delete(w.running, a.Job)
+			w.mu.Unlock()
+		}()
+		job, err := a.Spec.RunnerJob(a.Job)
+		if err != nil {
+			w.report(id, a, server.ResultJSON{Job: a.Job, Status: string(runner.StatusFailed), Cause: "bad-spec", Error: err.Error()})
+			return
+		}
+		job.Epoch = a.Epoch
+		job.Resume = a.Resume
+		res := pool.Do(context.Background(), job)
+		if res.Status == runner.StatusFailed && (res.Cause == runner.CauseRevoked || res.Cause == runner.CauseDrained) {
+			// Not a result: the lease went away mid-run. The checkpoint
+			// stays for the next owner; nothing to report.
+			return
+		}
+		if res.ResumedFromStep > 0 {
+			w.cfg.Logf("dsasimd-worker: %s resumed %s from step %d (epoch %d)", id, a.Job, res.ResumedFromStep, a.Epoch)
+		}
+		w.report(id, a, server.ResultFromRunner(res))
+	}()
+}
+
+// report posts a terminal result, retrying transient failures. A 409
+// means the write was fenced — the lease moved on — and a 404 that
+// the job is gone; both are final. If the coordinator stays
+// unreachable, the job is simply dropped from the running set: the
+// next owner's re-run reproduces the same result (the simulation is
+// deterministic), so convergence never depends on this one delivery.
+func (w *Worker) report(id string, a Assignment, res server.ResultJSON) {
+	req := CompleteRequest{Worker: id, Job: a.Job, Epoch: a.Epoch, Result: res}
+	for i := 0; i < 5; i++ {
+		code, err := w.post("/cluster/v1/complete", req, nil)
+		if err == nil {
+			switch code {
+			case http.StatusOK:
+				return
+			case http.StatusConflict, http.StatusNotFound:
+				w.cfg.Logf("dsasimd-worker: %s result for %s fenced (HTTP %d)", id, a.Job, code)
+				return
+			}
+		}
+		select {
+		case <-w.stopCh:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	w.cfg.Logf("dsasimd-worker: %s could not deliver result for %s; dropping (next owner re-runs)", id, a.Job)
+}
+
+// onProgress pushes a live sample under the job's lease epoch. Errors
+// (including fencing) are ignored: progress is advisory, and a fenced
+// job's revocation arrives with the next heartbeat.
+func (w *Worker) onProgress(p runner.Progress) {
+	w.mu.Lock()
+	a, ok := w.running[p.Job]
+	id := w.id
+	w.mu.Unlock()
+	if !ok {
+		return
+	}
+	req := ProgressRequest{Worker: id, Job: p.Job, Epoch: a.epoch, Progress: server.ProgressJSON{
+		Job: p.Job, Attempt: p.Attempt, DSAOff: p.DSAOff,
+		Steps: p.Steps, Ticks: p.Ticks, Takeovers: p.Takeovers, Fallbacks: p.Fallbacks,
+	}}
+	_, _ = w.post("/cluster/v1/progress", req, nil)
+}
+
+// fence ends a session: revoke every running attempt (each writes its
+// final checkpoint and unwinds), wait for them, release the pool.
+func (w *Worker) fence(pool *runner.Pool) {
+	w.mu.Lock()
+	for job := range w.running {
+		pool.Revoke(job)
+	}
+	w.mu.Unlock()
+	w.jobWG.Wait()
+	pool.Close()
+}
+
+// post sends one JSON request; out, when non-nil, receives a decoded
+// 200 body.
+func (w *Worker) post(path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := w.client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
+
+	"repro/internal/snapshot"
 )
 
 // ErrInjected is the error an armed FaultExecutorError surfaces from
@@ -219,8 +221,10 @@ func InjectSnapshotFault(path string, kind SnapshotFault) error {
 	if err != nil {
 		return err
 	}
-	// Header layout (see internal/snapshot): magic [0,4) + version [4,8).
-	if len(raw) < 16 {
+	// Header layout (see internal/snapshot): magic [0,4) + version
+	// [4,8) + epoch word and its CRC [8,20) + section count [20,24).
+	const headerLen = snapshot.HeaderLen
+	if len(raw) < headerLen+8 {
 		return fmt.Errorf("snapshot %s too small (%d bytes) to fault", path, len(raw))
 	}
 	switch kind {
@@ -229,7 +233,7 @@ func InjectSnapshotFault(path string, kind SnapshotFault) error {
 	case SnapBitFlip:
 		// Flip a bit in the middle of the body: well past the header, so
 		// detection must come from a section CRC, not the magic check.
-		raw[8+(len(raw)-8)/2] ^= 0x10
+		raw[headerLen+(len(raw)-headerLen)/2] ^= 0x10
 	case SnapVersionSkew:
 		binary.LittleEndian.PutUint32(raw[4:8], binary.LittleEndian.Uint32(raw[4:8])+1)
 	default:

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -22,12 +24,25 @@ const DefaultSnapshotEvery = 5_000_000
 // written when *either* threshold is crossed.
 const DefaultSnapshotInterval = 30 * time.Second
 
-// checkpointer owns one job's snapshot file: it decides when a
+// checkpointer owns one job's snapshot files: it decides when a
 // checkpoint is due, writes it crash-consistently, and restores the
 // last good one. Save failures disable further checkpointing but never
 // fail the run — a job without durability still beats no job.
+//
+// With Options.SnapshotOwner set (cluster workers), checkpoint files
+// are namespaced by owner ID and lease epoch
+// ("<job>.<owner>.e<epoch>.dsnp") so co-located workers sharing one
+// snapshot directory can never clobber each other's files, and restore
+// scans for the highest-epoch valid snapshot at or below this
+// assignment's epoch — the takeover path: a new owner picks up the
+// dead owner's last checkpoint by epoch order, never by luck.
 type checkpointer struct {
-	path       string
+	dir   string
+	base  string // sanitized job name, extension stripped
+	owner string // "" = single-owner legacy naming
+	epoch uint64
+	path  string // this attempt's write target
+
 	everySteps uint64
 	interval   time.Duration
 
@@ -41,14 +56,22 @@ type checkpointer struct {
 	save func(w *snapshot.Writer) error
 }
 
-func newCheckpointer(jobName string, opts Options) *checkpointer {
+func newCheckpointer(job Job, opts Options) *checkpointer {
 	if opts.SnapshotDir == "" {
 		return nil
 	}
 	ck := &checkpointer{
-		path:       filepath.Join(opts.SnapshotDir, snapshotFileName(jobName)),
+		dir:        opts.SnapshotDir,
+		base:       snapshotBase(job.Name),
+		owner:      opts.SnapshotOwner,
+		epoch:      job.Epoch,
 		everySteps: opts.SnapshotEvery,
 		interval:   opts.SnapshotInterval,
+	}
+	if ck.owner == "" {
+		ck.path = filepath.Join(ck.dir, ck.base+".dsnp")
+	} else {
+		ck.path = filepath.Join(ck.dir, fmt.Sprintf("%s.%s.e%d.dsnp", ck.base, ck.owner, ck.epoch))
 	}
 	if ck.everySteps == 0 {
 		ck.everySteps = DefaultSnapshotEvery
@@ -59,11 +82,16 @@ func newCheckpointer(jobName string, opts Options) *checkpointer {
 	return ck
 }
 
-// snapshotFileName maps a job name ("mm_32/extended") to a flat,
-// filesystem-safe file name.
+// snapshotBase maps a job name ("mm_32/extended") to a flat,
+// filesystem-safe name stem.
+func snapshotBase(jobName string) string {
+	r := strings.NewReplacer("/", "_", string(os.PathSeparator), "_", " ", "_", ".", "_")
+	return r.Replace(jobName)
+}
+
+// snapshotFileName is the single-owner checkpoint file name for a job.
 func snapshotFileName(jobName string) string {
-	r := strings.NewReplacer("/", "_", string(os.PathSeparator), "_", " ", "_")
-	return r.Replace(jobName) + ".dsnp"
+	return snapshotBase(jobName) + ".dsnp"
 }
 
 // hook returns the run-hook closure for one attempt: it fires between
@@ -99,6 +127,7 @@ func (ck *checkpointer) saveNow() bool {
 		return false
 	}
 	var w snapshot.Writer
+	w.Epoch = ck.epoch
 	if err := ck.save(&w); err != nil {
 		ck.disable(err)
 		return false
@@ -120,24 +149,130 @@ func (ck *checkpointer) disable(err error) {
 // restore loads the last good checkpoint into the restorer. It returns
 // (resumedFromStep, "") on success and (0, note) when no resume was
 // possible — the note attributes why the run restarts from zero
-// (missing file, corruption class, version skew, mismatch). A bad file
-// is deleted so the next attempt does not trip over it again, and the
-// caller MUST rebuild its machine from scratch: a failed restore may
-// have partially overwritten state.
+// (missing file, corruption class, version skew, epoch skew,
+// mismatch). A bad file is deleted so the next attempt does not trip
+// over it again, and the caller MUST rebuild its machine from scratch:
+// a failed restore may have partially overwritten state.
+//
+// In owner/epoch mode the candidate set is every checkpoint of this
+// job in the shared directory with an epoch at or below this
+// assignment's; the highest-epoch structurally valid one is restored
+// (validity is checked *before* touching the machine, so a corrupt
+// high-epoch file falls through to the predecessor, and exactly one
+// restoreFn call ever runs). After a successful restore, stale
+// lower-epoch leftovers are deleted.
 func (ck *checkpointer) restore(restoreFn func(r *snapshot.Reader) error, steps func() uint64) (uint64, string) {
-	rd, err := snapshot.ReadFile(ck.path)
-	if err != nil {
-		if errors.Is(err, os.ErrNotExist) {
-			return 0, ""
+	path, rd, cause := ck.pickSnapshot()
+	if rd == nil {
+		if cause != "" {
+			return 0, "restart-from-zero: " + cause
 		}
-		os.Remove(ck.path)
-		return 0, "restart-from-zero: " + restoreCause(err)
+		return 0, ""
 	}
 	if err := restoreFn(rd); err != nil {
-		os.Remove(ck.path)
+		os.Remove(path)
 		return 0, "restart-from-zero: " + restoreCause(err)
 	}
+	ck.pruneStale(path)
 	return steps(), ""
+}
+
+// pickSnapshot selects the checkpoint to resume from. It returns a
+// fully validated reader (or nil with the attributed cause of the
+// best candidate's failure; cause is "" when no checkpoint exists at
+// all — a clean cold start).
+func (ck *checkpointer) pickSnapshot() (path string, rd *snapshot.Reader, cause string) {
+	if ck.owner == "" {
+		// Single-owner mode: exactly one well-known file.
+		rd, err := snapshot.ReadFile(ck.path)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				return "", nil, ""
+			}
+			os.Remove(ck.path)
+			return "", nil, restoreCause(err)
+		}
+		return ck.path, rd, ""
+	}
+	for _, c := range ck.candidates() {
+		p := filepath.Join(ck.dir, c.name)
+		rd, err := snapshot.ReadFile(p)
+		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				continue // lost a race with another owner's cleanup
+			}
+		} else if rd.Epoch() != c.epoch {
+			// The filename and the header disagree on the fencing
+			// token — a renamed or replayed file. Never resume it.
+			err = fmt.Errorf("%w: file claims e%d, header says e%d", snapshot.ErrEpochSkew, c.epoch, rd.Epoch())
+		} else {
+			return p, rd, ""
+		}
+		// Invalid candidate: remove it and fall through to the next
+		// lower epoch, keeping the *highest* candidate's failure as
+		// the attributed cause.
+		os.Remove(p)
+		if cause == "" {
+			cause = restoreCause(err)
+		}
+	}
+	return "", nil, cause
+}
+
+// snapCand is one restorable checkpoint file of this job.
+type snapCand struct {
+	name  string
+	epoch uint64
+}
+
+// candidates lists this job's checkpoint files with epochs at or below
+// this assignment's, highest epoch first. Files from epochs above ours
+// would mean *we* are the stale owner; they are left untouched — the
+// coordinator's fencing, not this worker, decides that conflict.
+func (ck *checkpointer) candidates() []snapCand {
+	ents, err := os.ReadDir(ck.dir)
+	if err != nil {
+		return nil
+	}
+	var out []snapCand
+	prefix := ck.base + "."
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".dsnp") {
+			continue
+		}
+		if name == ck.base+".dsnp" {
+			// Legacy single-owner file: epoch 0.
+			out = append(out, snapCand{name: name, epoch: 0})
+			continue
+		}
+		stem := strings.TrimSuffix(name, ".dsnp") // "<base>.<owner>.e<epoch>"
+		i := strings.LastIndex(stem, ".e")
+		if i < len(prefix) {
+			continue
+		}
+		epoch, perr := strconv.ParseUint(stem[i+2:], 10, 64)
+		if perr != nil || epoch > ck.epoch {
+			continue
+		}
+		out = append(out, snapCand{name: name, epoch: epoch})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].epoch > out[j].epoch })
+	return out
+}
+
+// pruneStale removes this job's checkpoint files below the epoch of
+// the one just restored — dead owners' leftovers that can never be
+// preferred again.
+func (ck *checkpointer) pruneStale(keep string) {
+	if ck.owner == "" {
+		return
+	}
+	for _, c := range ck.candidates() {
+		if p := filepath.Join(ck.dir, c.name); p != keep {
+			os.Remove(p)
+		}
+	}
 }
 
 // restoreCause classifies a restore failure through the snapshot
@@ -146,6 +281,8 @@ func restoreCause(err error) string {
 	switch {
 	case errors.Is(err, snapshot.ErrVersion):
 		return "snapshot-version-skew"
+	case errors.Is(err, snapshot.ErrEpochSkew):
+		return "snapshot-epoch-skew"
 	case errors.Is(err, snapshot.ErrMismatch):
 		return "snapshot-mismatch"
 	case errors.Is(err, snapshot.ErrBadMagic):
@@ -157,11 +294,17 @@ func restoreCause(err error) string {
 	}
 }
 
-// cleanup removes the job's snapshot after a successful terminal
+// cleanup removes the job's snapshots after a successful terminal
 // result; a failed job's last checkpoint stays on disk for post-mortem
-// resume.
+// resume. In owner/epoch mode every file at or below our epoch goes —
+// dead owners' leftovers included — but never a higher epoch's file:
+// if one exists, we are the fenced stale owner and the current owner's
+// state is not ours to delete.
 func (ck *checkpointer) cleanup() {
 	os.Remove(ck.path)
+	for _, c := range ck.candidates() {
+		os.Remove(filepath.Join(ck.dir, c.name))
+	}
 }
 
 // machineHook wires a scalar machine's serializer into the

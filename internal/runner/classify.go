@@ -45,6 +45,11 @@ func classify(err error) (cause string, retryable bool) {
 		// A pool drain is not a failure of the job: the attempt
 		// checkpointed and unwound so the owner can resume it later.
 		return CauseDrained, false
+	case errors.Is(err, ErrRevoked):
+		// A revoked lease is drain semantics scoped to one job: the
+		// checkpoint is kept for the job's next owner; retrying here
+		// would race that owner.
+		return CauseRevoked, false
 	case errors.Is(err, context.DeadlineExceeded):
 		return "deadline", true
 	case errors.Is(err, context.Canceled):
@@ -82,6 +87,7 @@ func degradable(err error) bool {
 	switch {
 	case errors.Is(err, context.Canceled),
 		errors.Is(err, ErrDrained),
+		errors.Is(err, ErrRevoked),
 		errors.Is(err, cpu.ErrMaxSteps),
 		errors.Is(err, cpu.ErrInvalidPC),
 		errors.Is(err, cpu.ErrUnimplemented):

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"os"
+	"sync"
 	"sync/atomic"
 )
 
@@ -14,10 +15,21 @@ import (
 // job, only of the moment.
 var ErrDrained = errors.New("runner: drained")
 
+// ErrRevoked marks an attempt stopped by Pool.Revoke: the job's lease
+// was lost (a cluster coordinator reassigned it, or the worker fenced
+// itself), so the attempt wrote a final checkpoint and unwound exactly
+// like a drain — snapshot kept, never retried or degraded. The new
+// owner resumes from the checkpoint.
+var ErrRevoked = errors.New("runner: lease revoked")
+
 // CauseDrained is the classified cause of a drained job, exposed so
 // callers (the service daemon) can tell interrupted work from failed
 // work without string-matching errors.
 const CauseDrained = "drained"
+
+// CauseRevoked is the classified cause of a job whose lease was
+// revoked mid-run.
+const CauseRevoked = "revoked"
 
 // Progress is a live sample of one running attempt, emitted through
 // Options.OnProgress from the attempt's own goroutine at step
@@ -55,6 +67,13 @@ type Pool struct {
 	stop     context.CancelFunc
 	draining atomic.Bool
 	inflight atomic.Int64
+
+	// revGen counts Revoke calls; the per-attempt hook rechecks the
+	// revocation set only when it moves, keeping the per-step cost of
+	// an idle revocation surface to one atomic load.
+	revGen  atomic.Uint64
+	revMu   sync.Mutex
+	revoked map[string]struct{}
 }
 
 // NewPool builds a pool. opts.Workers bounds how many jobs Do admits
@@ -68,10 +87,11 @@ func NewPool(opts Options) *Pool {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Pool{
-		opts: opts,
-		bud:  newMemBudget(ctx, opts.MemBudgetBytes),
-		sem:  make(chan struct{}, opts.Workers),
-		stop: cancel,
+		opts:    opts,
+		bud:     newMemBudget(ctx, opts.MemBudgetBytes),
+		sem:     make(chan struct{}, opts.Workers),
+		stop:    cancel,
+		revoked: map[string]struct{}{},
 	}
 }
 
@@ -90,9 +110,37 @@ func (p *Pool) Do(ctx context.Context, job Job) Result {
 		return Result{Job: name, Status: StatusFailed, Cause: "canceled", Err: ctx.Err()}
 	}
 	defer func() { <-p.sem }()
+	// A revocation always targets the run in flight at call time; a
+	// lingering entry from a previous run of the same name must not
+	// instantly kill this one (cluster reconciliation re-delivers any
+	// still-wanted stop on the next heartbeat).
+	p.revMu.Lock()
+	delete(p.revoked, name)
+	p.revMu.Unlock()
 	p.inflight.Add(1)
 	defer p.inflight.Add(-1)
 	return runJob(ctx, job, p.opts, p)
+}
+
+// Revoke asks the named job's running attempt to stop at its next step
+// boundary after writing a final checkpoint, unwinding with
+// Status failed / Cause CauseRevoked and its snapshot kept — the
+// drain semantics, scoped to one job. A cluster worker calls it when
+// the coordinator withdraws an assignment or when the worker's own
+// lease lapses (self-fencing). Revoking a job that is not running is
+// harmless: the marker is cleared when that name next enters Do.
+func (p *Pool) Revoke(jobName string) {
+	p.revMu.Lock()
+	p.revoked[jobName] = struct{}{}
+	p.revMu.Unlock()
+	p.revGen.Add(1)
+}
+
+func (p *Pool) isRevoked(jobName string) bool {
+	p.revMu.Lock()
+	_, ok := p.revoked[jobName]
+	p.revMu.Unlock()
+	return ok
 }
 
 // Drain asks every running attempt to stop at its next step boundary
@@ -126,20 +174,31 @@ func (p *Pool) MemUsage() (inUse, capacity int64) {
 // Do finish normally; new Do calls after Close are a caller bug.
 func (p *Pool) Close() { p.stop() }
 
-// drainHook returns the hook that turns a pool drain into a clean
-// attempt stop: force a final checkpoint, then unwind with ErrDrained.
-// Nil when the attempt runs outside a pool (plain Run batches drain
-// via context cancellation instead).
-func (p *Pool) drainHook(ck *checkpointer) func() error {
+// drainHook returns the hook that turns a pool drain — or a revocation
+// of this job's lease — into a clean attempt stop: force a final
+// checkpoint, then unwind with ErrDrained/ErrRevoked. Nil when the
+// attempt runs outside a pool (plain Run batches drain via context
+// cancellation instead). The revocation set is rechecked only when the
+// pool's revocation generation moves, so the steady-state per-step
+// cost is two atomic loads.
+func (p *Pool) drainHook(ck *checkpointer, jobName string) func() error {
 	if p == nil {
 		return nil
 	}
+	var seenGen uint64
 	return func() error {
-		if !p.draining.Load() {
-			return nil
+		if p.draining.Load() {
+			ck.saveNow()
+			return ErrDrained
 		}
-		ck.saveNow()
-		return ErrDrained
+		if g := p.revGen.Load(); g != seenGen {
+			seenGen = g
+			if p.isRevoked(jobName) {
+				ck.saveNow()
+				return ErrRevoked
+			}
+		}
+		return nil
 	}
 }
 

@@ -72,6 +72,12 @@ type Job struct {
 	// checkpoint even when Options.Resume is off — the service daemon
 	// sets it per job when re-enqueueing work interrupted by a drain.
 	Resume bool
+	// Epoch is the lease epoch (fencing token) of this assignment,
+	// stamped into every checkpoint the job writes. Restore considers
+	// only checkpoints at or below it, so a fenced former owner's
+	// later writes can never be preferred over the current owner's.
+	// Zero outside cluster operation.
+	Epoch uint64
 }
 
 // Options parameterizes a batch.
@@ -111,6 +117,13 @@ type Options struct {
 	// (0 = DefaultSnapshotInterval); a checkpoint is written when
 	// either threshold is crossed.
 	SnapshotInterval time.Duration
+	// SnapshotOwner, when non-empty, namespaces checkpoint files by
+	// this owner ID and each job's lease epoch
+	// ("<job>.<owner>.e<epoch>.dsnp"), so multiple worker processes
+	// sharing SnapshotDir never clobber each other, and restore scans
+	// for the highest-epoch valid checkpoint of the job (the cluster
+	// takeover path). Empty keeps the single-owner "<job>.dsnp" naming.
+	SnapshotOwner string
 	// Resume lets the *first* attempt of each job restore from a
 	// checkpoint left by a previous batch run. Without it, pre-existing
 	// snapshot files are ignored (and overwritten); retries within this
@@ -237,7 +250,7 @@ func runJob(ctx context.Context, job Job, opts Options, p *Pool) (res Result) {
 	res = Result{Job: job.Name, Status: StatusFailed, Cause: "error"}
 	defer func() { res.Wall = time.Since(start) }()
 
-	ck := newCheckpointer(job.Name, opts)
+	ck := newCheckpointer(job, opts)
 
 	// notes accumulates every attempt's snapshot trouble in the order
 	// it occurred, so a note from a failed or resumed-over attempt
@@ -388,7 +401,7 @@ func attempt(ctx context.Context, job Job, opts Options, p *Pool, dsaOff bool, c
 				ckHook = ck.machineHook(m)
 			}
 			m.SetRunHook(chainHooks(
-				p.drainHook(ck),
+				p.drainHook(ck, job.Name),
 				ckHook,
 				progressHook(opts, job.Name, attemptNo, true,
 					func() uint64 { return m.Steps }, func() int64 { return m.Ticks }, nil),
@@ -431,7 +444,7 @@ func attempt(ctx context.Context, job Job, opts Options, p *Pool, dsaOff bool, c
 		}
 		st := sys.Stats()
 		sys.SetRunHook(chainHooks(
-			p.drainHook(ck),
+			p.drainHook(ck, job.Name),
 			ckHook,
 			progressHook(opts, job.Name, attemptNo, false,
 				func() uint64 { return sys.M.Steps }, func() int64 { return sys.M.Ticks },

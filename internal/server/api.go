@@ -227,6 +227,11 @@ type JobView struct {
 	Finished string        `json:"finished,omitempty"`
 	Progress *ProgressJSON `json:"progress,omitempty"`
 	Result   *ResultJSON   `json:"result,omitempty"`
+	// Owner/Epoch are cluster-mode fields: the worker currently leased
+	// the job and the assignment's fencing epoch. Standalone daemons
+	// leave them zero (and they disappear from the JSON).
+	Owner string `json:"owner,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Terminal reports whether a service status is final.

@@ -1,16 +1,20 @@
 package server
 
 import (
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"sync"
 )
 
-// broadcaster fans one job's event stream out to any number of SSE
+// Broadcaster fans one job's event stream out to any number of SSE
 // subscribers. Slow subscribers never block the publisher: a
 // subscriber whose buffer is full drops intermediate progress events
 // (each sample supersedes the last) but always receives status changes
-// and the terminal event, because publish retries those after clearing
-// room.
-type broadcaster struct {
+// and the terminal event, because Publish retries those after clearing
+// room. It is exported so the cluster coordinator can feed the same
+// per-job streams from worker-pushed events.
+type Broadcaster struct {
 	mu   sync.Mutex
 	subs map[chan Event]struct{}
 	// last terminal event, replayed to late subscribers so a client
@@ -18,14 +22,14 @@ type broadcaster struct {
 	done *Event
 }
 
-func newBroadcaster() *broadcaster {
-	return &broadcaster{subs: map[chan Event]struct{}{}}
+func NewBroadcaster() *Broadcaster {
+	return &Broadcaster{subs: map[chan Event]struct{}{}}
 }
 
-// subscribe registers a new listener. If the job already finished, the
+// Subscribe registers a new listener. If the job already finished, the
 // terminal event is pre-queued. The returned cancel func must be
 // called exactly once; it closes the channel.
-func (b *broadcaster) subscribe() (<-chan Event, func()) {
+func (b *Broadcaster) Subscribe() (<-chan Event, func()) {
 	ch := make(chan Event, 16)
 	b.mu.Lock()
 	if b.done != nil {
@@ -44,10 +48,10 @@ func (b *broadcaster) subscribe() (<-chan Event, func()) {
 	return ch, cancel
 }
 
-// publish delivers ev to every subscriber. Progress events are
+// Publish delivers ev to every subscriber. Progress events are
 // droppable; status and done events evict the oldest buffered event
 // until they fit.
-func (b *broadcaster) publish(ev Event) {
+func (b *Broadcaster) Publish(ev Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if ev.Type == "done" {
@@ -64,7 +68,7 @@ func (b *broadcaster) publish(ev Event) {
 			continue // droppable; the subscriber keeps older events
 		}
 		// Must-deliver event on a full buffer: evict the oldest until
-		// it fits. publish holds the mutex, so no other goroutine can
+		// it fits. Publish holds the mutex, so no other goroutine can
 		// race the eviction.
 		delivered := false
 		for !delivered {
@@ -79,4 +83,50 @@ func (b *broadcaster) publish(ev Event) {
 			}
 		}
 	}
+}
+
+// StreamEvents serves one job's Broadcaster as a server-sent-event
+// stream until the job's terminal event or client disconnect. status
+// is the job's state at call time: non-terminal states open the stream
+// with a status snapshot; terminal jobs get their replayed "done" from
+// the subscription instead. Shared by the standalone daemon and the
+// cluster coordinator so both speak the same SSE wire format.
+func StreamEvents(w http.ResponseWriter, r *http.Request, b *Broadcaster, jobID, status string) {
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+
+	ch, cancel := b.Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if !Terminal(status) {
+		writeSSE(w, Event{Type: "status", Job: jobID, Status: status})
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			writeSSE(w, ev)
+			fl.Flush()
+			if ev.Type == "done" {
+				return
+			}
+		}
+	}
+}
+
+func writeSSE(w http.ResponseWriter, ev Event) {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, payload)
 }

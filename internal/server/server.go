@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -31,8 +32,14 @@ type Config struct {
 	// overwritten.
 	Runner runner.Options
 	// RetryAfter is the backpressure hint on 429 responses
-	// (0 = DefaultRetryAfter).
+	// (0 = DefaultRetryAfter). The advertised value carries a small
+	// random jitter above this base so a rejected fleet does not
+	// reconverge on one retry instant.
 	RetryAfter time.Duration
+	// Ready, when set, contributes to GET /readyz: a non-nil error
+	// marks the instance not ready with that reason (a cluster worker
+	// reports its lease state here). Liveness (/healthz) is unaffected.
+	Ready func() error
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -58,7 +65,7 @@ type jobState struct {
 	// resume marks a job re-queued after a drain or restart: its first
 	// attempt restores from its checkpoint file.
 	resume bool
-	events *broadcaster
+	events *Broadcaster
 }
 
 // Server is the dsasimd service core, transport-agnostic: Handler
@@ -144,7 +151,7 @@ func (s *Server) restore() error {
 			spec:   pj.Spec,
 			status: pj.Status,
 			result: pj.Result,
-			events: newBroadcaster(),
+			events: NewBroadcaster(),
 		}
 		if t, terr := time.Parse(time.RFC3339Nano, pj.Queued); terr == nil {
 			js.queued = t
@@ -154,7 +161,7 @@ func (s *Server) restore() error {
 		if Terminal(js.status) {
 			if js.result != nil {
 				done := Event{Type: "done", Job: js.id, Status: js.status, Result: js.result}
-				js.events.publish(done)
+				js.events.Publish(done)
 			}
 			continue
 		}
@@ -212,7 +219,7 @@ func (s *Server) runOne(js *jobState) {
 	js.status = StatusRunning
 	js.started = time.Now()
 	s.mu.Unlock()
-	js.events.publish(Event{Type: "status", Job: js.id, Status: StatusRunning})
+	js.events.Publish(Event{Type: "status", Job: js.id, Status: StatusRunning})
 
 	res := s.pool.Do(s.baseCtx, job)
 
@@ -222,7 +229,7 @@ func (s *Server) runOne(js *jobState) {
 		js.resume = true
 		s.mu.Unlock()
 		s.metrics.onInterrupt()
-		js.events.publish(Event{Type: "status", Job: js.id, Status: StatusInterrupted})
+		js.events.Publish(Event{Type: "status", Job: js.id, Status: StatusInterrupted})
 		s.cfg.Logf("dsasimd: job %s interrupted by drain (checkpoint kept)", js.id)
 		return
 	}
@@ -244,7 +251,7 @@ func (s *Server) finish(js *jobState, r ResultJSON) {
 	}
 	s.mu.Unlock()
 	s.metrics.onDone(r.Status, r.Attempts, wall, r.Steps)
-	js.events.publish(Event{Type: "done", Job: js.id, Status: r.Status, Result: &r})
+	js.events.Publish(Event{Type: "done", Job: js.id, Status: r.Status, Result: &r})
 	s.cfg.Logf("dsasimd: job %s %s (attempts=%d wall=%s)", js.id, r.Status, r.Attempts, wall.Round(time.Millisecond))
 }
 
@@ -260,7 +267,7 @@ func (s *Server) onProgress(p runner.Progress) {
 	}
 	s.mu.Unlock()
 	if js != nil {
-		js.events.publish(Event{Type: "progress", Job: p.Job, Status: StatusRunning, Progress: pj})
+		js.events.Publish(Event{Type: "progress", Job: p.Job, Status: StatusRunning, Progress: pj})
 	}
 }
 
@@ -278,7 +285,7 @@ func (s *Server) Submit(spec JobSpec) (*JobView, error) {
 		return nil, &admissionError{code: http.StatusServiceUnavailable, msg: "draining"}
 	}
 	id := fmt.Sprintf("j%06d", s.nextID)
-	js := &jobState{id: id, spec: spec, status: StatusQueued, queued: time.Now(), events: newBroadcaster()}
+	js := &jobState{id: id, spec: spec, status: StatusQueued, queued: time.Now(), events: NewBroadcaster()}
 	select {
 	case s.queue <- js:
 	default:
@@ -393,6 +400,16 @@ type admissionError struct {
 
 func (e *admissionError) Error() string { return e.msg }
 
+// JitterSeconds renders a Retry-After duration as whole seconds with
+// random positive jitter of up to ~25% of the base: every rejected
+// client backing off the literal hint would otherwise return in one
+// synchronized wave and re-trip the same full queue. Shared with the
+// cluster coordinator's admission path.
+func JitterSeconds(d time.Duration) int {
+	base := int((d + time.Second - 1) / time.Second)
+	return base + rand.Intn(2+base/4)
+}
+
 // Handler returns the service's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -402,6 +419,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
 }
 
@@ -421,7 +439,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if ae.retryAfter > 0 {
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", int((ae.retryAfter+time.Second-1)/time.Second)))
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", JitterSeconds(ae.retryAfter)))
 		}
 		httpError(w, ae.code, ae.msg)
 		return
@@ -457,37 +475,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	fl, canFlush := w.(http.Flusher)
-	if !canFlush {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported")
-		return
-	}
-
-	ch, cancel := js.events.subscribe()
-	defer cancel()
-
-	w.Header().Set("Content-Type", "text/event-stream")
-	w.Header().Set("Cache-Control", "no-cache")
-	w.WriteHeader(http.StatusOK)
-	if !Terminal(status) {
-		// Opening snapshot; terminal jobs get their replayed "done"
-		// from the subscription instead.
-		writeSSE(w, Event{Type: "status", Job: js.id, Status: status})
-	}
-	fl.Flush()
-
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case ev := <-ch:
-			writeSSE(w, ev)
-			fl.Flush()
-			if ev.Type == "done" {
-				return
-			}
-		}
-	}
+	StreamEvents(w, r, js.events, js.id, status)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -495,6 +483,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, s.Metrics())
 }
 
+// handleHealth is pure liveness: the process is up and serving. It
+// stays 200 through a drain — a draining instance is alive, just not
+// accepting work; that distinction belongs to /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	state := "ok"
 	if s.pool.Draining() {
@@ -503,12 +494,29 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": state})
 }
 
-func writeSSE(w http.ResponseWriter, ev Event) {
-	payload, err := json.Marshal(ev)
-	if err != nil {
+// handleReady is readiness: 200 only when the instance can usefully
+// accept a submission right now — not draining, admission queue not
+// full, and any configured Ready hook content (a cluster worker's
+// lease currency). Anything else is 503 with the first failing reason.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	reason := ""
+	switch {
+	case s.pool.Draining():
+		reason = "draining"
+	case len(s.queue) >= s.cfg.QueueDepth:
+		reason = "queue full"
+	default:
+		if s.cfg.Ready != nil {
+			if err := s.cfg.Ready(); err != nil {
+				reason = err.Error()
+			}
+		}
+	}
+	if reason != "" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "unready", "reason": reason})
 		return
 	}
-	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, payload)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -267,10 +268,19 @@ func TestServiceBackpressure(t *testing.T) {
 	}
 
 	_, resp := submit(t, ts, long, http.StatusTooManyRequests)
-	ra := resp.Header.Get("Retry-After")
-	if ra != "7" {
-		t.Errorf("Retry-After = %q, want \"7\"", ra)
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Errorf("Retry-After = %q, want an integer", resp.Header.Get("Retry-After"))
 	}
+	// The hint jitters upward from the configured base (7s) by up to
+	// 1+base/4 seconds so rejected clients don't retry in lockstep.
+	if ra < 7 || ra > 7+1+7/4 {
+		t.Errorf("Retry-After = %d, want in [7, %d]", ra, 7+1+7/4)
+	}
+
+	// A full queue is a readiness failure, not a liveness one.
+	checkProbe(t, ts, "/readyz", http.StatusServiceUnavailable, "reason", "queue full")
+	checkProbe(t, ts, "/healthz", http.StatusOK, "status", "ok")
 
 	// Queue state is visible on the metrics surface.
 	m := s.Metrics()
@@ -297,17 +307,30 @@ func TestServiceBackpressure(t *testing.T) {
 	}
 	submit(t, ts, long, http.StatusServiceUnavailable)
 
-	resp2, err := http.Get(ts.URL + "/healthz")
+	// Liveness stays 200 through the drain (the process is up); only
+	// readiness flips to 503.
+	checkProbe(t, ts, "/healthz", http.StatusOK, "status", "draining")
+	checkProbe(t, ts, "/readyz", http.StatusServiceUnavailable, "reason", "draining")
+}
+
+// checkProbe asserts a health/readiness endpoint's status code and one
+// field of its JSON body.
+func checkProbe(t *testing.T, ts *httptest.Server, path string, wantCode int, field, want string) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
 	if err != nil {
-		t.Fatalf("GET /healthz: %v", err)
+		t.Fatalf("GET %s: %v", path, err)
 	}
-	var health map[string]string
-	if err := json.NewDecoder(resp2.Body).Decode(&health); err != nil {
-		t.Fatalf("decode healthz: %v", err)
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		t.Errorf("GET %s: code = %d, want %d", path, resp.StatusCode, wantCode)
 	}
-	resp2.Body.Close()
-	if health["status"] != "draining" {
-		t.Errorf("healthz after drain = %q, want draining", health["status"])
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode %s: %v", path, err)
+	}
+	if body[field] != want {
+		t.Errorf("%s %s = %q, want %q", path, field, body[field], want)
 	}
 }
 

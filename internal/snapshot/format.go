@@ -11,10 +11,15 @@ import (
 
 // File layout (all integers little-endian):
 //
-//	magic   [4]byte  "DSNP"
-//	version u32      — NOT covered by any CRC, so a version bump is
-//	                   reported as ErrVersion, never as corruption
-//	count   u32      — number of sections
+//	magic    [4]byte  "DSNP"
+//	version  u32      — NOT covered by any CRC, so a version bump is
+//	                    reported as ErrVersion, never as corruption
+//	epoch    u64      — lease epoch (fencing token) stamped by the
+//	                    writer's owner; 0 outside cluster operation
+//	epochCRC u32      — CRC32-C over the epoch word alone, so a bit
+//	                    flip in the epoch cannot silently promote a
+//	                    stale snapshot during takeover
+//	count    u32      — number of sections
 //	count × section:
 //	    nameLen u32
 //	    name    [nameLen]byte
@@ -28,7 +33,12 @@ const (
 	// Version is the current snapshot format version. Bump on any
 	// incompatible change to section encodings; old files then fail
 	// restore with ErrVersion and the caller restarts from zero.
-	Version = 1
+	// v2 added the lease-epoch word to the header.
+	Version = 2
+
+	// HeaderLen is the fixed byte length before the first section:
+	// magic + version + epoch + epochCRC + count.
+	HeaderLen = 4 + 4 + 8 + 4 + 4
 
 	magic = "DSNP"
 
@@ -56,6 +66,10 @@ var (
 	// ErrMismatch: the snapshot is intact but belongs to a different
 	// program or configuration than the one restoring it.
 	ErrMismatch = errors.New("snapshot: program/config mismatch")
+	// ErrEpochSkew: the snapshot's header epoch disagrees with the
+	// epoch the caller expected (a checkpoint file renamed or replayed
+	// across lease boundaries). Never resume from such a file.
+	ErrEpochSkew = errors.New("snapshot: lease-epoch skew")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -65,8 +79,18 @@ func sectionCRC(name string, payload []byte) uint32 {
 	return crc32.Update(c, castagnoli, payload)
 }
 
+func epochCRC(epoch uint64) uint32 {
+	var eb [8]byte
+	binary.LittleEndian.PutUint64(eb[:], epoch)
+	return crc32.Update(0, castagnoli, eb[:])
+}
+
 // Writer accumulates named sections and writes them out atomically.
 type Writer struct {
+	// Epoch is the lease epoch (fencing token) stamped into the header.
+	// Leave zero outside cluster operation.
+	Epoch uint64
+
 	names    []string
 	payloads [][]byte
 }
@@ -80,13 +104,15 @@ func (w *Writer) Add(name string, payload []byte) {
 
 // Bytes serializes the snapshot container.
 func (w *Writer) Bytes() []byte {
-	n := len(magic) + 8
+	n := HeaderLen
 	for i, name := range w.names {
 		n += 12 + len(name) + len(w.payloads[i])
 	}
 	b := make([]byte, 0, n)
 	b = append(b, magic...)
 	b = binary.LittleEndian.AppendUint32(b, Version)
+	b = binary.LittleEndian.AppendUint64(b, w.Epoch)
+	b = binary.LittleEndian.AppendUint32(b, epochCRC(w.Epoch))
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(w.names)))
 	for i, name := range w.names {
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(name)))
@@ -139,13 +165,14 @@ func (w *Writer) WriteFile(path string) error {
 // version, framing and every section CRC, so by the time a Reader
 // exists the container is structurally sound.
 type Reader struct {
+	epoch    uint64
 	sections map[string][]byte
 	order    []string
 }
 
 // Parse validates b as a snapshot container.
 func Parse(b []byte) (*Reader, error) {
-	if len(b) < len(magic)+8 {
+	if len(b) < HeaderLen {
 		if len(b) >= len(magic) && string(b[:len(magic)]) == magic {
 			return nil, fmt.Errorf("%w: %d-byte header", ErrTruncated, len(b))
 		}
@@ -160,12 +187,18 @@ func Parse(b []byte) (*Reader, error) {
 	if ver != Version {
 		return nil, fmt.Errorf("%w: file v%d, reader v%d", ErrVersion, ver, Version)
 	}
+	epoch := binary.LittleEndian.Uint64(b[off:])
+	off += 8
+	if got := binary.LittleEndian.Uint32(b[off:]); got != epochCRC(epoch) {
+		return nil, fmt.Errorf("%w: epoch word CRC32C %08x, want %08x", ErrCorrupt, epochCRC(epoch), got)
+	}
+	off += 4
 	count := binary.LittleEndian.Uint32(b[off:])
 	off += 4
 	if count > maxSections {
 		return nil, fmt.Errorf("%w: %d sections claimed", ErrCorrupt, count)
 	}
-	r := &Reader{sections: make(map[string][]byte, count)}
+	r := &Reader{epoch: epoch, sections: make(map[string][]byte, count)}
 	for i := uint32(0); i < count; i++ {
 		name, payload, n, err := parseSection(b[off:], i)
 		if err != nil {
@@ -243,3 +276,7 @@ func (r *Reader) Has(name string) bool {
 
 // Names lists the sections in file order.
 func (r *Reader) Names() []string { return r.order }
+
+// Epoch returns the lease epoch stamped into the header (0 for
+// snapshots written outside cluster operation).
+func (r *Reader) Epoch() uint64 { return r.epoch }

@@ -150,9 +150,49 @@ func TestDetectsHugeClaimedLengths(t *testing.T) {
 	// allocation; it should fail cleanly.
 	b := []byte(magic)
 	b = binary.LittleEndian.AppendUint32(b, Version)
+	b = binary.LittleEndian.AppendUint64(b, 0)
+	b = binary.LittleEndian.AppendUint32(b, epochCRC(0))
 	b = binary.LittleEndian.AppendUint32(b, 1<<31)
 	if _, err := Parse(b); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("huge count: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	var w Writer
+	w.Epoch = 7
+	w.Add("s", []byte{1})
+	r, err := Parse(w.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if r.Epoch() != 7 {
+		t.Fatalf("Epoch = %d, want 7", r.Epoch())
+	}
+	// Default writers stamp epoch 0 (non-cluster operation).
+	r2, err := Parse(sample(t))
+	if err != nil {
+		t.Fatalf("Parse sample: %v", err)
+	}
+	if r2.Epoch() != 0 {
+		t.Fatalf("default epoch = %d, want 0", r2.Epoch())
+	}
+}
+
+func TestDetectsEpochWordCorruption(t *testing.T) {
+	// The epoch word carries the fencing token a takeover's restore
+	// trusts; a flip in it (or its CRC) must be corruption, never a
+	// silently different epoch.
+	var w Writer
+	w.Epoch = 0x0102030405060708
+	w.Add("s", []byte{1})
+	orig := w.Bytes()
+	for i := 8; i < 20; i++ {
+		b := append([]byte(nil), orig...)
+		b[i] ^= 0x04
+		if _, err := Parse(b); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("epoch-area flip at byte %d: %v, want ErrCorrupt", i, err)
+		}
 	}
 }
 
