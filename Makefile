@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race allocs fuzz verify resume-oracle bench bench-smoke batch soak soak-short serve service-smoke cluster-smoke
+.PHONY: all build test check vet fmt lint race allocs fuzz verify resume-oracle bench bench-smoke batch soak soak-short serve service-smoke cluster-smoke partition-chaos
 
 all: build test
 
@@ -96,6 +96,16 @@ service-smoke:
 cluster-smoke:
 	$(GO) test -race -timeout 600s ./internal/cluster
 	$(GO) test -run TestClusterSmoke -timeout 600s ./cmd/dsasimd
+
+# partition-chaos is the network-fault robustness gate: a coordinator
+# plus three workers behind commanded TCP proxies, driven through full
+# and asymmetric partitions, slow-drip bandwidth, and connection
+# resets while every HTTP exchange suffers seeded drop/delay/
+# duplicate/reset/truncate/errcode injection — three seeds, race
+# detector on, zero lost jobs and bit-identical digests required.
+# A failing run logs its seed; DSASIMD_CHAOS_SEED=<seed> replays it.
+partition-chaos:
+	$(GO) test -race -run TestClusterPartitionChaos -timeout 1800s -v ./cmd/dsasimd
 
 # bench measures simulator throughput (wall-clock, steps/sec, scalar
 # and DSA modes) and persists it as BENCH_sim.json, then runs the Go

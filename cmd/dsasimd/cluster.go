@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/netchaos"
 	"repro/internal/runner"
 )
 
@@ -65,18 +66,34 @@ func runCoordinator(logger *log.Logger, addr, dataDir string, lease, retryAfter 
 // listener of their own: desired state arrives via their heartbeats.
 // On SIGTERM the worker self-fences — running jobs checkpoint and
 // unwind, and their next owners resume from those checkpoints.
-func runWorker(logger *log.Logger, join, dataDir string, capacity int, ropts runner.Options) {
+//
+// A non-empty chaos spec wraps every coordinator RPC in a seeded
+// netchaos fault injector — the deterministic adversary the partition
+// chaos suite runs workers under. Same seed, same fault schedule.
+func runWorker(logger *log.Logger, join, dataDir string, capacity int, ropts runner.Options, chaos string, chaosSeed int64) {
 	if join == "" {
 		logger.Fatalf("dsasimd: -worker requires -join <coordinator-url>")
 	}
 	if err := os.MkdirAll(filepath.Join(dataDir, "snapshots"), 0o755); err != nil {
 		logger.Fatalf("dsasimd: %v", err)
 	}
+	var transport http.RoundTripper
+	var injector *netchaos.Injector
+	if chaos != "" {
+		rates, err := netchaos.ParseRates(chaos)
+		if err != nil {
+			logger.Fatalf("dsasimd: -chaos: %v", err)
+		}
+		injector = netchaos.NewInjector(chaosSeed, rates, nil, logger.Printf)
+		transport = injector
+		logger.Printf("dsasimd-worker: chaos enabled: %s (replay with -chaos %q -chaos-seed %d)", chaos, rates.String(), chaosSeed)
+	}
 	w := cluster.NewWorker(cluster.WorkerConfig{
 		Coordinator: join,
 		Capacity:    capacity,
 		SnapshotDir: filepath.Join(dataDir, "snapshots"),
 		Runner:      ropts,
+		Transport:   transport,
 		Logf:        logger.Printf,
 	})
 	done := make(chan struct{})
@@ -91,6 +108,9 @@ func runWorker(logger *log.Logger, join, dataDir string, capacity int, ropts run
 		w.Close()
 		<-done
 	case <-done:
+	}
+	if injector != nil {
+		logger.Printf("dsasimd-worker: chaos injected: %s", injector.CountsLine())
 	}
 	logger.Printf("dsasimd-worker: bye")
 }

@@ -65,6 +65,8 @@ func main() {
 	lease := flag.Duration("lease", cluster.DefaultLeaseTTL, "coordinator: worker lease TTL (missed heartbeats past this trigger takeover)")
 	capacity := flag.Int("capacity", 1, "worker: jobs to run concurrently")
 	maxJobs := flag.Int("max-jobs", cluster.DefaultMaxJobs, "coordinator: open-job admission limit (full table answers 429)")
+	chaos := flag.String("chaos", "", `worker: inject faults into coordinator RPCs, e.g. "drop=0.05,delay=0.1,maxdelay=200ms" (classes: drop timeout delay duplicate reset truncate errcode)`)
+	chaosSeed := flag.Int64("chaos-seed", 1, "worker: RNG seed for -chaos fault schedule (same seed = same schedule)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "", log.LstdFlags)
@@ -93,7 +95,7 @@ func main() {
 		runCoordinator(logger, *addr, *dataDir, *lease, *retryAfter, *maxJobs)
 		return
 	case *worker:
-		runWorker(logger, *join, *dataDir, *capacity, ropts)
+		runWorker(logger, *join, *dataDir, *capacity, ropts, *chaos, *chaosSeed)
 		return
 	}
 

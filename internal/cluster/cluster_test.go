@@ -169,9 +169,11 @@ func checkMatchesReference(t *testing.T, v server.JobView, ref server.ResultJSON
 // exactly when it heartbeats, what it claims to run, and when it
 // "dies" — the handle for crash, zombie, and fencing scenarios.
 type fakeWorker struct {
-	t   *testing.T
-	url string
-	id  string
+	t       *testing.T
+	url     string
+	id      string
+	session string
+	seq     uint64
 }
 
 func joinFake(t *testing.T, url string, capacity int) *fakeWorker {
@@ -182,7 +184,10 @@ func joinFake(t *testing.T, url string, capacity int) *fakeWorker {
 	if code != http.StatusOK || resp.Worker == "" {
 		t.Fatalf("fake join: code %d, worker %q", code, resp.Worker)
 	}
-	f.id = resp.Worker
+	if resp.Session == "" {
+		t.Fatal("fake join: no session nonce")
+	}
+	f.id, f.session = resp.Worker, resp.Session
 	return f
 }
 
@@ -205,14 +210,24 @@ func (f *fakeWorker) post(path string, in, out any) int {
 	return resp.StatusCode
 }
 
+// heartbeat sends the next in-sequence renewal and requires 200.
 func (f *fakeWorker) heartbeat(running ...RunningJob) HeartbeatResponse {
 	f.t.Helper()
-	var resp HeartbeatResponse
-	code := f.post("/cluster/v1/heartbeat", HeartbeatRequest{Worker: f.id, Running: running}, &resp)
+	f.seq++
+	resp, code := f.heartbeatRaw(HeartbeatRequest{Worker: f.id, Session: f.session, Seq: f.seq, Running: running})
 	if code != http.StatusOK {
 		f.t.Fatalf("fake heartbeat: code %d", code)
 	}
 	return resp
+}
+
+// heartbeatRaw sends an arbitrary heartbeat — possibly a replay, a
+// stale session, or a foreign identity — and reports the status code.
+func (f *fakeWorker) heartbeatRaw(req HeartbeatRequest) (HeartbeatResponse, int) {
+	f.t.Helper()
+	var resp HeartbeatResponse
+	code := f.post("/cluster/v1/heartbeat", req, &resp)
+	return resp, code
 }
 
 func (f *fakeWorker) complete(job string, epoch uint64, res server.ResultJSON) int {
@@ -435,9 +450,10 @@ func TestLeaseExpiryTakeover(t *testing.T) {
 		t.Errorf("takeovers_total = %d, want >= 1", n)
 	}
 
-	// The dead worker's heartbeat after expiry orders a rejoin.
-	if hb := f.heartbeat(); !hb.Rejoin {
-		t.Error("expired worker's heartbeat did not order a rejoin")
+	// The dead worker's heartbeat after expiry is fenced with 409.
+	f.seq++
+	if _, code := f.heartbeatRaw(HeartbeatRequest{Worker: f.id, Session: f.session, Seq: f.seq}); code != http.StatusConflict {
+		t.Errorf("expired worker's heartbeat: code %d, want 409", code)
 	}
 }
 
@@ -488,8 +504,9 @@ func TestZombieFencing(t *testing.T) {
 		t.Errorf("zombie writes corrupted the stored result: %+v", after.Result)
 	}
 
-	if hb := zombie.heartbeat(); !hb.Rejoin {
-		t.Error("zombie heartbeat did not order a rejoin")
+	zombie.seq++
+	if _, code := zombie.heartbeatRaw(HeartbeatRequest{Worker: zombie.id, Session: zombie.session, Seq: zombie.seq}); code != http.StatusConflict {
+		t.Errorf("zombie heartbeat: code %d, want 409", code)
 	}
 	if n := metricValue(t, scrapeMetrics(t, ts), "dsasimd_cluster_fenced_writes_total"); n < 3 {
 		t.Errorf("fenced_writes_total = %d, want >= 3", n)
@@ -530,10 +547,11 @@ func TestCoordinatorRestartRecovery(t *testing.T) {
 	t.Cleanup(func() { c2.Close(); ts2.Close() })
 	f.url = ts2.URL
 
-	// The lease survived: same identity, no rejoin, and the job is
-	// still ours at the same epoch (no spurious start/stop).
+	// The lease — identity AND session nonce — survived: the heartbeat
+	// is accepted, and the job is still ours at the same epoch (no
+	// spurious start/stop).
 	hb = f.heartbeat(RunningJob{Job: id, Epoch: 1})
-	if hb.Rejoin || len(hb.Stop) != 0 || len(hb.Start) != 0 {
+	if len(hb.Stop) != 0 || len(hb.Start) != 0 {
 		t.Fatalf("post-restart heartbeat: %+v, want lease continuity", hb)
 	}
 	v := getJob(t, ts2, id)
@@ -565,6 +583,143 @@ func TestCoordinatorRestartRecovery(t *testing.T) {
 	}
 }
 
+// TestHeartbeatReplayFencing pins the session-nonce and sequence-number
+// checks: a delayed or duplicated heartbeat — in particular one
+// replayed from a fenced predecessor session — must be rejected with
+// 409 and must never renew anyone's lease.
+func TestHeartbeatReplayFencing(t *testing.T) {
+	_, ts := newTestCoordinator(t, Config{LeaseTTL: 600 * time.Millisecond})
+
+	f := joinFake(t, ts.URL, 1)
+	f.heartbeat()
+
+	// An exact duplicate of the last heartbeat (same session, same seq
+	// — a retransmitted datagram) is rejected...
+	if _, code := f.heartbeatRaw(HeartbeatRequest{Worker: f.id, Session: f.session, Seq: f.seq}); code != http.StatusConflict {
+		t.Errorf("duplicated heartbeat: code %d, want 409", code)
+	}
+	// ...without harming the live session: the next in-sequence
+	// renewal still lands.
+	f.heartbeat()
+
+	// Replayed heartbeats must not keep a silent worker alive: with
+	// only replays of an already-accepted seq arriving for well past
+	// the TTL, the lease expires on schedule...
+	lastReal := f.seq
+	deadline := time.Now().Add(3 * 600 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if _, code := f.heartbeatRaw(HeartbeatRequest{Worker: f.id, Session: f.session, Seq: lastReal}); code != http.StatusConflict {
+			t.Fatal("replayed heartbeat was accepted")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// ...so even a fresh, in-sequence renewal now finds no lease.
+	if _, code := f.heartbeatRaw(HeartbeatRequest{Worker: f.id, Session: f.session, Seq: lastReal + 1}); code != http.StatusConflict {
+		t.Fatal("lease survived on replayed heartbeats alone")
+	}
+
+	// A successor takes over the cluster; the predecessor's delayed
+	// duplicate — even aimed at the successor's worker ID — carries the
+	// dead session's nonce and cannot extend the successor's lease.
+	s := joinFake(t, ts.URL, 1)
+	if _, code := f.heartbeatRaw(HeartbeatRequest{Worker: s.id, Session: f.session, Seq: 1}); code != http.StatusConflict {
+		t.Errorf("predecessor-session heartbeat against successor lease: code %d, want 409", code)
+	}
+	if _, code := f.heartbeatRaw(HeartbeatRequest{Worker: f.id, Session: f.session, Seq: f.seq + 1}); code != http.StatusConflict {
+		t.Errorf("fenced predecessor's own heartbeat: code %d, want 409", code)
+	}
+	s.heartbeat() // the successor is unaffected
+
+	if n := metricValue(t, scrapeMetrics(t, ts), "dsasimd_cluster_heartbeats_rejected_total"); n < 3 {
+		t.Errorf("heartbeats_rejected_total = %d, want >= 3", n)
+	}
+}
+
+// submitIdem posts a spec under an Idempotency-Key and returns the
+// decoded view plus whether the response was marked as a replay.
+func submitIdem(t *testing.T, url string, spec server.JobSpec, key string) (server.JobView, bool) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", url+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/jobs (key %q): code %d", key, resp.StatusCode)
+	}
+	var view server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view, resp.Header.Get("Idempotency-Replayed") == "true"
+}
+
+// TestSubmitIdempotency: resubmitting under the same Idempotency-Key
+// replays the original job instead of creating a twin — including
+// across a coordinator restart, via the CRC state file — while
+// distinct keys create distinct jobs.
+func TestSubmitIdempotency(t *testing.T) {
+	stateFile := filepath.Join(t.TempDir(), "cluster.state")
+	cfg := Config{LeaseTTL: time.Second, StateFile: stateFile, Logf: t.Logf}
+
+	c1, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(c1.Handler())
+	spec := server.JobSpec{Name: "idem", Source: longSource(10_000)}
+
+	first, replayed := submitIdem(t, ts1.URL, spec, "key-alpha")
+	if replayed {
+		t.Fatal("first submission marked as a replay")
+	}
+	second, replayed := submitIdem(t, ts1.URL, spec, "key-alpha")
+	if second.ID != first.ID {
+		t.Fatalf("same key produced two jobs: %s and %s", first.ID, second.ID)
+	}
+	if !replayed {
+		t.Error("replayed submission not marked with Idempotency-Replayed")
+	}
+	other, replayed := submitIdem(t, ts1.URL, spec, "key-beta")
+	if other.ID == first.ID || replayed {
+		t.Fatalf("distinct key did not create a distinct job: %+v (replayed %v)", other, replayed)
+	}
+	// A keyless submission is never deduplicated.
+	if v := submit(t, ts1, spec, http.StatusAccepted); v.ID == first.ID {
+		t.Fatal("keyless submission replayed a keyed job")
+	}
+
+	c1.Close()
+	ts1.Close()
+
+	// The dedup table survives the restart: a retry of the original
+	// request — the client never saw its response land, say — still
+	// converges on the job it already created.
+	c2, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(c2.Handler())
+	t.Cleanup(func() { c2.Close(); ts2.Close() })
+	again, replayed := submitIdem(t, ts2.URL, spec, "key-alpha")
+	if again.ID != first.ID || !replayed {
+		t.Fatalf("post-restart resubmission: id %s replayed %v, want %s true", again.ID, replayed, first.ID)
+	}
+	if n := metricValue(t, scrapeMetrics(t, ts2), "dsasimd_cluster_jobs_deduped_total"); n < 1 {
+		t.Errorf("jobs_deduped_total = %d, want >= 1", n)
+	}
+}
+
 func grepLine(s, needle string) string {
 	for _, l := range strings.Split(s, "\n") {
 		if strings.Contains(l, needle) && !strings.HasPrefix(l, "#") {
@@ -588,8 +743,12 @@ func TestClusterMetricsNames(t *testing.T) {
 		"dsasimd_cluster_leases_revoked_total",
 		"dsasimd_cluster_takeovers_total",
 		"dsasimd_cluster_fenced_writes_total",
+		"dsasimd_cluster_heartbeats_rejected_total",
 		"dsasimd_cluster_jobs_submitted_total",
 		"dsasimd_cluster_jobs_rejected_total",
+		"dsasimd_cluster_jobs_deduped_total",
+		"dsasimd_cluster_rpc_retries_total",
+		"dsasimd_cluster_rpc_timeouts_total",
 		`dsasimd_cluster_jobs_completed_total{status="ok"}`,
 		`dsasimd_cluster_jobs_completed_total{status="degraded"}`,
 		`dsasimd_cluster_jobs_completed_total{status="failed"}`,

@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -51,7 +53,11 @@ type cjob struct {
 	epoch uint64
 	// resume marks a requeued job (takeover or coordinator restart):
 	// its next owner restores from the highest-epoch checkpoint.
-	resume   bool
+	resume bool
+	// idemKey, when set, is the Idempotency-Key the job was submitted
+	// under: a later submission with the same key replays this job
+	// instead of creating a twin.
+	idemKey  string
 	queued   time.Time
 	started  time.Time
 	finished time.Time
@@ -65,8 +71,24 @@ type workerEntry struct {
 	id       string
 	capacity int
 	deadline time.Time
+	// session is the nonce minted at join. A heartbeat renews this
+	// lease only if it presents the nonce: a delayed duplicate from a
+	// fenced predecessor that happened to reuse the ID cannot.
+	session string
+	// lastSeq is the highest heartbeat sequence number accepted this
+	// session; replays (seq <= lastSeq) are rejected with 409.
+	lastSeq uint64
 	// jobs is the set of job IDs currently leased to this worker.
 	jobs map[string]struct{}
+}
+
+// newSession mints an unguessable session nonce.
+func newSession() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("cluster: reading session entropy: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Coordinator owns the cluster's job table and lease table, serves the
@@ -86,6 +108,10 @@ type Coordinator struct {
 	jobs    map[string]*cjob
 	order   []string
 	workers map[string]*workerEntry
+	// idem maps Idempotency-Key → job ID for replaying duplicate
+	// submissions. Persisted with the jobs, so the dedup survives a
+	// coordinator restart.
+	idem map[string]string
 	// nextEpoch is the fencing-token counter: every assignment gets
 	// epoch ++nextEpoch, globally monotonic across jobs, workers, and
 	// (via the state file) coordinator restarts.
@@ -113,6 +139,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		stopCh:  make(chan struct{}),
 		jobs:    map[string]*cjob{},
 		workers: map[string]*workerEntry{},
+		idem:    map[string]string{},
 	}
 	if err := c.restore(); err != nil {
 		// A bad state file is quarantined, not fatal — same policy as
@@ -217,16 +244,30 @@ func (c *Coordinator) assignLocked() {
 }
 
 // Submit admits a job into the cluster table. Admission mirrors the
-// standalone daemon: 400 invalid, 503 draining, 429 table full.
-func (c *Coordinator) Submit(spec server.JobSpec) (*server.JobView, error) {
-	if err := spec.Validate(); err != nil {
-		return nil, &admissionError{code: http.StatusBadRequest, msg: err.Error()}
-	}
+// standalone daemon: 400 invalid, 503 draining, 429 table full. A
+// non-empty idemKey that matches an earlier submission replays that
+// job (deduped=true) instead of creating a twin — checked before the
+// draining and table-full refusals, so a client retrying after an
+// ambiguous success (response lost on the wire) always converges on
+// the job it already created, even if the table filled up meanwhile.
+func (c *Coordinator) Submit(spec server.JobSpec, idemKey string) (view *server.JobView, deduped bool, err error) {
 	c.mu.Lock()
+	if idemKey != "" {
+		if jid, ok := c.idem[idemKey]; ok {
+			v := c.viewLocked(c.jobs[jid])
+			c.mu.Unlock()
+			c.metrics.onDedup()
+			return &v, true, nil
+		}
+	}
+	if verr := spec.Validate(); verr != nil {
+		c.mu.Unlock()
+		return nil, false, &admissionError{code: http.StatusBadRequest, msg: verr.Error()}
+	}
 	if c.draining.Load() {
 		c.mu.Unlock()
 		c.metrics.onReject()
-		return nil, &admissionError{code: http.StatusServiceUnavailable, msg: "draining"}
+		return nil, false, &admissionError{code: http.StatusServiceUnavailable, msg: "draining"}
 	}
 	open := 0
 	for _, jid := range c.order {
@@ -237,7 +278,7 @@ func (c *Coordinator) Submit(spec server.JobSpec) (*server.JobView, error) {
 	if open >= c.cfg.MaxJobs {
 		c.mu.Unlock()
 		c.metrics.onReject()
-		return nil, &admissionError{
+		return nil, false, &admissionError{
 			code:       http.StatusTooManyRequests,
 			msg:        fmt.Sprintf("job table full (%d open jobs)", open),
 			retryAfter: c.cfg.RetryAfter,
@@ -245,20 +286,24 @@ func (c *Coordinator) Submit(spec server.JobSpec) (*server.JobView, error) {
 	}
 	c.nextJob++
 	j := &cjob{
-		id:     fmt.Sprintf("j%06d", c.nextJob),
-		spec:   spec,
-		status: server.StatusQueued,
-		queued: time.Now(),
-		events: server.NewBroadcaster(),
+		id:      fmt.Sprintf("j%06d", c.nextJob),
+		spec:    spec,
+		status:  server.StatusQueued,
+		idemKey: idemKey,
+		queued:  time.Now(),
+		events:  server.NewBroadcaster(),
 	}
 	c.jobs[j.id] = j
 	c.order = append(c.order, j.id)
+	if idemKey != "" {
+		c.idem[idemKey] = j.id
+	}
 	c.assignLocked()
 	c.saveStateLocked()
-	view := c.viewLocked(j)
+	v := c.viewLocked(j)
 	c.mu.Unlock()
 	c.metrics.onSubmit()
-	return &view, nil
+	return &v, false, nil
 }
 
 // Job returns one job's current view.

@@ -39,7 +39,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	view, err := c.Submit(spec)
+	view, deduped, err := c.Submit(spec, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		var ae *admissionError
 		if !errors.As(err, &ae) {
@@ -51,6 +51,9 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		httpError(w, ae.code, ae.msg)
 		return
+	}
+	if deduped {
+		w.Header().Set("Idempotency-Replayed", "true")
 	}
 	writeJSON(w, http.StatusAccepted, view)
 }
@@ -145,6 +148,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		id:       fmt.Sprintf("w%04d", c.nextWorker),
 		capacity: req.Capacity,
 		deadline: time.Now().Add(c.cfg.LeaseTTL),
+		session:  newSession(),
 		jobs:     map[string]struct{}{},
 	}
 	c.workers[we.id] = we
@@ -152,8 +156,8 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 	c.saveStateLocked()
 	c.mu.Unlock()
 	c.metrics.onLeaseGrant()
-	c.cfg.Logf("dsasimd: worker %s joined (capacity %d)", we.id, req.Capacity)
-	writeJSON(w, http.StatusOK, JoinResponse{Worker: we.id, LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds()})
+	c.cfg.Logf("dsasimd: worker %s joined (capacity %d, session %s)", we.id, req.Capacity, we.session)
+	writeJSON(w, http.StatusOK, JoinResponse{Worker: we.id, Session: we.session, LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds()})
 }
 
 // handleHeartbeat renews the worker's lease and reconciles its running
@@ -169,14 +173,32 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	c.mu.Lock()
 	we := c.workers[req.Worker]
 	if we == nil {
-		// Expired (or pre-restart) lease: the worker is a zombie until
-		// it self-fences and rejoins under a fresh identity.
+		// Expired lease: the worker is a zombie until it self-fences
+		// and rejoins under a fresh identity.
 		c.mu.Unlock()
-		resp.Rejoin = true
-		writeJSON(w, http.StatusOK, resp)
+		c.metrics.onHeartbeatReject()
+		httpError(w, http.StatusConflict, "no current lease: rejoin")
 		return
 	}
+	if we.session != req.Session || req.Seq <= we.lastSeq {
+		// Wrong session nonce, or a sequence number already accepted:
+		// this is a delayed or duplicated heartbeat — possibly replayed
+		// from a fenced predecessor session that reused the worker ID.
+		// It must not renew the current lease, and it must not deliver
+		// assignments to whoever sent it.
+		c.mu.Unlock()
+		c.metrics.onHeartbeatReject()
+		c.cfg.Logf("dsasimd: heartbeat for %s rejected (session %q seq %d vs lease session %q seq %d)",
+			req.Worker, req.Session, req.Seq, we.session, we.lastSeq)
+		httpError(w, http.StatusConflict, "stale session or replayed heartbeat: rejoin")
+		return
+	}
+	we.lastSeq = req.Seq
 	we.deadline = time.Now().Add(c.cfg.LeaseTTL)
+	// Fold the worker's client-side RPC fault tallies into /metrics.
+	// This sits after the session/seq check on purpose: a duplicated
+	// heartbeat must not double-count its deltas.
+	c.metrics.onRPCReport(req.RPCRetries, req.RPCTimeouts)
 
 	// The worker's reality: everything it runs without a current lease
 	// gets a stop; everything leased that it isn't running gets a

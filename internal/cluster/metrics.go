@@ -20,6 +20,10 @@ type clusterMetrics struct {
 	leasesRevoked uint64
 	takeovers     uint64
 	fencedWrites  uint64
+	hbRejected    uint64
+	deduped       uint64
+	rpcRetries    uint64
+	rpcTimeouts   uint64
 }
 
 func newClusterMetrics() *clusterMetrics {
@@ -39,6 +43,21 @@ func (m *clusterMetrics) onReject()      { m.inc(&m.rejected) }
 func (m *clusterMetrics) onLeaseGrant()  { m.inc(&m.leasesGranted) }
 func (m *clusterMetrics) onLeaseExpire() { m.inc(&m.leasesExpired) }
 func (m *clusterMetrics) onFencedWrite() { m.inc(&m.fencedWrites) }
+
+func (m *clusterMetrics) onHeartbeatReject() { m.inc(&m.hbRejected) }
+func (m *clusterMetrics) onDedup()           { m.inc(&m.deduped) }
+
+// onRPCReport folds one accepted heartbeat's client-side fault deltas
+// into the registry (workers have no scrape endpoint of their own).
+func (m *clusterMetrics) onRPCReport(retries, timeouts uint64) {
+	if retries == 0 && timeouts == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.rpcRetries += retries
+	m.rpcTimeouts += timeouts
+	m.mu.Unlock()
+}
 
 func (m *clusterMetrics) onRevoke(n int) {
 	m.mu.Lock()
@@ -98,8 +117,12 @@ func (m *clusterMetrics) render(g clusterGauges) string {
 	counter("dsasimd_cluster_leases_revoked_total", "Job leases withdrawn from workers via heartbeat stop lists.", m.leasesRevoked)
 	counter("dsasimd_cluster_takeovers_total", "Jobs reassigned after their owner's lease expired.", m.takeovers)
 	counter("dsasimd_cluster_fenced_writes_total", "Stale-epoch completions and progress reports rejected with 409.", m.fencedWrites)
+	counter("dsasimd_cluster_heartbeats_rejected_total", "Heartbeats rejected with 409: unknown worker, stale session nonce, or replayed sequence number.", m.hbRejected)
 	counter("dsasimd_cluster_jobs_submitted_total", "Jobs accepted into the cluster job table.", m.submitted)
 	counter("dsasimd_cluster_jobs_rejected_total", "Submissions refused (table full or draining).", m.rejected)
+	counter("dsasimd_cluster_jobs_deduped_total", "Submissions replayed from an earlier job via Idempotency-Key.", m.deduped)
+	counter("dsasimd_cluster_rpc_retries_total", "Failed worker RPC attempts (any cause), reported via heartbeats.", m.rpcRetries)
+	counter("dsasimd_cluster_rpc_timeouts_total", "Worker RPC attempts that hit their context deadline, reported via heartbeats.", m.rpcTimeouts)
 
 	fmt.Fprintf(&b, "# HELP dsasimd_cluster_jobs_completed_total Jobs finished, by terminal status.\n# TYPE dsasimd_cluster_jobs_completed_total counter\n")
 	statuses := make([]string, 0, len(m.completed))

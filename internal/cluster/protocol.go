@@ -31,6 +31,11 @@ type JoinResponse struct {
 	// Worker is the coordinator-assigned identity; it namespaces the
 	// worker's checkpoint files and authenticates its submissions.
 	Worker string `json:"worker"`
+	// Session is a nonce minted for this lease session. Every
+	// heartbeat must present it: a heartbeat carrying a dead session's
+	// nonce — a delayed duplicate from a fenced predecessor — is
+	// rejected with 409 and can never renew a lease.
+	Session string `json:"session"`
 	// LeaseTTLMS is the lease duration; the worker must heartbeat
 	// well within it (TTL/3 is the convention).
 	LeaseTTLMS int64 `json:"lease_ttl_ms"`
@@ -43,10 +48,25 @@ type RunningJob struct {
 }
 
 // HeartbeatRequest is POST /cluster/v1/heartbeat: renew the lease and
-// report reality so the coordinator can compute the delta.
+// report reality so the coordinator can compute the delta. A renewal
+// is accepted only when (Worker, Session) name the current lease AND
+// Seq is strictly above the last accepted one — the two checks that
+// make delayed or duplicated heartbeats side-effect free.
 type HeartbeatRequest struct {
-	Worker  string       `json:"worker"`
+	Worker string `json:"worker"`
+	// Session is the join-time nonce of this lease session.
+	Session string `json:"session"`
+	// Seq increments on every heartbeat *send* (retries included), so
+	// a network-duplicated or delayed copy of an already-processed
+	// renewal is recognizable as a replay and rejected.
+	Seq     uint64       `json:"seq"`
 	Running []RunningJob `json:"running,omitempty"`
+	// RPCRetries/RPCTimeouts carry the worker's client-side fault
+	// tallies since its last *delivered* heartbeat. Workers have no
+	// listener to scrape, so their RPC health rides the heartbeat and
+	// the coordinator folds it into /metrics.
+	RPCRetries  uint64 `json:"rpc_retries,omitempty"`
+	RPCTimeouts uint64 `json:"rpc_timeouts,omitempty"`
 }
 
 // Assignment is one job the coordinator wants started, with everything
@@ -61,7 +81,11 @@ type Assignment struct {
 	Resume bool `json:"resume,omitempty"`
 }
 
-// HeartbeatResponse is the desired-state delta.
+// HeartbeatResponse is the desired-state delta. A heartbeat the
+// coordinator does not recognize — unknown worker, stale session
+// nonce, or replayed sequence number — is answered 409 instead; the
+// worker treats any 409 as a fence: self-revoke everything and join
+// afresh under a new identity.
 type HeartbeatResponse struct {
 	LeaseTTLMS int64 `json:"lease_ttl_ms"`
 	// Start lists assignments the worker should be running but is not.
@@ -70,11 +94,6 @@ type HeartbeatResponse struct {
 	// lease on (fenced: reassigned or completed elsewhere). The worker
 	// revokes them; their attempts unwind with a final checkpoint.
 	Stop []string `json:"stop,omitempty"`
-	// Rejoin tells a worker the coordinator no longer recognizes its
-	// lease (it expired, or the coordinator restarted past it). The
-	// worker must self-fence — revoke everything — and join afresh
-	// under a new identity.
-	Rejoin bool `json:"rejoin,omitempty"`
 }
 
 // CompleteRequest is POST /cluster/v1/complete: a terminal result. The

@@ -19,19 +19,24 @@ import (
 const stateSection = "dsasimd.cluster"
 
 type persistedJob struct {
-	ID     string             `json:"id"`
-	Spec   server.JobSpec     `json:"spec"`
-	Status string             `json:"status"`
-	Owner  string             `json:"owner,omitempty"`
-	Epoch  uint64             `json:"epoch,omitempty"`
-	Resume bool               `json:"resume,omitempty"`
-	Queued string             `json:"queued,omitempty"`
-	Result *server.ResultJSON `json:"result,omitempty"`
+	ID      string             `json:"id"`
+	Spec    server.JobSpec     `json:"spec"`
+	Status  string             `json:"status"`
+	Owner   string             `json:"owner,omitempty"`
+	Epoch   uint64             `json:"epoch,omitempty"`
+	Resume  bool               `json:"resume,omitempty"`
+	IdemKey string             `json:"idem_key,omitempty"`
+	Queued  string             `json:"queued,omitempty"`
+	Result  *server.ResultJSON `json:"result,omitempty"`
 }
 
 type persistedWorker struct {
 	ID       string `json:"id"`
 	Capacity int    `json:"capacity"`
+	// Session is the lease's nonce: it must survive a coordinator
+	// restart so a still-live worker's next heartbeat renews its lease
+	// instead of being rejected as a replay.
+	Session string `json:"session,omitempty"`
 }
 
 type clusterState struct {
@@ -52,18 +57,19 @@ func (c *Coordinator) saveStateLocked() {
 	for _, jid := range c.order {
 		j := c.jobs[jid]
 		st.Jobs = append(st.Jobs, persistedJob{
-			ID:     j.id,
-			Spec:   j.spec,
-			Status: j.status,
-			Owner:  j.owner,
-			Epoch:  j.epoch,
-			Resume: j.resume,
-			Queued: fmtTime(j.queued),
-			Result: j.result,
+			ID:      j.id,
+			Spec:    j.spec,
+			Status:  j.status,
+			Owner:   j.owner,
+			Epoch:   j.epoch,
+			Resume:  j.resume,
+			IdemKey: j.idemKey,
+			Queued:  fmtTime(j.queued),
+			Result:  j.result,
 		})
 	}
 	for _, we := range c.workers {
-		st.Workers = append(st.Workers, persistedWorker{ID: we.id, Capacity: we.capacity})
+		st.Workers = append(st.Workers, persistedWorker{ID: we.id, Capacity: we.capacity, Session: we.session})
 	}
 	payload, err := json.Marshal(st)
 	if err != nil {
@@ -111,30 +117,41 @@ func (c *Coordinator) restore() error {
 	c.nextJob, c.nextWorker, c.nextEpoch = st.NextJob, st.NextWorker, st.NextEpoch
 	grace := time.Now().Add(c.cfg.LeaseTTL)
 	for _, pw := range st.Workers {
+		// The sequence watermark is deliberately NOT persisted: the
+		// state file is not written per heartbeat, so a restored
+		// watermark would be stale anyway. Accepting one replayed
+		// renewal inside the restart grace window is harmless — replay
+		// rejection matters for *fenced* sessions, whose nonces are gone
+		// from the table entirely.
 		c.workers[pw.ID] = &workerEntry{
 			id:       pw.ID,
 			capacity: pw.Capacity,
 			deadline: grace,
+			session:  pw.Session,
 			jobs:     map[string]struct{}{},
 		}
 	}
 	for i := range st.Jobs {
 		pj := st.Jobs[i]
 		j := &cjob{
-			id:     pj.ID,
-			spec:   pj.Spec,
-			status: pj.Status,
-			owner:  pj.Owner,
-			epoch:  pj.Epoch,
-			resume: pj.Resume,
-			result: pj.Result,
-			events: server.NewBroadcaster(),
+			id:      pj.ID,
+			spec:    pj.Spec,
+			status:  pj.Status,
+			owner:   pj.Owner,
+			epoch:   pj.Epoch,
+			resume:  pj.Resume,
+			idemKey: pj.IdemKey,
+			result:  pj.Result,
+			events:  server.NewBroadcaster(),
 		}
 		if t, terr := time.Parse(time.RFC3339Nano, pj.Queued); terr == nil {
 			j.queued = t
 		}
 		c.jobs[j.id] = j
 		c.order = append(c.order, j.id)
+		if j.idemKey != "" {
+			c.idem[j.idemKey] = j.id
+		}
 		if server.Terminal(j.status) {
 			if j.result != nil {
 				j.events.Publish(server.Event{Type: "done", Job: j.id, Status: j.status, Result: j.result})

@@ -4,13 +4,36 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
+	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/runner"
 	"repro/internal/server"
+)
+
+// Worker RPC knobs. Every cluster RPC carries its own context
+// deadline: without one, a single hung request on a shared client
+// timeout (10s, say) could burn most of a 5s lease and force a
+// spurious self-fence. Heartbeats are capped tighter still — at the
+// heartbeat interval — so a stalled renewal leaves room to retry
+// before the lease runs out.
+const (
+	// rpcTimeout bounds join, complete, and progress RPCs.
+	rpcTimeout = 2 * time.Second
+	// completeAttempts is the retry budget for delivering a terminal
+	// result before dropping it (the next owner's re-run converges to
+	// the identical result, so delivery is an optimization).
+	completeAttempts = 6
+	// backoffBase/backoffCap bracket the full-jitter exponential
+	// backoff used on every retried worker RPC.
+	backoffBase = 25 * time.Millisecond
+	backoffCap  = 2 * time.Second
 )
 
 // WorkerConfig parameterizes one worker process.
@@ -27,6 +50,10 @@ type WorkerConfig struct {
 	// timeout…). Workers, SnapshotDir, SnapshotOwner and OnProgress
 	// are owned by the worker and overwritten.
 	Runner runner.Options
+	// Transport, when set, replaces the HTTP transport for every
+	// coordinator RPC — the seam netchaos injects client-side faults
+	// through. Nil uses http.DefaultTransport.
+	Transport http.RoundTripper
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -41,9 +68,9 @@ type assignment struct {
 // listener: it pulls desired state through its own heartbeats and
 // pushes progress and results, every write stamped with its lease
 // epoch. When its lease lapses — heartbeats failing long enough, or
-// the coordinator answering Rejoin — it self-fences: every running
-// attempt is revoked (checkpointing and unwinding), and the worker
-// joins again under a fresh identity and pool.
+// the coordinator fencing its session with 409 — it self-fences:
+// every running attempt is revoked (checkpointing and unwinding), and
+// the worker joins again under a fresh identity and pool.
 type Worker struct {
 	cfg    WorkerConfig
 	client *http.Client
@@ -51,8 +78,16 @@ type Worker struct {
 	once   sync.Once
 	jobWG  sync.WaitGroup
 
+	// rpcRetries/rpcTimeouts accumulate client-side RPC failures since
+	// the last delivered heartbeat; the next accepted heartbeat ships
+	// them to the coordinator's metrics and subtracts what it shipped.
+	rpcRetries  atomic.Uint64
+	rpcTimeouts atomic.Uint64
+
 	mu      sync.Mutex
 	id      string
+	session string
+	seq     uint64
 	pool    *runner.Pool
 	running map[string]assignment
 }
@@ -67,22 +102,22 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	}
 	return &Worker{
 		cfg:     cfg,
-		client:  &http.Client{Timeout: 10 * time.Second},
+		client:  &http.Client{Transport: cfg.Transport},
 		stopCh:  make(chan struct{}),
 		running: map[string]assignment{},
 	}
 }
 
 // Run joins the coordinator and serves leases until Close. Each fence
-// (lease lapse or coordinator-ordered rejoin) ends one session — its
-// pool and identity are discarded — and a fresh join starts the next.
+// (lease lapse or a 409 on heartbeat) ends one session — its pool and
+// identity are discarded — and a fresh join starts the next.
 func (w *Worker) Run() {
 	for {
-		id, ttl, ok := w.join()
+		id, session, ttl, ok := w.join()
 		if !ok {
 			return
 		}
-		if !w.session(id, ttl) {
+		if !w.serveSession(id, session, ttl) {
 			return
 		}
 		w.cfg.Logf("dsasimd-worker: fenced as %s; rejoining", id)
@@ -93,36 +128,59 @@ func (w *Worker) Run() {
 // checkpoint for its next owner) and Run returns.
 func (w *Worker) Close() { w.once.Do(func() { close(w.stopCh) }) }
 
-// join obtains an identity and lease, retrying with backoff until it
-// succeeds or the worker is closed.
-func (w *Worker) join() (id string, ttl time.Duration, ok bool) {
-	backoff := 50 * time.Millisecond
+// countFailure classifies one failed RPC into the retry/timeout
+// tallies the next heartbeat reports.
+func (w *Worker) countFailure(err error) {
+	w.rpcRetries.Add(1)
+	var ne net.Error
+	if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+		w.rpcTimeouts.Add(1)
+	}
+}
+
+// fullJitter picks a uniformly random delay in (0, d] — the backoff
+// shape that keeps a fenced fleet from reconverging in one wave when
+// a coordinator restart drops every worker at once.
+func fullJitter(d time.Duration) time.Duration {
+	if d <= time.Millisecond {
+		return time.Millisecond
+	}
+	return time.Millisecond + time.Duration(rand.Int63n(int64(d)))
+}
+
+// join obtains an identity and lease, retrying with full-jitter
+// exponential backoff until it succeeds or the worker is closed.
+func (w *Worker) join() (id, session string, ttl time.Duration, ok bool) {
+	backoff := 2 * backoffBase
 	for {
 		var resp JoinResponse
-		code, err := w.post("/cluster/v1/join", JoinRequest{Capacity: w.cfg.Capacity}, &resp)
+		code, err := w.post(rpcTimeout, "/cluster/v1/join", JoinRequest{Capacity: w.cfg.Capacity}, &resp)
 		if err == nil && code == http.StatusOK && resp.Worker != "" {
-			return resp.Worker, time.Duration(resp.LeaseTTLMS) * time.Millisecond, true
+			return resp.Worker, resp.Session, time.Duration(resp.LeaseTTLMS) * time.Millisecond, true
 		}
 		if err != nil {
+			w.countFailure(err)
 			w.cfg.Logf("dsasimd-worker: join: %v (retrying)", err)
 		} else {
+			w.rpcRetries.Add(1)
 			w.cfg.Logf("dsasimd-worker: join refused (%d, retrying)", code)
 		}
 		select {
 		case <-w.stopCh:
-			return "", 0, false
-		case <-time.After(backoff):
+			return "", "", 0, false
+		case <-time.After(fullJitter(backoff)):
 		}
-		if backoff < 2*time.Second {
+		if backoff < backoffCap {
 			backoff *= 2
 		}
 	}
 }
 
-// session drives one lease lifetime: heartbeat at TTL/3, reconcile the
-// response, self-fence at the end. Returns true to rejoin, false when
-// the worker is closing.
-func (w *Worker) session(id string, ttl time.Duration) (rejoin bool) {
+// serveSession drives one lease lifetime: heartbeat at TTL/3 (sooner,
+// with jittered backoff, after a failure), reconcile the response,
+// self-fence at the end. Returns true to rejoin, false when the
+// worker is closing.
+func (w *Worker) serveSession(id, session string, ttl time.Duration) (rejoin bool) {
 	ropts := w.cfg.Runner
 	ropts.Workers = w.cfg.Capacity
 	ropts.SnapshotDir = w.cfg.SnapshotDir
@@ -131,7 +189,8 @@ func (w *Worker) session(id string, ttl time.Duration) (rejoin bool) {
 	pool := runner.NewPool(ropts)
 
 	w.mu.Lock()
-	w.id, w.pool, w.running = id, pool, map[string]assignment{}
+	w.id, w.session, w.seq = id, session, 0
+	w.pool, w.running = pool, map[string]assignment{}
 	w.mu.Unlock()
 	defer w.fence(pool)
 
@@ -144,14 +203,20 @@ func (w *Worker) session(id string, ttl time.Duration) (rejoin bool) {
 	// coordinator saw the renewal any later than that, our view of the
 	// deadline is only more conservative than its.
 	leaseUntil := time.Now().Add(ttl)
+	failures := 0
 	for {
 		sent := time.Now()
-		resp, err := w.heartbeat(id)
+		resp, code, err := w.heartbeat(hb)
+		sleep := hb
 		switch {
-		case err == nil && resp.Rejoin:
+		case err == nil && code == http.StatusConflict:
+			// Fenced: the session nonce (or our whole lease) is dead on
+			// the coordinator's side. Stop claiming anything and rejoin.
+			w.cfg.Logf("dsasimd-worker: %s heartbeat fenced (409)", id)
 			return true
-		case err == nil:
+		case err == nil && code == http.StatusOK:
 			leaseUntil = sent.Add(ttl)
+			failures = 0
 			w.reconcile(id, pool, resp)
 		case time.Now().After(leaseUntil):
 			// Could not renew within our own TTL: the coordinator has
@@ -160,34 +225,63 @@ func (w *Worker) session(id string, ttl time.Duration) (rejoin bool) {
 			w.cfg.Logf("dsasimd-worker: %s lease lapsed (%v)", id, err)
 			return true
 		default:
-			w.cfg.Logf("dsasimd-worker: heartbeat: %v", err)
+			// Transient failure: retry sooner than the normal cadence,
+			// with full jitter so a partition heal doesn't synchronize
+			// the fleet's renewals.
+			if err != nil {
+				w.countFailure(err)
+				w.cfg.Logf("dsasimd-worker: heartbeat: %v", err)
+			} else {
+				w.rpcRetries.Add(1)
+				w.cfg.Logf("dsasimd-worker: heartbeat: HTTP %d", code)
+			}
+			failures++
+			d := backoffBase << uint(failures-1)
+			if d > hb || d <= 0 {
+				d = hb
+			}
+			sleep = fullJitter(d)
 		}
 		select {
 		case <-w.stopCh:
 			return false
-		case <-time.After(hb):
+		case <-time.After(sleep):
 		}
 	}
 }
 
 // heartbeat reports the running set and fetches the desired-state
-// delta.
-func (w *Worker) heartbeat(id string) (*HeartbeatResponse, error) {
+// delta. Its RPC deadline is the heartbeat interval itself: a renewal
+// that cannot complete within one cadence is worthless, and waiting
+// longer only eats the lease.
+func (w *Worker) heartbeat(interval time.Duration) (*HeartbeatResponse, int, error) {
+	retries := w.rpcRetries.Load()
+	timeouts := w.rpcTimeouts.Load()
 	w.mu.Lock()
-	req := HeartbeatRequest{Worker: id}
+	w.seq++
+	req := HeartbeatRequest{
+		Worker:      w.id,
+		Session:     w.session,
+		Seq:         w.seq,
+		RPCRetries:  retries,
+		RPCTimeouts: timeouts,
+	}
 	for _, a := range w.running {
 		req.Running = append(req.Running, RunningJob{Job: a.job, Epoch: a.epoch})
 	}
 	w.mu.Unlock()
 	var resp HeartbeatResponse
-	code, err := w.post("/cluster/v1/heartbeat", req, &resp)
+	code, err := w.post(interval, "/cluster/v1/heartbeat", req, &resp)
 	if err != nil {
-		return nil, err
+		return nil, code, err
 	}
-	if code != http.StatusOK {
-		return nil, fmt.Errorf("heartbeat: HTTP %d", code)
+	if code == http.StatusOK {
+		// Delivered: retire the shipped tallies (new failures may have
+		// accumulated concurrently; they ride the next heartbeat).
+		w.rpcRetries.Add(^(retries - 1))
+		w.rpcTimeouts.Add(^(timeouts - 1))
 	}
-	return &resp, nil
+	return &resp, code, nil
 }
 
 // reconcile applies a heartbeat's stop and start lists.
@@ -245,16 +339,18 @@ func (w *Worker) launch(id string, pool *runner.Pool, a Assignment) {
 	}()
 }
 
-// report posts a terminal result, retrying transient failures. A 409
-// means the write was fenced — the lease moved on — and a 404 that
-// the job is gone; both are final. If the coordinator stays
-// unreachable, the job is simply dropped from the running set: the
-// next owner's re-run reproduces the same result (the simulation is
-// deterministic), so convergence never depends on this one delivery.
+// report posts a terminal result with a bounded full-jitter retry
+// budget. A 409 means the write was fenced — the lease moved on — and
+// a 404 that the job is gone; both are final. If the coordinator
+// stays unreachable past the budget, the job is simply dropped from
+// the running set: the next owner's re-run reproduces the same result
+// (the simulation is deterministic), so convergence never depends on
+// this one delivery.
 func (w *Worker) report(id string, a Assignment, res server.ResultJSON) {
 	req := CompleteRequest{Worker: id, Job: a.Job, Epoch: a.Epoch, Result: res}
-	for i := 0; i < 5; i++ {
-		code, err := w.post("/cluster/v1/complete", req, nil)
+	backoff := 2 * backoffBase
+	for i := 0; i < completeAttempts; i++ {
+		code, err := w.post(rpcTimeout, "/cluster/v1/complete", req, nil)
 		if err == nil {
 			switch code {
 			case http.StatusOK:
@@ -264,10 +360,18 @@ func (w *Worker) report(id string, a Assignment, res server.ResultJSON) {
 				return
 			}
 		}
+		if err != nil {
+			w.countFailure(err)
+		} else {
+			w.rpcRetries.Add(1)
+		}
 		select {
 		case <-w.stopCh:
 			return
-		case <-time.After(100 * time.Millisecond):
+		case <-time.After(fullJitter(backoff)):
+		}
+		if backoff < backoffCap {
+			backoff *= 2
 		}
 	}
 	w.cfg.Logf("dsasimd-worker: %s could not deliver result for %s; dropping (next owner re-runs)", id, a.Job)
@@ -288,7 +392,12 @@ func (w *Worker) onProgress(p runner.Progress) {
 		Job: p.Job, Attempt: p.Attempt, DSAOff: p.DSAOff,
 		Steps: p.Steps, Ticks: p.Ticks, Takeovers: p.Takeovers, Fallbacks: p.Fallbacks,
 	}}
-	_, _ = w.post("/cluster/v1/progress", req, nil)
+	if _, err := w.post(rpcTimeout, "/cluster/v1/progress", req, nil); err != nil {
+		var ne net.Error
+		if errors.Is(err, context.DeadlineExceeded) || (errors.As(err, &ne) && ne.Timeout()) {
+			w.rpcTimeouts.Add(1)
+		}
+	}
 }
 
 // fence ends a session: revoke every running attempt (each writes its
@@ -303,21 +412,30 @@ func (w *Worker) fence(pool *runner.Pool) {
 	pool.Close()
 }
 
-// post sends one JSON request; out, when non-nil, receives a decoded
-// 200 body.
-func (w *Worker) post(path string, in, out any) (int, error) {
+// post sends one JSON request under its own context deadline; out,
+// when non-nil, receives a decoded 200 body. A decode failure (a
+// truncated response, say) is reported as an error alongside the
+// status code.
+func (w *Worker) post(timeout time.Duration, path string, in, out any) (int, error) {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return 0, err
 	}
-	resp, err := w.client.Post(w.cfg.Coordinator+path, "application/json", bytes.NewReader(body))
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
 	if err != nil {
 		return 0, err
 	}
 	defer resp.Body.Close()
 	if out != nil && resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
+			return resp.StatusCode, fmt.Errorf("decoding %s response: %w", path, err)
 		}
 	}
 	return resp.StatusCode, nil

@@ -1,0 +1,160 @@
+// Package netchaos is a deterministic, seed-replayable network fault
+// injector for the dsasimd cluster's robustness proofs. It has two
+// faces, matching the two places a distributed protocol can be hurt:
+//
+//   - Injector, an http.RoundTripper wrapper for client-side faults:
+//     dropped connections, stalls until the request deadline, added
+//     latency, duplicated requests, connection resets after the server
+//     processed the request, truncated response bodies, and error-code
+//     substitution. Each request draws at most one fault class from a
+//     seeded RNG, so a failing run replays from its seed — the same
+//     convention as DSASIM_SOAK_SEED and DSASIM_RESUME_SEED.
+//
+//   - Proxy, a TCP relay for topology-level faults the client stack
+//     cannot see: full partitions, *asymmetric* partitions (one
+//     direction blackholed while the other flows), slow-drip
+//     bandwidth, connection resets, and healing. The proxy is
+//     commanded, not random: chaos tests script its schedule from
+//     their own seeded RNG so the whole topology replay is one seed.
+//
+// The package exists to prove the cluster protocol (internal/cluster)
+// keeps its invariants — zero lost jobs, exactly-once completion,
+// bit-identical digests — when the network misbehaves, not just when
+// processes die.
+package netchaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Fault classes, used as count keys and log labels.
+const (
+	FaultDrop      = "drop"      // connection refused before the request is sent
+	FaultTimeout   = "timeout"   // stall until the request context gives up
+	FaultDelay     = "delay"     // added latency, then a normal exchange
+	FaultDuplicate = "duplicate" // the request is delivered twice
+	FaultReset     = "reset"     // server processes it, client sees a reset
+	FaultTruncate  = "truncate"  // response body cut short mid-stream
+	FaultErrCode   = "errcode"   // response status replaced with 502
+)
+
+// Classes lists every client-side fault class in a stable order.
+var Classes = []string{
+	FaultDrop, FaultTimeout, FaultDelay, FaultDuplicate,
+	FaultReset, FaultTruncate, FaultErrCode,
+}
+
+// Rates holds per-fault-class probabilities in [0,1]. At most one
+// fault fires per request: the classes are stacked cumulatively and a
+// single uniform draw picks one (or none), which keeps the draw
+// sequence — and therefore the replay — one number per request.
+type Rates struct {
+	Drop      float64
+	Timeout   float64
+	Delay     float64
+	Duplicate float64
+	Reset     float64
+	Truncate  float64
+	ErrCode   float64
+	// MaxDelay bounds the latency added by a delay fault
+	// (0 = DefaultMaxDelay).
+	MaxDelay time.Duration
+}
+
+// DefaultMaxDelay bounds delay faults when Rates.MaxDelay is zero.
+const DefaultMaxDelay = 100 * time.Millisecond
+
+// Total is the summed fault probability; it must stay <= 1.
+func (r Rates) Total() float64 {
+	return r.Drop + r.Timeout + r.Delay + r.Duplicate + r.Reset + r.Truncate + r.ErrCode
+}
+
+// String renders the rates in ParseRates' syntax (for replay lines).
+func (r Rates) String() string {
+	parts := []string{}
+	add := func(k string, v float64) {
+		if v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add(FaultDrop, r.Drop)
+	add(FaultTimeout, r.Timeout)
+	add(FaultDelay, r.Delay)
+	add(FaultDuplicate, r.Duplicate)
+	add(FaultReset, r.Reset)
+	add(FaultTruncate, r.Truncate)
+	add(FaultErrCode, r.ErrCode)
+	if r.MaxDelay > 0 {
+		parts = append(parts, fmt.Sprintf("maxdelay=%s", r.MaxDelay))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseRates parses a comma-separated fault spec, e.g.
+// "drop=0.05,delay=0.1,maxdelay=200ms". Unknown keys, malformed
+// values, or a total probability above 1 are errors — a chaos flag
+// that silently does nothing would un-prove the test relying on it.
+func ParseRates(spec string) (Rates, error) {
+	var r Rates
+	if strings.TrimSpace(spec) == "" {
+		return r, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return r, fmt.Errorf("netchaos: bad rate %q (want key=value)", kv)
+		}
+		if k == "maxdelay" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return r, fmt.Errorf("netchaos: bad maxdelay %q: %v", v, err)
+			}
+			r.MaxDelay = d
+			continue
+		}
+		p, err := strconv.ParseFloat(v, 64)
+		if err != nil || p < 0 || p > 1 {
+			return r, fmt.Errorf("netchaos: bad probability %q for %s", v, k)
+		}
+		switch k {
+		case FaultDrop:
+			r.Drop = p
+		case FaultTimeout:
+			r.Timeout = p
+		case FaultDelay:
+			r.Delay = p
+		case FaultDuplicate:
+			r.Duplicate = p
+		case FaultReset:
+			r.Reset = p
+		case FaultTruncate:
+			r.Truncate = p
+		case FaultErrCode:
+			r.ErrCode = p
+		default:
+			return r, fmt.Errorf("netchaos: unknown fault class %q", k)
+		}
+	}
+	if t := r.Total(); t > 1 {
+		return r, fmt.Errorf("netchaos: fault probabilities sum to %g > 1", t)
+	}
+	return r, nil
+}
+
+// formatCounts renders a fault-count map deterministically for logs.
+func formatCounts(counts map[string]uint64) string {
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,351 @@
+package netchaos
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// newBackend is a tiny JSON echo server counting the requests it
+// actually receives — the ground truth for duplicate and reset
+// faults, where the client's view and the server's diverge.
+func newBackend(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		body, _ := io.ReadAll(r.Body)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"echo":%q}`, string(body))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func post(t *testing.T, client *http.Client, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url, strings.NewReader(`{"ping":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return client.Do(req)
+}
+
+// TestParseRates pins the flag syntax the daemon exposes.
+func TestParseRates(t *testing.T) {
+	r, err := ParseRates("drop=0.05,delay=0.1,duplicate=0.2,maxdelay=250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Drop != 0.05 || r.Delay != 0.1 || r.Duplicate != 0.2 || r.MaxDelay != 250*time.Millisecond {
+		t.Fatalf("parsed %+v", r)
+	}
+	for _, bad := range []string{"bogus=0.1", "drop=2", "drop", "drop=0.9,delay=0.9"} {
+		if _, err := ParseRates(bad); err == nil {
+			t.Errorf("ParseRates(%q) accepted", bad)
+		}
+	}
+	if rt, err := ParseRates(r.String()); err != nil || rt != r {
+		t.Errorf("round-trip: %+v vs %+v (%v)", rt, r, err)
+	}
+}
+
+// TestInjectorDeterminism: two injectors with the same seed produce
+// the same fault schedule — the property replay lines depend on.
+func TestInjectorDeterminism(t *testing.T) {
+	rates := Rates{Drop: 0.2, Delay: 0.2, Duplicate: 0.2, ErrCode: 0.2}
+	schedule := func(seed int64) []string {
+		in := NewInjector(seed, rates, nil, nil)
+		var out []string
+		for i := 0; i < 200; i++ {
+			c, _ := in.draw()
+			out = append(out, c)
+		}
+		return out
+	}
+	a, b := schedule(42), schedule(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %q vs %q for the same seed", i, a[i], b[i])
+		}
+	}
+	c := schedule(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-draw schedules")
+	}
+}
+
+// oneFault builds an injector that fires exactly one class, always.
+func oneFault(class string) Rates {
+	r := Rates{MaxDelay: 30 * time.Millisecond}
+	switch class {
+	case FaultDrop:
+		r.Drop = 1
+	case FaultTimeout:
+		r.Timeout = 1
+	case FaultDelay:
+		r.Delay = 1
+	case FaultDuplicate:
+		r.Duplicate = 1
+	case FaultReset:
+		r.Reset = 1
+	case FaultTruncate:
+		r.Truncate = 1
+	case FaultErrCode:
+		r.ErrCode = 1
+	}
+	return r
+}
+
+// TestInjectorFaultClasses drives each class at probability 1 against
+// a live backend and asserts the client-visible and server-visible
+// effects separately.
+func TestInjectorFaultClasses(t *testing.T) {
+	for _, class := range Classes {
+		t.Run(class, func(t *testing.T) {
+			ts, hits := newBackend(t)
+			in := NewInjector(1, oneFault(class), nil, t.Logf)
+			client := &http.Client{Transport: in}
+
+			switch class {
+			case FaultDrop:
+				if _, err := post(t, client, ts.URL); err == nil {
+					t.Fatal("dropped request returned a response")
+				}
+				if hits.Load() != 0 {
+					t.Fatalf("dropped request reached the server %d times", hits.Load())
+				}
+
+			case FaultTimeout:
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				defer cancel()
+				req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL, strings.NewReader("{}"))
+				start := time.Now()
+				_, err := client.Do(req)
+				if err == nil {
+					t.Fatal("stalled request returned a response")
+				}
+				if !errors.Is(err, context.DeadlineExceeded) {
+					t.Fatalf("stall error = %v, want the caller's deadline", err)
+				}
+				if time.Since(start) < 40*time.Millisecond {
+					t.Fatal("stall returned before the request deadline")
+				}
+
+			case FaultDelay:
+				start := time.Now()
+				resp, err := post(t, client, ts.URL)
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp.Body.Close()
+				if time.Since(start) < time.Millisecond {
+					t.Fatal("delay fault added no latency")
+				}
+				if hits.Load() != 1 {
+					t.Fatalf("delayed request hit the server %d times", hits.Load())
+				}
+
+			case FaultDuplicate:
+				resp, err := post(t, client, ts.URL)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var body struct {
+					Echo string `json:"echo"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+					t.Fatalf("decoding the first exchange: %v", err)
+				}
+				resp.Body.Close()
+				if body.Echo != `{"ping":1}` {
+					t.Fatalf("echo = %q", body.Echo)
+				}
+				if hits.Load() != 2 {
+					t.Fatalf("duplicated request hit the server %d times, want 2", hits.Load())
+				}
+
+			case FaultReset:
+				if _, err := post(t, client, ts.URL); err == nil {
+					t.Fatal("reset request returned a response")
+				}
+				if hits.Load() != 1 {
+					t.Fatalf("reset request hit the server %d times, want 1 (processed, answer lost)", hits.Load())
+				}
+
+			case FaultTruncate:
+				resp, err := post(t, client, ts.URL)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				var v map[string]any
+				err = json.NewDecoder(resp.Body).Decode(&v)
+				if err == nil {
+					t.Fatal("truncated body decoded cleanly")
+				}
+
+			case FaultErrCode:
+				resp, err := post(t, client, ts.URL)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer resp.Body.Close()
+				if resp.StatusCode != http.StatusBadGateway {
+					t.Fatalf("status = %d, want 502", resp.StatusCode)
+				}
+				if hits.Load() != 1 {
+					t.Fatalf("substituted request hit the server %d times", hits.Load())
+				}
+			}
+
+			if n := in.Counts()[class]; n < 1 {
+				t.Errorf("counts[%s] = %d, want >= 1 (line: %s)", class, n, in.CountsLine())
+			}
+		})
+	}
+}
+
+// shortClient builds a client with a small timeout for partition
+// probes, where the expected outcome is "hangs until deadline".
+func shortClient(d time.Duration) *http.Client {
+	return &http.Client{Timeout: d, Transport: &http.Transport{DisableKeepAlives: true}}
+}
+
+// TestProxyPartitionHeal: a full partition blackholes requests (the
+// server never sees them), and a heal restores service on the same
+// proxy address.
+func TestProxyPartitionHeal(t *testing.T) {
+	ts, hits := newBackend(t)
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	base := "http://" + p.Addr()
+
+	resp, err := post(t, shortClient(2*time.Second), base)
+	if err != nil {
+		t.Fatalf("healthy proxy: %v", err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("healthy proxy delivered %d requests", hits.Load())
+	}
+
+	p.Partition(PartitionBoth)
+	if _, err := post(t, shortClient(300*time.Millisecond), base); err == nil {
+		t.Fatal("request crossed a full partition")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("partitioned request reached the server (%d hits)", hits.Load())
+	}
+
+	p.Heal()
+	resp, err = post(t, shortClient(2*time.Second), base)
+	if err != nil {
+		t.Fatalf("healed proxy: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// TestProxyAsymmetricPartition: with target→client blackholed, the
+// request is processed but the answer vanishes — and with
+// client→target blackholed, the server never hears anything.
+func TestProxyAsymmetricPartition(t *testing.T) {
+	ts, hits := newBackend(t)
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	base := "http://" + p.Addr()
+
+	p.Partition(PartitionFromTarget)
+	if _, err := post(t, shortClient(400*time.Millisecond), base); err == nil {
+		t.Fatal("got a response across a from-target partition")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for hits.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("from-target partition: server hits = %d, want 1 (request must still be delivered)", hits.Load())
+	}
+
+	p.Heal()
+	p.Partition(PartitionToTarget)
+	if _, err := post(t, shortClient(400*time.Millisecond), base); err == nil {
+		t.Fatal("got a response across a to-target partition")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("to-target partition: server hits = %d, want still 1", hits.Load())
+	}
+}
+
+// TestProxySlowDripAndReset: a slow-drip link delays the exchange
+// measurably, and Reset tears live connections down hard.
+func TestProxySlowDripAndReset(t *testing.T) {
+	ts, _ := newBackend(t)
+	p, err := NewProxy(strings.TrimPrefix(ts.URL, "http://"), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	base := "http://" + p.Addr()
+
+	// ~120 bytes of request + ~160 of response at 2 KiB/s ≈ 140ms.
+	p.SlowDrip(2048)
+	start := time.Now()
+	resp, err := post(t, shortClient(5*time.Second), base)
+	if err != nil {
+		t.Fatalf("slow-drip: %v", err)
+	}
+	resp.Body.Close()
+	if since := time.Since(start); since < 20*time.Millisecond {
+		t.Fatalf("slow-drip exchange took %v, want visible pacing", since)
+	}
+	p.Heal()
+
+	// Park a connection mid-exchange, then reset it.
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Second)
+	}))
+	t.Cleanup(slow.Close)
+	p2, err := NewProxy(strings.TrimPrefix(slow.URL, "http://"), t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p2.Close)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := post(t, shortClient(5*time.Second), "http://"+p2.Addr())
+		errCh <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	p2.Reset()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("reset connection completed its exchange")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("reset did not break the in-flight exchange")
+	}
+}

@@ -1,0 +1,240 @@
+package netchaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// PartitionMode selects which directions of a Proxy's links are
+// blackholed. Asymmetric partitions are the interesting ones: one
+// side keeps hearing the other and draws exactly the wrong
+// conclusions unless the protocol is fenced properly.
+type PartitionMode int
+
+const (
+	// Healthy forwards both directions.
+	Healthy PartitionMode = iota
+	// PartitionBoth blackholes both directions: a full partition.
+	PartitionBoth
+	// PartitionToTarget blackholes client→target: requests vanish,
+	// but target→client bytes already in flight still arrive.
+	PartitionToTarget
+	// PartitionFromTarget blackholes target→client: requests are
+	// delivered and processed, their responses vanish — the classic
+	// "did my write land?" ambiguity.
+	PartitionFromTarget
+)
+
+func (m PartitionMode) String() string {
+	switch m {
+	case Healthy:
+		return "healthy"
+	case PartitionBoth:
+		return "partition-both"
+	case PartitionToTarget:
+		return "partition-to-target"
+	case PartitionFromTarget:
+		return "partition-from-target"
+	}
+	return fmt.Sprintf("mode-%d", int(m))
+}
+
+// Proxy is a commanded TCP relay between one client side (usually a
+// cluster worker) and one target (the coordinator). It injects
+// topology-level faults the HTTP stack cannot express: partitions,
+// asymmetric partitions, slow-drip bandwidth, and connection resets.
+// Blackholed bytes are read from the sender and discarded — the
+// sender's kernel sees progress, like packets lost beyond the first
+// hop — so a heal lets new exchanges flow immediately.
+type Proxy struct {
+	target string
+	ln     net.Listener
+	logf   func(format string, args ...any)
+
+	mu          sync.Mutex
+	mode        PartitionMode
+	bytesPerSec int64
+	conns       map[net.Conn]struct{}
+	closed      bool
+}
+
+// NewProxy listens on 127.0.0.1:0 and relays every connection to
+// target (a host:port). Faults are commanded via the Partition /
+// SlowDrip / Reset / Heal methods; a fresh proxy is Healthy.
+func NewProxy(target string, logf func(string, ...any)) (*Proxy, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{target: target, ln: ln, logf: logf, conns: map[net.Conn]struct{}{}}
+	go p.accept()
+	p.logf("netchaos: proxy %s -> %s", p.Addr(), target)
+	return p, nil
+}
+
+// Addr is the proxy's listen address (host:port) for clients to dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Partition sets the blackhole mode. PartitionBoth with no heal is a
+// full partition; the asymmetric modes cut one direction only.
+func (p *Proxy) Partition(mode PartitionMode) {
+	p.mu.Lock()
+	p.mode = mode
+	p.mu.Unlock()
+	p.logf("netchaos: proxy %s mode=%s", p.Addr(), mode)
+}
+
+// SlowDrip throttles both directions to roughly bytesPerSec
+// (0 = unlimited): the link is up but nearly useless, the failure
+// mode timeouts are for.
+func (p *Proxy) SlowDrip(bytesPerSec int64) {
+	p.mu.Lock()
+	p.bytesPerSec = bytesPerSec
+	p.mu.Unlock()
+	p.logf("netchaos: proxy %s slow-drip=%dB/s", p.Addr(), bytesPerSec)
+}
+
+// Reset abruptly closes every live relayed connection (RST where the
+// platform cooperates), leaving the proxy accepting new ones.
+func (p *Proxy) Reset() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		if tc, ok := c.(*net.TCPConn); ok {
+			_ = tc.SetLinger(0)
+		}
+		_ = c.Close()
+	}
+	p.logf("netchaos: proxy %s reset %d conn(s)", p.Addr(), len(conns))
+}
+
+// Heal restores full, unthrottled forwarding.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.mode = Healthy
+	p.bytesPerSec = 0
+	p.mu.Unlock()
+	p.logf("netchaos: proxy %s healed", p.Addr())
+}
+
+// Close stops accepting and tears down every live connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	_ = p.ln.Close()
+	p.Reset()
+}
+
+func (p *Proxy) accept() {
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		go p.relay(client)
+	}
+}
+
+// track registers a live conn; untrack removes and closes it.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	_ = c.Close()
+}
+
+// relay dials the target and pumps both directions until either side
+// ends. Each direction consults the current mode per chunk, so a
+// partition or heal applies to connections already in flight.
+func (p *Proxy) relay(client net.Conn) {
+	upstream, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		_ = client.Close()
+		return
+	}
+	if !p.track(client) || !p.track(upstream) {
+		_ = client.Close()
+		_ = upstream.Close()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.pump(client, upstream, true)
+	}()
+	go func() {
+		defer wg.Done()
+		p.pump(upstream, client, false)
+	}()
+	wg.Wait()
+	p.untrack(client)
+	p.untrack(upstream)
+}
+
+// dropNow reports whether bytes flowing in the given direction are
+// currently blackholed, and the active drip rate.
+func (p *Proxy) dropNow(toTarget bool) (drop bool, bps int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch p.mode {
+	case PartitionBoth:
+		drop = true
+	case PartitionToTarget:
+		drop = toTarget
+	case PartitionFromTarget:
+		drop = !toTarget
+	}
+	return drop, p.bytesPerSec
+}
+
+// pump copies src→dst in small chunks, discarding blackholed bytes
+// and pacing under a slow-drip. On either end's failure it closes the
+// counterpart's write side so the peer sees EOF rather than a hang.
+func (p *Proxy) pump(src, dst net.Conn, toTarget bool) {
+	buf := make([]byte, 512)
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			drop, bps := p.dropNow(toTarget)
+			if !drop {
+				if bps > 0 {
+					time.Sleep(time.Duration(int64(n) * int64(time.Second) / bps))
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+		}
+		if rerr != nil {
+			break
+		}
+	}
+	if tc, ok := dst.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+}

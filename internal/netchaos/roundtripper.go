@@ -1,0 +1,246 @@
+package netchaos
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// maxStall bounds a timeout fault when the request carries no
+// deadline, so an injector can never hang a caller forever.
+const maxStall = 5 * time.Second
+
+// Injector is a fault-injecting http.RoundTripper. Every request
+// draws one number from the seeded RNG (under a mutex, so a
+// sequential caller gets a fully deterministic fault schedule) and
+// suffers at most one fault class. Injected faults are counted per
+// class; Counts is the test-side evidence that a chaos run actually
+// exercised every class it claims to.
+type Injector struct {
+	base  http.RoundTripper
+	rates Rates
+	seed  int64
+	logf  func(format string, args ...any)
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	counts map[string]uint64
+}
+
+// NewInjector wraps base (nil = http.DefaultTransport) with the given
+// fault rates, drawn from a dedicated RNG seeded with seed.
+func NewInjector(seed int64, rates Rates, base http.RoundTripper, logf func(string, ...any)) *Injector {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if rates.MaxDelay <= 0 {
+		rates.MaxDelay = DefaultMaxDelay
+	}
+	return &Injector{
+		base:   base,
+		rates:  rates,
+		seed:   seed,
+		logf:   logf,
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: map[string]uint64{},
+	}
+}
+
+// Seed returns the injector's seed (for replay lines).
+func (in *Injector) Seed() int64 { return in.seed }
+
+// Counts returns a copy of the per-class injected-fault counters.
+func (in *Injector) Counts() map[string]uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[string]uint64, len(in.counts))
+	for k, v := range in.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// CountsLine renders the counters deterministically for logs.
+func (in *Injector) CountsLine() string { return formatCounts(in.Counts()) }
+
+// draw picks this request's fault class ("" = none) and, for delay
+// faults, its duration — one RNG consultation per request, so the
+// schedule replays from the seed.
+func (in *Injector) draw() (class string, delay time.Duration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	x := in.rng.Float64()
+	for _, c := range []struct {
+		name string
+		p    float64
+	}{
+		{FaultDrop, in.rates.Drop},
+		{FaultTimeout, in.rates.Timeout},
+		{FaultDelay, in.rates.Delay},
+		{FaultDuplicate, in.rates.Duplicate},
+		{FaultReset, in.rates.Reset},
+		{FaultTruncate, in.rates.Truncate},
+		{FaultErrCode, in.rates.ErrCode},
+	} {
+		if x < c.p {
+			class = c.name
+			break
+		}
+		x -= c.p
+	}
+	if class == FaultDelay {
+		delay = time.Duration(in.rng.Int63n(int64(in.rates.MaxDelay))) + time.Millisecond
+	}
+	if class != "" {
+		in.counts[class]++
+	}
+	return class, delay
+}
+
+// RoundTrip implements http.RoundTripper.
+func (in *Injector) RoundTrip(req *http.Request) (*http.Response, error) {
+	class, delay := in.draw()
+	if class != "" {
+		in.logf("netchaos: inject %s on %s %s", class, req.Method, req.URL.Path)
+	}
+
+	// Buffer the body up front: duplication needs to send it twice,
+	// and the protocol's requests are small JSON documents.
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	send := func() (*http.Response, error) {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return in.base.RoundTrip(r)
+	}
+
+	switch class {
+	case FaultDrop:
+		// The connection never happens.
+		return nil, fmt.Errorf("netchaos: connection dropped (injected)")
+
+	case FaultTimeout:
+		// Stall until the caller's deadline: this is what a blackholed
+		// link looks like from above, and it is the fault that keeps
+		// per-request context deadlines honest.
+		ctx := req.Context()
+		t := time.NewTimer(maxStall)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+			return nil, fmt.Errorf("netchaos: request stalled (injected)")
+		}
+
+	case FaultDelay:
+		ctx := req.Context()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+		return send()
+
+	case FaultDuplicate:
+		// Deliver twice; the caller sees the first exchange. The
+		// duplicate lands after it, like a retransmitted datagram —
+		// the receiver must reject the replay on its own.
+		resp, err := send()
+		if err != nil {
+			return resp, err
+		}
+		buf, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		if dup, derr := send(); derr == nil {
+			io.Copy(io.Discard, dup.Body)
+			dup.Body.Close()
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(buf))
+		return resp, nil
+
+	case FaultReset:
+		// The server fully processes the request, but the client sees
+		// a reset before reading the response — the ambiguous failure
+		// that forces idempotent retries.
+		resp, err := send()
+		if err != nil {
+			return resp, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("netchaos: connection reset by peer (injected)")
+
+	case FaultTruncate:
+		resp, err := send()
+		if err != nil {
+			return resp, err
+		}
+		buf, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		resp.Body = io.NopCloser(&truncatedBody{data: buf[:len(buf)/2]})
+		return resp, nil
+
+	case FaultErrCode:
+		// The exchange happened, but an intermediary swallowed the
+		// answer and substituted its own.
+		resp, err := send()
+		if err != nil {
+			return resp, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return &http.Response{
+			Status:     "502 Bad Gateway",
+			StatusCode: http.StatusBadGateway,
+			Proto:      req.Proto,
+			ProtoMajor: req.ProtoMajor,
+			ProtoMinor: req.ProtoMinor,
+			Header:     http.Header{"Content-Type": []string{"text/plain"}},
+			Body:       io.NopCloser(bytes.NewReader([]byte("netchaos: bad gateway (injected)\n"))),
+			Request:    req,
+		}, nil
+	}
+	return send()
+}
+
+// truncatedBody yields its data then fails with ErrUnexpectedEOF, the
+// way a connection torn down mid-body looks to a JSON decoder.
+type truncatedBody struct {
+	data []byte
+	off  int
+}
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	if t.off >= len(t.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, t.data[t.off:])
+	t.off += n
+	return n, nil
+}

@@ -16,6 +16,7 @@ type metrics struct {
 	mu          sync.Mutex
 	submitted   uint64
 	rejected    uint64
+	deduped     uint64
 	completed   map[string]uint64 // terminal status → count
 	interrupted uint64
 	resumed     uint64
@@ -43,6 +44,12 @@ func (m *metrics) onSubmit() {
 func (m *metrics) onReject() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) onDedup() {
+	m.mu.Lock()
+	m.deduped++
 	m.mu.Unlock()
 }
 
@@ -104,6 +111,7 @@ func (m *metrics) render(g gauges) string {
 
 	counter("dsasimd_jobs_submitted_total", "Jobs accepted into the queue.", m.submitted)
 	counter("dsasimd_jobs_rejected_total", "Submissions refused with 429 (queue full) or 503 (draining).", m.rejected)
+	counter("dsasimd_jobs_deduped_total", "Submissions replayed from an earlier job via Idempotency-Key.", m.deduped)
 
 	fmt.Fprintf(&b, "# HELP dsasimd_jobs_completed_total Jobs finished, by terminal status.\n# TYPE dsasimd_jobs_completed_total counter\n")
 	statuses := make([]string, 0, len(m.completed))

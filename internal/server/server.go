@@ -65,7 +65,10 @@ type jobState struct {
 	// resume marks a job re-queued after a drain or restart: its first
 	// attempt restores from its checkpoint file.
 	resume bool
-	events *Broadcaster
+	// idemKey, when set, is the Idempotency-Key the job was submitted
+	// under; later submissions with the same key replay this job.
+	idemKey string
+	events  *Broadcaster
 }
 
 // Server is the dsasimd service core, transport-agnostic: Handler
@@ -85,6 +88,9 @@ type Server struct {
 	jobs   map[string]*jobState
 	order  []string
 	nextID int
+	// idem maps Idempotency-Key → job ID; persisted with the job
+	// table, so the dedup survives a restart.
+	idem map[string]string
 
 	drainOnce sync.Once
 }
@@ -109,6 +115,7 @@ func New(cfg Config) (*Server, error) {
 		stopCh:  make(chan struct{}),
 		metrics: newMetrics(),
 		jobs:    map[string]*jobState{},
+		idem:    map[string]string{},
 		nextID:  1,
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
@@ -147,17 +154,21 @@ func (s *Server) restore() error {
 	for i := range st.Jobs {
 		pj := st.Jobs[i]
 		js := &jobState{
-			id:     pj.ID,
-			spec:   pj.Spec,
-			status: pj.Status,
-			result: pj.Result,
-			events: NewBroadcaster(),
+			id:      pj.ID,
+			spec:    pj.Spec,
+			status:  pj.Status,
+			idemKey: pj.IdemKey,
+			result:  pj.Result,
+			events:  NewBroadcaster(),
 		}
 		if t, terr := time.Parse(time.RFC3339Nano, pj.Queued); terr == nil {
 			js.queued = t
 		}
 		s.jobs[js.id] = js
 		s.order = append(s.order, js.id)
+		if js.idemKey != "" {
+			s.idem[js.idemKey] = js.id
+		}
 		if Terminal(js.status) {
 			if js.result != nil {
 				done := Event{Type: "done", Job: js.id, Status: js.status, Result: js.result}
@@ -272,38 +283,54 @@ func (s *Server) onProgress(p runner.Progress) {
 }
 
 // Submit admits a job. It returns the assigned ID, or an admissionError
-// carrying the HTTP status the transport should answer with.
-func (s *Server) Submit(spec JobSpec) (*JobView, error) {
+// carrying the HTTP status the transport should answer with. A
+// non-empty idemKey matching an earlier submission replays that job
+// (deduped=true) instead of creating a twin — checked before the
+// draining and queue-full refusals, so a client retrying after an
+// ambiguous success always converges on the job it already created.
+func (s *Server) Submit(spec JobSpec, idemKey string) (view *JobView, deduped bool, err error) {
 	spec.Name = trimSourceName(spec.Name)
-	if err := spec.Validate(); err != nil {
-		return nil, &admissionError{code: http.StatusBadRequest, msg: err.Error()}
-	}
 	s.mu.Lock()
+	if idemKey != "" {
+		if jid, ok := s.idem[idemKey]; ok {
+			v := s.viewLocked(s.jobs[jid])
+			s.mu.Unlock()
+			s.metrics.onDedup()
+			return &v, true, nil
+		}
+	}
+	if verr := spec.Validate(); verr != nil {
+		s.mu.Unlock()
+		return nil, false, &admissionError{code: http.StatusBadRequest, msg: verr.Error()}
+	}
 	if s.pool.Draining() {
 		s.mu.Unlock()
 		s.metrics.onReject()
-		return nil, &admissionError{code: http.StatusServiceUnavailable, msg: "draining"}
+		return nil, false, &admissionError{code: http.StatusServiceUnavailable, msg: "draining"}
 	}
 	id := fmt.Sprintf("j%06d", s.nextID)
-	js := &jobState{id: id, spec: spec, status: StatusQueued, queued: time.Now(), events: NewBroadcaster()}
+	js := &jobState{id: id, spec: spec, status: StatusQueued, idemKey: idemKey, queued: time.Now(), events: NewBroadcaster()}
 	select {
 	case s.queue <- js:
 	default:
 		s.mu.Unlock()
 		s.metrics.onReject()
-		return nil, &admissionError{code: http.StatusTooManyRequests,
+		return nil, false, &admissionError{code: http.StatusTooManyRequests,
 			msg: fmt.Sprintf("queue full (%d jobs waiting)", s.cfg.QueueDepth), retryAfter: s.cfg.RetryAfter}
 	}
 	s.nextID++
 	s.jobs[id] = js
 	s.order = append(s.order, id)
+	if idemKey != "" {
+		s.idem[idemKey] = id
+	}
 	if err := s.saveStateLocked(); err != nil {
 		s.cfg.Logf("dsasimd: saving state: %v", err)
 	}
-	view := s.viewLocked(js)
+	v := s.viewLocked(js)
 	s.mu.Unlock()
 	s.metrics.onSubmit()
-	return &view, nil
+	return &v, false, nil
 }
 
 // Job returns one job's current view.
@@ -431,7 +458,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	view, err := s.Submit(spec)
+	view, deduped, err := s.Submit(spec, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		var ae *admissionError
 		if !errors.As(err, &ae) {
@@ -443,6 +470,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		httpError(w, ae.code, ae.msg)
 		return
+	}
+	if deduped {
+		w.Header().Set("Idempotency-Replayed", "true")
 	}
 	writeJSON(w, http.StatusAccepted, view)
 }

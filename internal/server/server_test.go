@@ -420,6 +420,55 @@ func drainSSE(t *testing.T, body io.Reader) (progress int, done *Event) {
 	return progress, nil
 }
 
+// TestServiceIdempotentSubmit: the standalone daemon honors
+// Idempotency-Key like the cluster coordinator — same key replays the
+// original job, distinct keys create distinct jobs.
+func TestServiceIdempotentSubmit(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	spec := JobSpec{Workload: "mm_32x32"}
+
+	post := func(key string) (JobView, bool) {
+		t.Helper()
+		body, _ := json.Marshal(spec)
+		req, err := http.NewRequest("POST", ts.URL+"/v1/jobs", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Idempotency-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("POST /v1/jobs: %v", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST /v1/jobs (key %q): code %d", key, resp.StatusCode)
+		}
+		var view JobView
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		return view, resp.Header.Get("Idempotency-Replayed") == "true"
+	}
+
+	first, replayed := post("svc-key")
+	if replayed {
+		t.Fatal("first submission marked as a replay")
+	}
+	waitTerminal(t, ts, first.ID, 30*time.Second)
+	// A retry after completion still replays — and carries the result.
+	again, replayed := post("svc-key")
+	if again.ID != first.ID || !replayed {
+		t.Fatalf("replay: id %s replayed %v, want %s true", again.ID, replayed, first.ID)
+	}
+	if again.Result == nil {
+		t.Error("replayed response missing the completed result")
+	}
+	if other, _ := post("svc-key-2"); other.ID == first.ID {
+		t.Fatal("distinct key replayed the first job")
+	}
+}
+
 // TestServiceMetricsNames pins the full metric surface: a CI name
 // regression here breaks dashboards silently, so every exported family
 // is asserted.
@@ -451,6 +500,7 @@ func TestServiceMetricsNames(t *testing.T) {
 		"dsasimd_mem_budget_bytes",
 		"dsasimd_jobs_submitted_total",
 		"dsasimd_jobs_rejected_total",
+		"dsasimd_jobs_deduped_total",
 		"dsasimd_jobs_completed_total{status=\"ok\"}",
 		"dsasimd_jobs_completed_total{status=\"degraded\"}",
 		"dsasimd_jobs_completed_total{status=\"failed\"}",

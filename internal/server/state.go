@@ -19,11 +19,12 @@ const stateSection = "dsasimd.jobs"
 
 // persistedJob is one job's durable row.
 type persistedJob struct {
-	ID     string      `json:"id"`
-	Spec   JobSpec     `json:"spec"`
-	Status string      `json:"status"`
-	Queued string      `json:"queued,omitempty"`
-	Result *ResultJSON `json:"result,omitempty"`
+	ID      string      `json:"id"`
+	Spec    JobSpec     `json:"spec"`
+	Status  string      `json:"status"`
+	IdemKey string      `json:"idem_key,omitempty"`
+	Queued  string      `json:"queued,omitempty"`
+	Result  *ResultJSON `json:"result,omitempty"`
 }
 
 // stateFile is the payload of the state section.
@@ -42,11 +43,12 @@ func (s *Server) saveStateLocked() error {
 	for _, id := range s.order {
 		js := s.jobs[id]
 		st.Jobs = append(st.Jobs, persistedJob{
-			ID:     js.id,
-			Spec:   js.spec,
-			Status: js.status,
-			Queued: fmtTime(js.queued),
-			Result: js.result,
+			ID:      js.id,
+			Spec:    js.spec,
+			Status:  js.status,
+			IdemKey: js.idemKey,
+			Queued:  fmtTime(js.queued),
+			Result:  js.result,
 		})
 	}
 	payload, err := json.Marshal(st)
