@@ -30,11 +30,13 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
-# allocs is the interpreter allocation-regression gate. It must run
-# without -race (the detector's instrumentation allocates), which is
-# why it is a separate target from race.
+# allocs is the allocation-regression gate: the interpreter's hot
+# step loop AND the DSA steady-state watch path (cache hit, CID memo
+# replay, checkpointed takeover, batched NEON, commit) must not
+# allocate. It must run without -race (the detector's instrumentation
+# allocates), which is why it is a separate target from race.
 allocs:
-	$(GO) test -run 'ZeroAlloc' ./internal/cpu
+	$(GO) test -run 'ZeroAlloc' ./internal/cpu ./internal/dsa
 
 # check is the CI gate: static checks, the allocation gate, and the
 # full suite under the race detector.

@@ -22,6 +22,25 @@ import (
 	"repro/internal/workloads"
 )
 
+// DSAStats is the detection-engine accounting pinned for dsa modes
+// (schema v2): the watch-path overhaul must replay every one of these
+// counters exactly, so memoized fast paths cannot silently skip work
+// the slow path would have charged.
+type DSAStats struct {
+	AnalysisTicks    int64  `json:"analysis_ticks"`
+	StateTransitions uint64 `json:"state_transitions"`
+	LoopsDetected    uint64 `json:"loops_detected"`
+	DSACacheAccesses uint64 `json:"dsa_cache_accesses"`
+	DSACacheHits     uint64 `json:"dsa_cache_hits"`
+	VCacheAccesses   uint64 `json:"vcache_accesses"`
+	CIDPCompares     uint64 `json:"cidp_compares"`
+	ArrayMapAccesses uint64 `json:"array_map_accesses"`
+	Takeovers        uint64 `json:"takeovers"`
+	VectorizedIters  uint64 `json:"vectorized_iters"`
+	LeftoverElements uint64 `json:"leftover_elements"`
+	OverheadTicks    int64  `json:"overhead_ticks"`
+}
+
 // Golden is one workload/mode observation.
 type Golden struct {
 	Workload        string            `json:"workload"`
@@ -30,6 +49,7 @@ type Golden struct {
 	Ticks           int64             `json:"ticks"`
 	Steps           uint64            `json:"steps"`
 	FallbackReasons map[string]uint64 `json:"fallback_reasons,omitempty"`
+	DSA             *DSAStats         `json:"dsa,omitempty"` // dsa modes only
 }
 
 // File is the golden file layout.
@@ -79,6 +99,20 @@ func runOne(w *workloads.Workload, mode experiments.Mode) (*Golden, error) {
 		}
 		st := s.Stats().Snapshot()
 		g.FallbackReasons = st.FallbackReasons
+		g.DSA = &DSAStats{
+			AnalysisTicks:    st.AnalysisTicks,
+			StateTransitions: st.StateTransitions,
+			LoopsDetected:    st.LoopsDetected,
+			DSACacheAccesses: st.DSACacheAccesses,
+			DSACacheHits:     st.DSACacheHits,
+			VCacheAccesses:   st.VCacheAccesses,
+			CIDPCompares:     st.CIDPCompares,
+			ArrayMapAccesses: st.ArrayMapAccesses,
+			Takeovers:        st.Takeovers,
+			VectorizedIters:  st.VectorizedIters,
+			LeftoverElements: st.LeftoverElements,
+			OverheadTicks:    st.OverheadTicks,
+		}
 		g.MemDigest = fmt.Sprintf("%016x", s.M.Mem.Sum64())
 		g.Ticks = s.M.Ticks
 		g.Steps = s.M.Steps
@@ -100,7 +134,7 @@ func runOne(w *workloads.Workload, mode experiments.Mode) (*Golden, error) {
 func main() {
 	out := flag.String("out", "internal/experiments/testdata/golden_digests.json", "output path")
 	flag.Parse()
-	f := File{Schema: "golden_digests/v1"}
+	f := File{Schema: "golden_digests/v2"}
 	for _, w := range workloads.All() {
 		for _, mode := range modes {
 			g, err := runOne(w, mode)

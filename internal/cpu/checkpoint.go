@@ -32,9 +32,16 @@ type Checkpoint struct {
 
 // Checkpoint opens a restore point. Exactly one checkpoint may be open
 // at a time (the underlying memory journal enforces this); close it
-// with Rollback or Release.
+// with Rollback or Release, after which the object returns to the
+// machine's free slot and must not be referenced again.
 func (m *Machine) Checkpoint() *Checkpoint {
-	return &Checkpoint{
+	cp := m.cpFree
+	if cp == nil {
+		cp = &Checkpoint{}
+	} else {
+		m.cpFree = nil
+	}
+	*cp = Checkpoint{
 		R:          m.R,
 		F:          m.F,
 		PC:         m.PC,
@@ -48,6 +55,7 @@ func (m *Machine) Checkpoint() *Checkpoint {
 		NeonStores: m.NEON.Stores,
 		Journal:    m.Mem.BeginJournal(),
 	}
+	return cp
 }
 
 // Rollback restores the machine to the checkpointed state: registers,
@@ -66,10 +74,18 @@ func (m *Machine) Rollback(cp *Checkpoint) {
 	m.NEON.Ops = cp.NeonOps
 	m.NEON.Loads = cp.NeonLoads
 	m.NEON.Stores = cp.NeonStores
+	m.recycle(cp)
 }
 
 // Release commits the work done since the checkpoint and closes it;
 // the undo log is dropped.
 func (m *Machine) Release(cp *Checkpoint) {
 	cp.Journal.Commit()
+	m.recycle(cp)
+}
+
+func (m *Machine) recycle(cp *Checkpoint) {
+	if m.cpFree == nil {
+		m.cpFree = cp
+	}
 }

@@ -117,6 +117,10 @@ type Machine struct {
 
 	cfg Config
 
+	// cpFree is the single recycled Checkpoint (at most one can be
+	// open, so one slot suffices); see checkpoint.go.
+	cpFree *Checkpoint
+
 	// Hot-path state, fixed at construction: the predecoded program
 	// (see predecode.go) and the per-issue tick cost (TicksPerCycle /
 	// Width, precomputed so the step loop doesn't divide).

@@ -49,14 +49,16 @@ func NewMemPattern(pc int, store bool, dt armlite.DataType, size int,
 }
 
 // AddrAt predicts the access address at iteration i (Eq. 4.4
-// generalized: MRead[i] = MRead[refA] + stride·(i−refA)).
-func (p MemPattern) AddrAt(i int) uint32 {
+// generalized: MRead[i] = MRead[refA] + stride·(i−refA)). Pointer
+// receiver: the struct is ~90 bytes and AddrAt sits on the executor's
+// per-chunk path, so a value receiver would duffcopy it per call.
+func (p *MemPattern) AddrAt(i int) uint32 {
 	return uint32(int64(p.AddrA) + p.Stride*int64(i-p.RefIterA))
 }
 
 // Range returns the inclusive byte range the pattern touches over
 // iterations [first, last].
-func (p MemPattern) Range(first, last int) (lo, hi uint32) {
+func (p *MemPattern) Range(first, last int) (lo, hi uint32) {
 	a, b := p.AddrAt(first), p.AddrAt(last)
 	if a > b {
 		a, b = b, a
@@ -97,11 +99,13 @@ type CIDResult struct {
 // partial-vectorization stage can size its windows.
 func PredictCID(patterns []MemPattern, firstIter, lastIter int) CIDResult {
 	res := CIDResult{ConflictIter: lastIter + 1}
-	for _, s := range patterns {
+	for si := range patterns {
+		s := &patterns[si]
 		if !s.Store {
 			continue
 		}
-		for _, l := range patterns {
+		for li := range patterns {
+			l := &patterns[li]
 			if l.Store {
 				continue
 			}
@@ -125,7 +129,7 @@ func PredictCID(patterns []MemPattern, firstIter, lastIter int) CIDResult {
 // pairConflict checks whether load l at some iteration j in
 // (firstIter, lastIter] reads bytes that store s wrote at an earlier
 // iteration i ≥ firstIter. It returns the earliest such j.
-func pairConflict(s, l MemPattern, firstIter, lastIter int) (bool, int) {
+func pairConflict(s, l *MemPattern, firstIter, lastIter int) (bool, int) {
 	// Fast reject: the store's full range never meets the load's.
 	sLo, sHi := s.Range(firstIter, lastIter)
 	lLo, lHi := l.Range(firstIter, lastIter)
@@ -143,6 +147,15 @@ func pairConflict(s, l MemPattern, firstIter, lastIter int) (bool, int) {
 	if span := lastIter - firstIter; span > 4096 {
 		return pairConflictClosed(s, l, firstIter, lastIter)
 	}
+	// Equal strides admit an exact closed form (conflict depends only on
+	// the iteration distance j−i). It is bit-identical to the scan below
+	// for wrap-free streams — TestPairConflictExactMatchesScan pins
+	// this — and turns the dominant steady-state NCID case (parallel
+	// load/store streams, e.g. c[i] = c[i] + x) from O(span²) into O(1).
+	if s.Stride == l.Stride &&
+		patternBounded(s, firstIter, lastIter) && patternBounded(l, firstIter, lastIter) {
+		return pairConflictExact(s, l, firstIter, lastIter)
+	}
 	for j := firstIter + 1; j <= lastIter; j++ {
 		jLo := l.AddrAt(j)
 		jHi := jLo + uint32(l.Size) - 1
@@ -157,11 +170,64 @@ func pairConflict(s, l MemPattern, firstIter, lastIter int) (bool, int) {
 	return false, 0
 }
 
+// pairConflictExact solves the equal-stride pair analytically. With a
+// common stride st, store iteration i and load iteration j conflict iff
+// the start-address difference D = (l0−s0) + st·(j−i) satisfies
+// −(lSize−1) ≤ D ≤ sSize−1, so conflicts depend only on m = j−i ≥ 1.
+// The earliest conflicting j is firstIter + m_min (take i = firstIter).
+// Exact int64 arithmetic requires wrap-free streams; the caller checks
+// patternBounded first.
+func pairConflictExact(s, l *MemPattern, firstIter, lastIter int) (bool, int) {
+	span := int64(lastIter - firstIter)
+	if span < 1 {
+		return false, 0
+	}
+	d := (int64(l.AddrA) + l.Stride*int64(firstIter-l.RefIterA)) -
+		(int64(s.AddrA) + s.Stride*int64(firstIter-s.RefIterA))
+	lo := -int64(l.Size-1) - d // need st·m ≥ lo
+	hi := int64(s.Size-1) - d  // need st·m ≤ hi
+	st := s.Stride
+	if st == 0 {
+		if lo <= 0 && 0 <= hi {
+			return true, firstIter + 1
+		}
+		return false, 0
+	}
+	if st < 0 {
+		st = -st
+		lo, hi = -hi, -lo
+	}
+	mMin := int64(1)
+	if lo > 0 {
+		mMin = (lo + st - 1) / st // ceil(lo/st)
+	}
+	if mMin < 1 {
+		mMin = 1
+	}
+	if mMin*st > hi || mMin > span {
+		return false, 0
+	}
+	return true, firstIter + int(mMin)
+}
+
+// patternBounded reports whether every byte p touches over iterations
+// [firstIter, lastIter] has an exact int64 address inside [0, 2^32) —
+// no uint32 wrap, so closed-form address arithmetic is exact.
+func patternBounded(p *MemPattern, firstIter, lastIter int) bool {
+	a := int64(p.AddrA) + p.Stride*int64(firstIter-p.RefIterA)
+	b := int64(p.AddrA) + p.Stride*int64(lastIter-p.RefIterA)
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return lo >= 0 && hi+int64(p.Size) <= int64(1)<<32
+}
+
 // pairConflictClosed solves the conflict iteration analytically for
 // equal-stride patterns (the common case); for unequal strides it
 // falls back to a conservative answer (assume conflict at the earliest
 // possible iteration), matching what fixed-latency hardware would do.
-func pairConflictClosed(s, l MemPattern, firstIter, lastIter int) (bool, int) {
+func pairConflictClosed(s, l *MemPattern, firstIter, lastIter int) (bool, int) {
 	if s.Stride == l.Stride {
 		// Offset between the streams is constant: d = lAddr - sAddr.
 		d := int64(l.AddrAt(firstIter)) - int64(s.AddrAt(firstIter))
@@ -200,12 +266,14 @@ func pairConflictClosed(s, l MemPattern, firstIter, lastIter int) (bool, int) {
 // condition for the Overlapping leftover technique (§4.8.2: re-running
 // trailing operations must not change results).
 func StoresDisjointFromLoads(patterns []MemPattern, firstIter, lastIter int) bool {
-	for _, s := range patterns {
+	for si := range patterns {
+		s := &patterns[si]
 		if !s.Store {
 			continue
 		}
 		sLo, sHi := s.Range(firstIter, lastIter)
-		for _, l := range patterns {
+		for li := range patterns {
+			l := &patterns[li]
 			if l.Store {
 				continue
 			}

@@ -1,0 +1,130 @@
+package dsa
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/armlite"
+)
+
+// scanPairConflict is the windowed O(span²) reference the closed form
+// must match exactly — a verbatim copy of pairConflict's scan loop.
+func scanPairConflict(s, l *MemPattern, firstIter, lastIter int) (bool, int) {
+	for j := firstIter + 1; j <= lastIter; j++ {
+		jLo := l.AddrAt(j)
+		jHi := jLo + uint32(l.Size) - 1
+		for i := firstIter; i < j; i++ {
+			iLo := s.AddrAt(i)
+			iHi := iLo + uint32(s.Size) - 1
+			if rangesOverlap(iLo, iHi, jLo, jHi) {
+				return true, j
+			}
+		}
+	}
+	return false, 0
+}
+
+// TestPairConflictExactMatchesScan pins the equal-stride closed form
+// bit-identical to the windowed scan across randomized geometries:
+// every stride sign, width mix, base offset (including grazing widths
+// that are not stride multiples), and window length.
+func TestPairConflictExactMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sizes := []int{1, 2, 4}
+	strides := []int64{-16, -8, -4, -3, -1, 0, 1, 2, 3, 4, 8, 256}
+	trials := 0
+	for _, st := range strides {
+		for _, ss := range sizes {
+			for _, ls := range sizes {
+				for rep := 0; rep < 200; rep++ {
+					base := uint32(0x10000 + rng.Intn(1<<16))
+					off := int64(rng.Intn(64) - 32)
+					first := 2
+					last := first + rng.Intn(80)
+					s := &MemPattern{Store: true, Size: ss, RefIterA: first,
+						AddrA: base, Stride: st, DT: armlite.Word}
+					l := &MemPattern{Store: false, Size: ls, RefIterA: first,
+						AddrA: uint32(int64(base) + off), Stride: st, DT: armlite.Word}
+					if !patternBounded(s, first, last) || !patternBounded(l, first, last) {
+						continue
+					}
+					wantC, wantJ := scanPairConflict(s, l, first, last)
+					gotC, gotJ := pairConflictExact(s, l, first, last)
+					if wantC != gotC || wantJ != gotJ {
+						t.Fatalf("st=%d ss=%d ls=%d off=%d window=[%d,%d]: scan=(%v,%d) exact=(%v,%d)",
+							st, ss, ls, off, first, last, wantC, wantJ, gotC, gotJ)
+					}
+					trials++
+				}
+			}
+		}
+	}
+	if trials < 10000 {
+		t.Fatalf("only %d comparable trials ran", trials)
+	}
+}
+
+// TestPairConflictWrapFallsBackToScan: a stream whose window wraps the
+// 32-bit address space must not take the closed form (its arithmetic
+// is exact-int64 only) — pairConflict must agree with the scan there
+// too, via the fallback.
+func TestPairConflictWrapFallsBackToScan(t *testing.T) {
+	s := &MemPattern{Store: true, Size: 4, RefIterA: 2, AddrA: 0xFFFFFFF0, Stride: 8, DT: armlite.Word}
+	l := &MemPattern{Store: false, Size: 4, RefIterA: 2, AddrA: 0x00000004, Stride: 8, DT: armlite.Word}
+	if patternBounded(s, 2, 40) {
+		t.Fatal("store stream should be unbounded (wraps)")
+	}
+	wantC, wantJ := scanPairConflict(s, l, 2, 40)
+	gotC, gotJ := pairConflict(s, l, 2, 40)
+	if wantC != gotC || wantJ != gotJ {
+		t.Fatalf("wrap case: scan=(%v,%d) pairConflict=(%v,%d)", wantC, wantJ, gotC, gotJ)
+	}
+}
+
+// TestCIDMemoReplay: the memoized verdict replays only under the
+// invariance conditions (same trip count, same relative geometry,
+// wrap-free shift) and is refused otherwise.
+func TestCIDMemoReplay(t *testing.T) {
+	mk := func(base uint32) []MemPattern {
+		return []MemPattern{
+			{Store: false, Size: 4, RefIterA: 2, AddrA: base, Stride: 4, DT: armlite.Word},
+			{Store: true, Size: 4, RefIterA: 2, AddrA: base + 0x1000, Stride: 4, DT: armlite.Word},
+		}
+	}
+	c := &CachedLoop{}
+	pats := mk(0x4000)
+	res := PredictCID(pats, 2, 64)
+	c.memoStore(pats, 64, res)
+
+	if got, ok := c.memoPredict(mk(0x4000), 64); !ok || got != res {
+		t.Fatalf("identical re-entry: memo miss (ok=%v)", ok)
+	}
+	// Shifted base, same relative geometry, wrap-free: replays.
+	if got, ok := c.memoPredict(mk(0x9000), 64); !ok || got != res {
+		t.Fatalf("shifted re-entry: memo miss (ok=%v)", ok)
+	}
+	// Verify the replayed verdict equals a fresh computation.
+	if fresh := PredictCID(mk(0x9000), 2, 64); fresh != res {
+		t.Fatalf("shift invariance violated: fresh=%+v memo=%+v", fresh, res)
+	}
+	// Different trip count: refuse.
+	if _, ok := c.memoPredict(mk(0x4000), 32); ok {
+		t.Fatal("trip-count change must refuse the memo")
+	}
+	// Different relative geometry: refuse.
+	moved := mk(0x4000)
+	moved[1].AddrA += 8
+	if _, ok := c.memoPredict(moved, 64); ok {
+		t.Fatal("relative-geometry change must refuse the memo")
+	}
+	// Stride change: refuse.
+	strided := mk(0x4000)
+	strided[1].Stride = 8
+	if _, ok := c.memoPredict(strided, 64); ok {
+		t.Fatal("stride change must refuse the memo")
+	}
+	// Wrapping shift: refuse (shift invariance does not apply).
+	if _, ok := c.memoPredict(mk(0xFFFFFF00), 64); ok {
+		t.Fatal("wrapping re-entry must refuse the memo")
+	}
+}

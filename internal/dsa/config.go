@@ -241,6 +241,11 @@ type CachedLoop struct {
 	// dynamic-range (type A) loop and forces re-analysis.
 	LimitValue uint32
 	LimitIsImm bool
+
+	// memo caches the last PredictCID verdict for steady-state
+	// re-entries (see memo.go). Transient: snapshots do not persist it
+	// and a restored entry simply recomputes on its first hit.
+	memo cidMemo
 }
 
 // NewDSACache builds the cache from a byte budget.

@@ -46,6 +46,15 @@ type Engine struct {
 
 	// kindOf deduplicates the loop-type census by static loop ID.
 	kindOf map[int]LoopKind
+
+	// free and reqFree recycle decided tracks and consumed takeover
+	// requests so the steady-state watch path allocates nothing. A
+	// request returns to the pool only via ReleaseRequest, after its
+	// takeover fully completes — requests raised while another is in
+	// flight (e.g. during verification replays) are distinct objects,
+	// so an in-flight request can never be handed out twice.
+	free    []*track
+	reqFree []*Request
 }
 
 // NewEngine builds the detection engine observing machine m.
@@ -76,12 +85,55 @@ func (e *Engine) TakeRequest() *Request {
 	return r
 }
 
+// newRequest takes a request object from the pool (or allocates one)
+// and fills it.
+func (e *Engine) newRequest(r Request) *Request {
+	if n := len(e.reqFree); n > 0 {
+		p := e.reqFree[n-1]
+		e.reqFree = e.reqFree[:n-1]
+		*p = r
+		return p
+	}
+	p := new(Request)
+	*p = r
+	return p
+}
+
+// ReleaseRequest returns a consumed request to the pool. Callers must
+// hold no references to r afterwards.
+func (e *Engine) ReleaseRequest(r *Request) {
+	if r == nil {
+		return
+	}
+	*r = Request{}
+	e.reqFree = append(e.reqFree, r)
+}
+
+// takeTrack recycles a decided track (or allocates a fresh one).
+func (e *Engine) takeTrack(id, branchPC int) *track {
+	if n := len(e.free); n > 0 {
+		t := e.free[n-1]
+		e.free = e.free[:n-1]
+		t.reset(id, branchPC)
+		return t
+	}
+	return newTrack(id, branchPC)
+}
+
 // Observe feeds one retired instruction to the detection logic.
 func (e *Engine) Observe(rec *cpu.Record) {
 	e.stats.Observations++
-	if len(e.live) > 0 {
-		e.stats.AnalysisTicks += e.cfg.Latencies.ObservePerInstr
+	if len(e.live) == 0 {
+		// Fast path: no analysis in flight. Only a taken backward
+		// branch can start one; everything below (the per-instruction
+		// analysis tick, track stepping, justDecided) is a no-op with
+		// no live tracks.
+		if rec.Instr.Op == armlite.OpB && rec.Taken && rec.Instr.Target < rec.PC {
+			e.detectLoop(rec.Instr.Target, rec.PC)
+		}
+		return
 	}
+	e.stats.AnalysisTicks += e.cfg.Latencies.ObservePerInstr
 	s := StepRec{PC: rec.PC, Instr: rec.Instr, Taken: rec.Taken}
 	if rec.Nmem > 0 {
 		s.HasMem = true
@@ -137,12 +189,14 @@ func (e *Engine) setKind(id int, k LoopKind) {
 	e.stats.ByKind[k]++
 }
 
-// prune drops decided tracks.
+// prune drops decided tracks, returning them to the free list.
 func (e *Engine) prune() {
 	out := e.live[:0]
 	for _, t := range e.live {
 		if t.stage != stDecided {
 			out = append(out, t)
+		} else {
+			e.free = append(e.free, t)
 		}
 	}
 	e.live = out
@@ -172,7 +226,7 @@ func (e *Engine) detectLoop(id, branchPC int) {
 		e.onCacheHit(cached, branchPC)
 		return
 	}
-	t := newTrack(id, branchPC)
+	t := e.takeTrack(id, branchPC)
 	t.snapCur = e.m.R
 	e.live = append(e.live, t)
 }
@@ -200,7 +254,7 @@ func (e *Engine) onCacheHit(c *CachedLoop, branchPC int) {
 		}
 		e.setKind(c.LoopID, KindDynamicRange)
 		c.LimitValue = limitNow
-		t := newTrack(c.LoopID, branchPC)
+		t := e.takeTrack(c.LoopID, branchPC)
 		t.kind = KindDynamicRange
 		t.snapCur = e.m.R
 		e.live = append(e.live, t)
@@ -210,28 +264,36 @@ func (e *Engine) onCacheHit(c *CachedLoop, branchPC int) {
 	if !e.rebase(a) {
 		// Cannot recompute stream bases from the register file;
 		// re-analyze from scratch.
-		t := newTrack(c.LoopID, branchPC)
+		t := e.takeTrack(c.LoopID, branchPC)
 		t.snapCur = e.m.R
 		e.live = append(e.live, t)
 		return
 	}
 	switch a.Kind {
 	case KindSentinel:
-		e.pending = &Request{Kind: ReqSentinel, Analysis: a, StartIter: 2,
-			SpecRange: specRangeFor(c.SentinelRange, a.Lanes()), Cached: c}
+		e.pending = e.newRequest(Request{Kind: ReqSentinel, Analysis: a, StartIter: 2,
+			SpecRange: specRangeFor(c.SentinelRange, a.Lanes()), Cached: c})
 	case KindConditional:
 		n := e.predictTotal(a, 1)
 		if n-2 < 2*a.Lanes() {
 			return // too short to pay for the switch this entry
 		}
-		e.pending = &Request{Kind: ReqConditional, Analysis: a, StartIter: 2, TotalIters: n, Cached: c}
+		e.pending = e.newRequest(Request{Kind: ReqConditional, Analysis: a, StartIter: 2, TotalIters: n, Cached: c})
 	default:
 		n := e.predictTotal(a, 1)
 		if n-2 < 2*a.Lanes() {
 			return // too short to pay for the switch this entry
 		}
 		// Re-validate the dependency prediction under the new range.
-		res := PredictCID(a.Patterns, 2, n)
+		// The memo replays the last verdict when the rebased geometry
+		// is provably equivalent (memo.go); the stats charge is the
+		// same either way — the hardware still runs its comparators,
+		// the simulator just skips recomputing a known answer.
+		res, ok := c.memoPredict(a.Patterns, n)
+		if !ok {
+			res = PredictCID(a.Patterns, 2, n)
+			c.memoStore(a.Patterns, n, res)
+		}
 		e.stats.CIDPCompares += uint64(res.Compares)
 		e.stats.AnalysisTicks += int64(res.Compares) * e.cfg.Latencies.CIDPCompare
 		if res.HasCID && !a.Partial {
@@ -241,7 +303,7 @@ func (e *Engine) onCacheHit(c *CachedLoop, branchPC int) {
 		}
 		a.CID = res
 		a.Partial = res.HasCID
-		e.pending = &Request{Kind: ReqVector, Analysis: a, StartIter: 2, TotalIters: n, Cached: c}
+		e.pending = e.newRequest(Request{Kind: ReqVector, Analysis: a, StartIter: 2, TotalIters: n, Cached: c})
 	}
 }
 
@@ -433,7 +495,10 @@ func (e *Engine) Blacklist(loopID int, cause string) {
 	e.stats.DSACacheAccesses++
 	e.stats.AnalysisTicks += e.cfg.Latencies.DSACacheAccess
 	// Any pending offer is stale once its loop (or a sibling) failed.
-	e.pending = nil
+	if e.pending != nil {
+		e.ReleaseRequest(e.pending)
+		e.pending = nil
+	}
 }
 
 // NoteVectorized informs outer tracks that an inner region executed
@@ -455,7 +520,9 @@ func (e *Engine) NoteVectorized(bodyStart, bodyEnd int) {
 func (e *Engine) endIteration(t *track) {
 	t.iter++
 	t.inIteration = false
-	t.occ = nil
+	if t.occ != nil {
+		clear(t.occ) // retain the map for the next iteration
+	}
 	e.stats.StateTransitions++
 
 	// Register snapshots and cumulative delta verification.
@@ -494,7 +561,7 @@ func (e *Engine) endIteration(t *track) {
 func (e *Engine) dataCollection(t *track) {
 	t.stage = stCollected
 	e.stats.StateTransitions++
-	t.it2 = append([]StepRec(nil), t.cur...)
+	t.it2 = append(t.it2[:0], t.cur...)
 
 	e.VCache.Reset()
 	for i := range t.cur {
@@ -522,7 +589,7 @@ func (e *Engine) dataCollection(t *track) {
 // extract the payload and decide.
 func (e *Engine) dependencyAnalysis(t *track) {
 	e.stats.StateTransitions++
-	t.it3 = append([]StepRec(nil), t.cur...)
+	t.it3 = append(t.it3[:0], t.cur...)
 	if t.exitSeen || e.deriveTrip(t) == nil {
 		// Data-dependent exit: sentinel path.
 		e.decideSentinel(t)

@@ -309,7 +309,7 @@ func (e *Engine) decideSimple(t *track) {
 		return // too few iterations left this entry; cached for later
 	}
 	if e.pending == nil {
-		e.pending = &Request{Kind: ReqVector, Analysis: a, StartIter: 4, TotalIters: n, Cached: entry}
+		e.pending = e.newRequest(Request{Kind: ReqVector, Analysis: a, StartIter: 4, TotalIters: n, Cached: entry})
 	}
 }
 
@@ -451,7 +451,7 @@ func (e *Engine) decideSentinel(t *track) {
 	e.recordVerdict(t, true)
 
 	if e.pending == nil {
-		e.pending = &Request{Kind: ReqSentinel, Analysis: a, StartIter: 4, SpecRange: spec, Cached: entry}
+		e.pending = e.newRequest(Request{Kind: ReqSentinel, Analysis: a, StartIter: 4, SpecRange: spec, Cached: entry})
 	}
 }
 

@@ -442,7 +442,7 @@ func (e *Engine) decideConditional(t *track) {
 		return
 	}
 	if e.pending == nil {
-		e.pending = &Request{Kind: ReqConditional, Analysis: a, StartIter: t.iter + 1, TotalIters: n, Cached: entry}
+		e.pending = e.newRequest(Request{Kind: ReqConditional, Analysis: a, StartIter: t.iter + 1, TotalIters: n, Cached: entry})
 	}
 }
 

@@ -205,6 +205,10 @@ type Node struct {
 
 	// vreg is the NEON register assigned by the planner.
 	vreg armlite.VReg
+	// ord is the node's position in its plan's topological node list,
+	// assigned by the executor's element path each call (plans decoded
+	// from snapshots arrive with zero ords).
+	ord int
 }
 
 // StoreSlot is one vector store site: the pattern it writes through

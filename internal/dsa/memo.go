@@ -1,0 +1,113 @@
+package dsa
+
+// CID memoization for DSA-cache hits.
+//
+// On every re-entry of a cached loop the engine re-validates the
+// dependency prediction under the new trip count (onCacheHit calls
+// PredictCID over the rebased patterns). For the steady state — the
+// same loop re-entered thousands of times with the same shape — that
+// recomputation dominates the whole watch path, yet its outcome is a
+// pure function of (trip count, relative stream geometry):
+//
+// PredictCID compares addresses of the form
+//
+//	addr(i) = uint32(base + stride·(i − refIter))
+//
+// and every comparison it makes (rangesOverlap over [lo, hi] pairs) is
+// invariant under adding a common offset to every base — PROVIDED no
+// uint32 wrap occurs, i.e. every exact int64 address over the window
+// stays inside [0, 2^32). So a cached verdict can be replayed when:
+//
+//  1. the trip count n is the same,
+//  2. every pattern's base address has the same offset relative to
+//     pattern 0's base (same relative geometry), and the strides,
+//     sizes and store flags are unchanged, and
+//  3. either the absolute base is identical (addresses are literally
+//     the same), or BOTH the memoized run and the current run are
+//     wrap-free over the window (shift invariance applies).
+//
+// Compares (the energy-model counter) depends only on the store/load
+// pair count, which condition 2 fixes, so the replayed stats charge is
+// exact. The golden suite pins all of this: a memo that replayed a
+// wrong verdict or mis-charged a counter diverges from the v2 digests.
+type cidMemo struct {
+	valid   bool
+	n       int     // trip count the verdict was computed for
+	base0   int64   // patterns[0].AddrA at memo time
+	rel     []int64 // per-pattern AddrA − base0
+	stride  []int64 // per-pattern stride (guards condition 2)
+	size    []int   // per-pattern access width
+	store   []bool  // per-pattern store flag
+	bounded bool    // memo run was wrap-free over [2, n]
+	res     CIDResult
+}
+
+// cidBounded reports whether every byte the patterns touch over
+// iterations [firstIter, lastIter] has an exact int64 address inside
+// [0, 2^32) — the no-wrap precondition for shift invariance.
+func cidBounded(patterns []MemPattern, firstIter, lastIter int) bool {
+	for i := range patterns {
+		if !patternBounded(&patterns[i], firstIter, lastIter) {
+			return false
+		}
+	}
+	return true
+}
+
+// memoPredict replays the memoized PredictCID verdict when the current
+// rebased patterns satisfy the invariance conditions above. The second
+// return is false when the memo cannot be used and the caller must run
+// the predictor for real.
+func (c *CachedLoop) memoPredict(patterns []MemPattern, n int) (CIDResult, bool) {
+	m := &c.memo
+	if !m.valid || m.n != n || len(patterns) == 0 || len(m.rel) != len(patterns) {
+		return CIDResult{}, false
+	}
+	base := int64(patterns[0].AddrA)
+	for i := range patterns {
+		p := &patterns[i]
+		if int64(p.AddrA)-base != m.rel[i] ||
+			p.Stride != m.stride[i] || p.Size != m.size[i] || p.Store != m.store[i] {
+			return CIDResult{}, false
+		}
+	}
+	if base == m.base0 {
+		return m.res, true // identical absolute addresses
+	}
+	if m.bounded && cidBounded(patterns, 2, n) {
+		return m.res, true // same relative geometry, both runs wrap-free
+	}
+	return CIDResult{}, false
+}
+
+// memoStore records a freshly computed verdict for future re-entries.
+func (c *CachedLoop) memoStore(patterns []MemPattern, n int, res CIDResult) {
+	m := &c.memo
+	if len(patterns) == 0 {
+		m.valid = false
+		return
+	}
+	if cap(m.rel) < len(patterns) {
+		m.rel = make([]int64, len(patterns))
+		m.stride = make([]int64, len(patterns))
+		m.size = make([]int, len(patterns))
+		m.store = make([]bool, len(patterns))
+	}
+	m.rel = m.rel[:len(patterns)]
+	m.stride = m.stride[:len(patterns)]
+	m.size = m.size[:len(patterns)]
+	m.store = m.store[:len(patterns)]
+	base := int64(patterns[0].AddrA)
+	for i := range patterns {
+		p := &patterns[i]
+		m.rel[i] = int64(p.AddrA) - base
+		m.stride[i] = p.Stride
+		m.size[i] = p.Size
+		m.store[i] = p.Store
+	}
+	m.base0 = base
+	m.n = n
+	m.res = res
+	m.bounded = cidBounded(patterns, 2, n)
+	m.valid = true
+}

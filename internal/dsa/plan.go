@@ -277,6 +277,13 @@ type Executor struct {
 
 	patterns []MemPattern
 	vals     [armlite.NumVRegs]neon.Vec
+
+	// Reusable scratch for the steady-state paths (leftover element
+	// values, conditional guard masks) — retained across windows so the
+	// per-chunk work allocates nothing.
+	elemVals []uint32
+	maskBuf  []bool
+	invBuf   []bool
 }
 
 // NewExecutor builds an executor over machine m.
@@ -313,7 +320,7 @@ func (e *Executor) runSetup(p *Plan) error {
 			e.M.Ticks += nt.DupTicks
 			e.M.Counts.VecDups++
 		case stepConstMem:
-			pat := e.patterns[s.pattern]
+			pat := &e.patterns[s.pattern]
 			v, err := e.M.Mem.Load(pat.AddrA, pat.Size)
 			if err != nil {
 				return err
@@ -423,13 +430,11 @@ func (e *Executor) runChunk(p *Plan, it, lanes int, spec *SpecBuffer, tag int, m
 	for _, s := range p.chunk {
 		switch s.kind {
 		case stepLoad:
-			pat := e.patterns[s.pattern]
+			pat := &e.patterns[s.pattern]
 			addr := pat.AddrAt(it)
-			v, err := neon.LoadVec(e.M.Mem, addr)
-			if err != nil {
+			if err := neon.ReadVec(e.M.Mem, addr, &e.vals[s.dst]); err != nil {
 				return err
 			}
-			e.vals[s.dst] = v
 			e.M.Ticks += nt.MemIssueTicks + e.M.Caches.Access(addr, armlite.VectorBytes)
 			e.M.Counts.VecLoads++
 			e.M.NEON.Loads++
@@ -438,16 +443,14 @@ func (e *Executor) runChunk(p *Plan, it, lanes int, spec *SpecBuffer, tag int, m
 			if !ok {
 				return fmt.Errorf("dsa: plan contains unvectorizable op %v", s.op)
 			}
-			out, err := neon.ALU(vop, p.DT, e.vals[s.dst], e.vals[s.a], e.vals[s.b], s.imm)
-			if err != nil {
+			if err := neon.ALUInto(vop, p.DT, &e.vals[s.dst], &e.vals[s.a], &e.vals[s.b], s.imm); err != nil {
 				return err
 			}
-			e.vals[s.dst] = out
 			e.M.Ticks += nt.OpIssueTicks
 			e.M.Counts.VecOps++
 			e.M.NEON.Ops++
 		case stepStore:
-			pat := e.patterns[s.pattern]
+			pat := &e.patterns[s.pattern]
 			addr := pat.AddrAt(it)
 			if mask != nil {
 				// Masked retirement: one vector store issue plus a
@@ -501,15 +504,21 @@ func (e *Executor) runChunk(p *Plan, it, lanes int, spec *SpecBuffer, tag int, m
 // runElement executes one iteration through the single-element path
 // (NEON element loads/stores, §4.8.1).
 func (e *Executor) runElement(p *Plan, it int, spec *SpecBuffer, tag int) error {
-	vals := make(map[*Node]uint32, len(p.nodes))
-	for _, n := range p.nodes {
-		v, err := e.evalElement(n, it, vals)
+	if cap(e.elemVals) < len(p.nodes) {
+		e.elemVals = make([]uint32, len(p.nodes))
+	}
+	vals := e.elemVals[:len(p.nodes)]
+	for i, n := range p.nodes {
+		// p.nodes is topological, so operands already carry this call's
+		// ordinals when an expression reads them.
+		n.ord = i
+		v, err := e.evalElemAt(n, it, vals)
 		if err != nil {
 			return err
 		}
-		vals[n] = v
+		vals[i] = v
 		if n.Kind == NodeLoad {
-			pat := e.patterns[n.Pattern]
+			pat := &e.patterns[n.Pattern]
 			e.M.Ticks += e.Lat.LeftoverElement + e.M.Caches.Access(pat.AddrAt(it), pat.Size)
 			e.M.Counts.VecLoads++
 		} else if n.Kind == NodeExpr {
@@ -518,9 +527,9 @@ func (e *Executor) runElement(p *Plan, it int, spec *SpecBuffer, tag int) error 
 		}
 	}
 	for _, s := range p.stores {
-		pat := e.patterns[s.Pattern]
+		pat := &e.patterns[s.Pattern]
 		addr := pat.AddrAt(it)
-		v := vals[s.Value]
+		v := vals[s.Value.ord]
 		if spec != nil {
 			spec.Add(SpecEntry{Addr: addr, Size: pat.Size, Value: v, Iter: it, Tag: tag})
 			e.M.Ticks += e.Lat.LeftoverElement
@@ -535,17 +544,43 @@ func (e *Executor) runElement(p *Plan, it int, spec *SpecBuffer, tag int) error 
 	return nil
 }
 
+// evalElemAt is evalElement over the executor's ordinal-indexed value
+// scratch — the allocation-free form the leftover loop runs.
+func (e *Executor) evalElemAt(n *Node, it int, vals []uint32) (uint32, error) {
+	switch n.Kind {
+	case NodeLoad:
+		pat := &e.patterns[n.Pattern]
+		return e.M.Mem.Load(pat.AddrAt(it), pat.Size)
+	case NodeConstReg:
+		return e.M.R[n.Reg], nil
+	case NodeConstMem:
+		pat := &e.patterns[n.Pattern]
+		return e.M.Mem.Load(pat.AddrA, pat.Size)
+	case NodeImm:
+		return uint32(n.Imm), nil
+	case NodeExpr:
+		a := vals[n.A.ord]
+		var b uint32
+		if n.B != nil {
+			b = vals[n.B.ord]
+		}
+		return evalScalarOp(n.Op, e.elemIsFloat(n), a, b, n.Imm)
+	default:
+		return 0, fmt.Errorf("dsa: bad node kind %d", n.Kind)
+	}
+}
+
 // evalElement computes one node for a single iteration with exactly
 // the lane semantics of the vector path.
 func (e *Executor) evalElement(n *Node, it int, vals map[*Node]uint32) (uint32, error) {
 	switch n.Kind {
 	case NodeLoad:
-		pat := e.patterns[n.Pattern]
+		pat := &e.patterns[n.Pattern]
 		return e.M.Mem.Load(pat.AddrAt(it), pat.Size)
 	case NodeConstReg:
 		return e.M.R[n.Reg], nil
 	case NodeConstMem:
-		pat := e.patterns[n.Pattern]
+		pat := &e.patterns[n.Pattern]
 		return e.M.Mem.Load(pat.AddrA, pat.Size)
 	case NodeImm:
 		return uint32(n.Imm), nil
@@ -601,10 +636,11 @@ func evalScalarOp(op armlite.Op, isFloat bool, a, b uint32, imm int32) (uint32, 
 }
 
 // maskOf evaluates the guard condition per lane over the compare
-// operand vectors, returning the "branch taken" lanes.
-func maskOf(cond armlite.Cond, dt armlite.DataType, isFloat, forceUnsigned bool, a, b neon.Vec) []bool {
+// operand vectors, filling dst with the "branch taken" lanes (dst must
+// hold dt.Lanes() entries; the caller owns the buffer).
+func maskOf(dst []bool, cond armlite.Cond, dt armlite.DataType, isFloat, forceUnsigned bool, a, b neon.Vec) []bool {
 	lanes := dt.Lanes()
-	out := make([]bool, lanes)
+	out := dst[:lanes]
 	for l := 0; l < lanes; l++ {
 		if isFloat {
 			fa, fb := a.LaneF(l), b.LaneF(l)
@@ -699,6 +735,10 @@ func (e *Executor) RunCondWindow(cv *CondVec, firstIter, lastIter int) (int, err
 		}
 	}
 
+	if cap(e.maskBuf) < lanes {
+		e.maskBuf = make([]bool, lanes)
+		e.invBuf = make([]bool, lanes)
+	}
 	for c := 0; c < chunks; c++ {
 		it := firstIter + c*lanes
 		e.SetPatterns(cv.GuardPatterns)
@@ -706,7 +746,7 @@ func (e *Executor) RunCondWindow(cv *CondVec, firstIter, lastIter int) (int, err
 			return 0, err
 		}
 		// The mask compare itself (vcgt/vceq-class operation).
-		taken := maskOf(cv.Cond, cv.GuardPlan.DT, cv.Float, cv.Unsigned, e.vals[cv.A.vreg], e.vals[cv.B.vreg])
+		taken := maskOf(e.maskBuf, cv.Cond, cv.GuardPlan.DT, cv.Float, cv.Unsigned, e.vals[cv.A.vreg], e.vals[cv.B.vreg])
 		e.M.Ticks += nt.OpIssueTicks
 		e.M.Counts.VecOps++
 		if e.Stats != nil {
@@ -719,7 +759,7 @@ func (e *Executor) RunCondWindow(cv *CondVec, firstIter, lastIter int) (int, err
 			}
 		}
 		if cv.Fall != nil {
-			inv := make([]bool, len(taken))
+			inv := e.invBuf[:len(taken)]
 			for i, t := range taken {
 				inv[i] = !t
 			}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package dsa
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package dsa
+
+// raceEnabled reports that this binary was built with the race
+// detector, whose instrumentation allocates and breaks AllocsPerRun
+// expectations.
+const raceEnabled = true

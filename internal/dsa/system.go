@@ -29,6 +29,11 @@ type System struct {
 	cfg    Config
 	faults *FaultInjector
 
+	// spec is the reusable speculative-store buffer: one takeover runs
+	// at a time, and Commit/Discard leave Entries reset, so sentinel
+	// and conditional windows share it without allocating per takeover.
+	spec SpecBuffer
+
 	// runHook (SetRunHook) fires between steps at engine-quiescent
 	// points only — the periodic snapshot tap.
 	runHook func() error
@@ -61,6 +66,7 @@ func (s *System) Run() error {
 			if err := s.guarded(req); err != nil {
 				return fmt.Errorf("dsa takeover at loop %d: %w", req.Analysis.LoopID, err)
 			}
+			s.E.ReleaseRequest(req)
 		}
 		// Snapshot tap: only between steps, only with no analysis in
 		// flight. A hook due mid-analysis simply fires at the next
@@ -246,7 +252,8 @@ func (s *System) runSentinel(req *Request) error {
 	start, spec := req.StartIter, req.SpecRange
 
 	s.X.Begin(a.Patterns)
-	buf := &SpecBuffer{}
+	buf := &s.spec
+	buf.Discard() // drop residue from a takeover unwound mid-window
 	windowEnd := start + spec - 1
 	skipping := true
 	if _, err := s.X.RunWindow(a.plan, start, windowEnd, LeftoverSingle, false, buf, 0); err != nil {
@@ -457,7 +464,8 @@ func (s *System) runConditional(req *Request) error {
 	}
 
 	s.X.Begin(a.Patterns)
-	buf := &SpecBuffer{}
+	buf := &s.spec
+	buf.Discard() // drop residue from a takeover unwound mid-window
 
 	pathOf := make(map[int]int) // action PC → path index
 	for pi := range cond.Paths {

@@ -142,20 +142,21 @@ type track struct {
 	delta   [armlite.NumRegs]int64
 	deltaOK [armlite.NumRegs]bool
 
-	// Memory observations by site.
-	mem map[memKey][]memObs
+	// Memory observations by site. memFree recycles the per-site
+	// observation slices across reuses of a pooled track: clear(t.mem)
+	// in reset would otherwise drop the slice backing with the map
+	// entries, making every re-tracked loop (e.g. an outer loop
+	// re-marked nested on each entry) allocate per site per entry.
+	mem     map[memKey][]memObs
+	memFree [][]memObs
 
 	// Conditional-loop discovery.
 	condSeen  bool
 	paths     map[string]*pathInfo
 	coverage  map[int]bool // body PCs executed by any iteration
-	bodyPCs   map[int]bool // PCs statically inside [id, branchPC]
 	exitSeen  bool         // mid-body exit branch observed (sentinel hint)
 	exitPC    int
 	exitTaken bool
-
-	// Cached entry when this entry hit the DSA cache.
-	cached *CachedLoop
 
 	// occ counts per-PC memory-site occurrences within the current
 	// iteration (reset every iteration).
@@ -169,7 +170,7 @@ type track struct {
 }
 
 func newTrack(id, branchPC int) *track {
-	t := &track{
+	return &track{
 		id:       id,
 		branchPC: branchPC,
 		iter:     1, // created at the end of the first iteration
@@ -177,12 +178,42 @@ func newTrack(id, branchPC int) *track {
 		mem:      make(map[memKey][]memObs),
 		paths:    make(map[string]*pathInfo),
 		coverage: make(map[int]bool),
-		bodyPCs:  make(map[int]bool),
 	}
-	for pc := id; pc <= branchPC; pc++ {
-		t.bodyPCs[pc] = true
+}
+
+// reset reinitializes a pooled track for a new loop, retaining map and
+// slice backing storage. Everything a decision could retain (analysis
+// artifacts, path records) is copied out before a track is decided, so
+// reuse cannot alias live state — see the engine's free list.
+func (t *track) reset(id, branchPC int) {
+	memFree := t.memFree
+	for k, v := range t.mem {
+		if cap(v) > 0 {
+			memFree = append(memFree, v[:0])
+		}
+		delete(t.mem, k)
 	}
-	return t
+	clear(t.paths)
+	clear(t.coverage)
+	if t.occ != nil {
+		clear(t.occ)
+	}
+	mem, paths, coverage, occ := t.mem, t.paths, t.coverage, t.occ
+	cur, it2, it3 := t.cur[:0], t.it2[:0], t.it3[:0]
+	*t = track{
+		id:       id,
+		branchPC: branchPC,
+		iter:     1,
+		stage:    stDetected,
+		mem:      mem,
+		memFree:  memFree,
+		paths:    paths,
+		coverage: coverage,
+		occ:      occ,
+		cur:      cur,
+		it2:      it2,
+		it3:      it3,
+	}
 }
 
 // bodyLen returns the static body size in instructions.
@@ -256,12 +287,20 @@ func (t *track) observe(r *StepRec, occCount map[int]int) {
 			t.condSeen = true
 		}
 	}
-	// Memory observation.
+	// Memory observation. New sites take a recycled slice from the
+	// pooled-track free list before falling back to append's growth.
 	if r.HasMem {
 		occ := occCount[r.PC]
 		occCount[r.PC] = occ + 1
 		k := memKey{pc: r.PC, occ: occ}
-		t.mem[k] = append(t.mem[k], memObs{iter: t.iter + 1, addr: r.MemAddr})
+		s, ok := t.mem[k]
+		if !ok {
+			if n := len(t.memFree); n > 0 {
+				s = t.memFree[n-1]
+				t.memFree = t.memFree[:n-1]
+			}
+		}
+		t.mem[k] = append(s, memObs{iter: t.iter + 1, addr: r.MemAddr})
 	}
 }
 

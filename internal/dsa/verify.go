@@ -1,6 +1,7 @@
 package dsa
 
 import (
+	"bytes"
 	"fmt"
 
 	"repro/internal/armlite"
@@ -175,8 +176,9 @@ func (s *System) runLoopToExit(lo, hi int, budget uint64, observe bool) (int, er
 		}
 		if observe {
 			s.E.Observe(&rec)
-			if s.E.TakeRequest() != nil {
+			if r := s.E.TakeRequest(); r != nil {
 				s.E.stats.DroppedRequests++
+				s.E.ReleaseRequest(r)
 			}
 		}
 	}
@@ -218,14 +220,39 @@ func (s *System) diffOutcome(vec *vecOutcome, scalarPages []uint32, j *mem.Journ
 		}
 	}
 	sortU32(union)
+	// Precompute the takeover's written-page bounds: pages outside
+	// [vecLo, vecHi] cannot be in vec.pages, so the common disjoint case
+	// skips the map lookup entirely (the replay journal's saved image is
+	// authoritative there).
+	var vecLo, vecHi uint32
+	haveVec := len(vec.pages) > 0
+	if haveVec {
+		first := true
+		for p := range vec.pages {
+			if first || p < vecLo {
+				vecLo = p
+			}
+			if first || p > vecHi {
+				vecHi = p
+			}
+			first = false
+		}
+	}
 	for _, p := range union {
-		vecBytes, ok := vec.pages[p]
+		var vecBytes []byte
+		ok := false
+		if haveVec && p >= vecLo && p <= vecHi {
+			vecBytes, ok = vec.pages[p]
+		}
 		if !ok {
 			// The takeover never wrote this page: its content there is
 			// the checkpoint image the replay journal preserved.
 			vecBytes = j.SavedPage(p)
 		}
-		scalarBytes := s.M.Mem.SnapshotPage(p)
+		scalarBytes := s.M.Mem.PageView(p)
+		if len(scalarBytes) >= len(vecBytes) && bytes.Equal(vecBytes, scalarBytes[:len(vecBytes)]) {
+			continue // fast path: page agrees byte-for-byte
+		}
 		for i := range vecBytes {
 			if vecBytes[i] != scalarBytes[i] {
 				return fmt.Sprintf("mem[%#x] = %#02x (scalar %#02x)", p+uint32(i), vecBytes[i], scalarBytes[i])

@@ -15,6 +15,11 @@ const journalPageBytes = 256
 type Journal struct {
 	mem   *Memory
 	pages map[uint32][]byte // page base address → saved contents
+
+	// lastPage short-circuits record for the overwhelmingly common
+	// case: consecutive stores landing in a page already saved.
+	lastPage uint32
+	lastOK   bool
 }
 
 // BeginJournal starts an undo journal. Only one journal can be active
@@ -24,7 +29,12 @@ func (m *Memory) BeginJournal() *Journal {
 	if m.journal != nil {
 		panic("mem: journal already active")
 	}
-	j := &Journal{mem: m, pages: make(map[uint32][]byte)}
+	j := m.jFree
+	if j != nil {
+		m.jFree = nil
+	} else {
+		j = &Journal{mem: m, pages: make(map[uint32][]byte)}
+	}
 	m.journal = j
 	return j
 }
@@ -35,13 +45,25 @@ func (m *Memory) BeginJournal() *Journal {
 func (j *Journal) record(addr uint32, n int) {
 	first := addr &^ (journalPageBytes - 1)
 	last := (addr + uint32(n) - 1) &^ (journalPageBytes - 1)
+	if first == last && j.lastOK && first == j.lastPage {
+		return
+	}
 	for p := first; ; p += journalPageBytes {
 		if _, seen := j.pages[p]; !seen {
 			end := int(p) + journalPageBytes
 			if end > len(j.mem.data) {
 				end = len(j.mem.data)
 			}
-			old := make([]byte, end-int(p))
+			var old []byte
+			if size := end - int(p); size == journalPageBytes {
+				if k := len(j.mem.pageFree); k > 0 {
+					old = j.mem.pageFree[k-1]
+					j.mem.pageFree = j.mem.pageFree[:k-1]
+				}
+			}
+			if old == nil {
+				old = make([]byte, end-int(p))
+			}
 			copy(old, j.mem.data[p:end])
 			j.pages[p] = old
 		}
@@ -49,6 +71,7 @@ func (j *Journal) record(addr uint32, n int) {
 			break
 		}
 	}
+	j.lastPage, j.lastOK = last, true
 }
 
 // Rollback restores every journaled page to its saved contents and
@@ -64,11 +87,28 @@ func (j *Journal) Rollback() {
 // and detaches the journal.
 func (j *Journal) Commit() { j.detach() }
 
+// maxPooledPages bounds how many page buffers the memory retains for
+// reuse — enough for any realistic takeover window, small enough that
+// a one-off huge journal does not pin its footprint forever.
+const maxPooledPages = 256
+
 func (j *Journal) detach() {
 	if j.mem.journal == j {
 		j.mem.journal = nil
 	}
-	j.pages = nil
+	// Recycle the journal and its full-size page buffers. SavedPage
+	// views are only valid while the journal is attached (all callers
+	// diff before Commit/Rollback), so reuse cannot alias live reads.
+	for p, old := range j.pages {
+		if len(old) == journalPageBytes && len(j.mem.pageFree) < maxPooledPages {
+			j.mem.pageFree = append(j.mem.pageFree, old)
+		}
+		delete(j.pages, p)
+	}
+	j.lastOK = false
+	if j.mem.jFree == nil {
+		j.mem.jFree = j
+	}
 }
 
 // Pages returns the base addresses of every journaled (written) page
@@ -106,4 +146,16 @@ func (m *Memory) SnapshotPage(base uint32) []byte {
 	out := make([]byte, end-int(base))
 	copy(out, m.data[base:end])
 	return out
+}
+
+// PageView returns the page at base as a read-only alias of live
+// memory — no copy. Unlike SnapshotPage the view is invalidated by the
+// next store; it exists for transient same-call comparisons (the
+// verifier's page diff), never for retention.
+func (m *Memory) PageView(base uint32) []byte {
+	end := int(base) + journalPageBytes
+	if end > len(m.data) {
+		end = len(m.data)
+	}
+	return m.data[base:end]
 }

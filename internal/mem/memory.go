@@ -26,6 +26,12 @@ const DefaultSize = 16 << 20
 type Memory struct {
 	data    []byte
 	journal *Journal
+
+	// Journal recycling: one spare Journal plus full-size page buffers
+	// reclaimed at detach, so the once-per-takeover checkpoint costs no
+	// steady-state allocations (see journal.go).
+	jFree    *Journal
+	pageFree [][]byte
 }
 
 // New returns a zeroed memory of size bytes (DefaultSize if size <= 0).
@@ -109,6 +115,17 @@ func (m *Memory) Store(addr uint32, size int, v uint32) error {
 	default:
 		return badSizeErr(size)
 	}
+	return nil
+}
+
+// ReadAt copies len(dst) bytes starting at addr into dst. Unlike
+// LoadBlock it does not allocate, so it can sit on the vector-execution
+// hot path.
+func (m *Memory) ReadAt(addr uint32, dst []byte) error {
+	if err := m.check(addr, len(dst)); err != nil {
+		return err
+	}
+	copy(dst, m.data[addr:])
 	return nil
 }
 

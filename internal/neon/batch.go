@@ -1,0 +1,247 @@
+package neon
+
+import (
+	"math"
+
+	"repro/internal/armlite"
+	"repro/internal/mem"
+)
+
+// Batched NEON execution.
+//
+// ALU is the semantic reference: value parameters, per-lane LaneS /
+// SetLane dispatch on the data type. That shape costs a 16-byte copy
+// per operand plus a width switch per lane, which dominates the vector
+// hot path (plan.runChunk). ALUInto and ReadVec below are the batched
+// equivalents: pointer operands, one width dispatch per call, whole
+// vectors processed in one loop. They must stay bit-identical to the
+// reference — TestALUIntoMatchesReference sweeps every op × data type
+// (including shift counts at and past the lane width) to pin that, and
+// the golden digests pin it end to end.
+
+// ReadVec reads 16 bytes at addr from memory into *dst without
+// allocating (the batched counterpart of LoadVec).
+func ReadVec(m *mem.Memory, addr uint32, dst *Vec) error {
+	return m.ReadAt(addr, dst[:])
+}
+
+// ALUInto computes a lane-wise operation into *dst. dst may alias qn
+// or qm (register reuse in generated plans); for vbsl the previous
+// *dst value is the blend mask, as with ALU's qd parameter.
+func ALUInto(op armlite.Op, dt armlite.DataType, dst, qn, qm *Vec, imm int32) error {
+	dt = dt.Vector()
+	var out Vec
+	switch op {
+	case armlite.OpVmov:
+		*dst = *qm
+		return nil
+	case armlite.OpVbsl:
+		for i := range out {
+			out[i] = (dst[i] & qn[i]) | (^dst[i] & qm[i])
+		}
+		*dst = out
+		return nil
+	}
+	if dt == armlite.VF32 {
+		for i := 0; i < 4; i++ {
+			a := math.Float32frombits(leU32(qn[4*i:]))
+			b := math.Float32frombits(leU32(qm[4*i:]))
+			var r float32
+			switch op {
+			case armlite.OpVadd:
+				r = a + b
+			case armlite.OpVsub:
+				r = a - b
+			case armlite.OpVmul:
+				r = a * b
+			case armlite.OpVmin:
+				r = min32f(a, b)
+			case armlite.OpVmax:
+				r = max32f(a, b)
+			case armlite.OpVceq:
+				leP32(out[4*i:], maskBool(a == b))
+				continue
+			case armlite.OpVcgt:
+				leP32(out[4*i:], maskBool(a > b))
+				continue
+			default:
+				// Keep the reference's error text for unsupported ops.
+				_, err := ALU(op, dt, *dst, *qn, *qm, imm)
+				return err
+			}
+			leP32(out[4*i:], math.Float32bits(r))
+		}
+		*dst = out
+		return nil
+	}
+	// Bitwise ops are width-independent: one byte loop regardless of dt.
+	switch op {
+	case armlite.OpVand:
+		for i := range out {
+			out[i] = qn[i] & qm[i]
+		}
+		*dst = out
+		return nil
+	case armlite.OpVorr:
+		for i := range out {
+			out[i] = qn[i] | qm[i]
+		}
+		*dst = out
+		return nil
+	case armlite.OpVeor:
+		for i := range out {
+			out[i] = qn[i] ^ qm[i]
+		}
+		*dst = out
+		return nil
+	}
+	// Width-specific integer ops. The reference sign-extends each lane
+	// to int32, operates, and truncates back; operating at the native
+	// width is bit-identical: add/sub/mul are modular (low bits do not
+	// depend on the extension), compares and min/max of sign-extended
+	// values order the same as the native signed values, and Go shifts
+	// by counts at or past the width saturate exactly like shifting the
+	// extended value and truncating (left → 0, arithmetic right → sign).
+	sh := uint32(imm) & 31
+	switch dt.Size() {
+	case 1:
+		for i := 0; i < 16; i++ {
+			a, b := int8(qn[i]), int8(qm[i])
+			var r int8
+			switch op {
+			case armlite.OpVadd:
+				r = a + b
+			case armlite.OpVsub:
+				r = a - b
+			case armlite.OpVmul:
+				r = a * b
+			case armlite.OpVmin:
+				r = b
+				if a < b {
+					r = a
+				}
+			case armlite.OpVmax:
+				r = b
+				if a > b {
+					r = a
+				}
+			case armlite.OpVshl:
+				r = a << sh
+			case armlite.OpVshr:
+				r = a >> sh
+			case armlite.OpVceq:
+				if a == b {
+					r = -1
+				}
+			case armlite.OpVcgt:
+				if a > b {
+					r = -1
+				}
+			default:
+				_, err := ALU(op, dt, *dst, *qn, *qm, imm)
+				return err
+			}
+			out[i] = byte(r)
+		}
+	case 2:
+		for i := 0; i < 8; i++ {
+			a := int16(leU16(qn[2*i:]))
+			b := int16(leU16(qm[2*i:]))
+			var r int16
+			switch op {
+			case armlite.OpVadd:
+				r = a + b
+			case armlite.OpVsub:
+				r = a - b
+			case armlite.OpVmul:
+				r = a * b
+			case armlite.OpVmin:
+				r = b
+				if a < b {
+					r = a
+				}
+			case armlite.OpVmax:
+				r = b
+				if a > b {
+					r = a
+				}
+			case armlite.OpVshl:
+				r = a << sh
+			case armlite.OpVshr:
+				r = a >> sh
+			case armlite.OpVceq:
+				if a == b {
+					r = -1
+				}
+			case armlite.OpVcgt:
+				if a > b {
+					r = -1
+				}
+			default:
+				_, err := ALU(op, dt, *dst, *qn, *qm, imm)
+				return err
+			}
+			leP16(out[2*i:], uint16(r))
+		}
+	default:
+		for i := 0; i < 4; i++ {
+			a := int32(leU32(qn[4*i:]))
+			b := int32(leU32(qm[4*i:]))
+			var r int32
+			switch op {
+			case armlite.OpVadd:
+				r = a + b
+			case armlite.OpVsub:
+				r = a - b
+			case armlite.OpVmul:
+				r = a * b
+			case armlite.OpVmin:
+				r = b
+				if a < b {
+					r = a
+				}
+			case armlite.OpVmax:
+				r = b
+				if a > b {
+					r = a
+				}
+			case armlite.OpVshl:
+				r = a << sh
+			case armlite.OpVshr:
+				r = a >> sh
+			case armlite.OpVceq:
+				if a == b {
+					r = -1
+				}
+			case armlite.OpVcgt:
+				if a > b {
+					r = -1
+				}
+			default:
+				_, err := ALU(op, dt, *dst, *qn, *qm, imm)
+				return err
+			}
+			leP32(out[4*i:], uint32(r))
+		}
+	}
+	*dst = out
+	return nil
+}
+
+// Little-endian lane accessors over a Vec sub-slice. encoding/binary's
+// versions are equivalent; these keep the package dependency-light and
+// inline trivially.
+func leU16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func leP16(b []byte, v uint16) { b[0] = byte(v); b[1] = byte(v >> 8) }
+
+func leP32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}
