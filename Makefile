@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check vet fmt lint race allocs fuzz verify resume-oracle bench bench-smoke batch soak soak-short serve service-smoke cluster-smoke partition-chaos
+.PHONY: all build test check vet fmt lint race allocs fuzz verify resume-oracle bench bench-smoke batch soak soak-short serve service-smoke cluster-smoke partition-chaos ha-chaos
 
 all: build test
 
@@ -108,6 +108,20 @@ cluster-smoke:
 # A failing run logs its seed; DSASIMD_CHAOS_SEED=<seed> replays it.
 partition-chaos:
 	$(GO) test -race -run TestClusterPartitionChaos -timeout 1800s -v ./cmd/dsasimd
+
+# ha-chaos is the coordinator-failover gate: the in-process HA suite
+# (replicated mirror promotion, role endpoints, deposition fencing,
+# endpoint rotation) under the race detector, then real processes —
+# three replicated coordinators with netchaos-proxied replication
+# links plus three workers: the leader SIGKILLed mid-dispatch, its
+# replacement rejoined as a standby, and the successor partitioned off
+# its peers past the lease TTL — three seeds, zero lost jobs,
+# exactly-once completion, bit-identical digests, and every deposed
+# term's writes fenced with 409. A failing run logs its seed;
+# DSASIMD_CHAOS_SEED=<seed> replays it.
+ha-chaos:
+	$(GO) test -race -run TestHA -timeout 600s ./internal/cluster
+	$(GO) test -race -run TestCoordinatorFailoverChaos -timeout 1800s -v ./cmd/dsasimd
 
 # bench measures simulator throughput (wall-clock, steps/sec, scalar
 # and DSA modes) and persists it as BENCH_sim.json, then runs the Go

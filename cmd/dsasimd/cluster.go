@@ -1,12 +1,14 @@
 package main
 
 import (
+	"fmt"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -18,18 +20,15 @@ import (
 // runCoordinator serves the cluster control plane: the public job API
 // plus the worker lease protocol. It runs no jobs itself — workers
 // join over HTTP with `dsasimd -worker -join <url>`.
-func runCoordinator(logger *log.Logger, addr, dataDir string, lease, retryAfter time.Duration, maxJobs int) {
+//
+// With -peers (or -standby) the coordinator is one node of a
+// replicated set: the nodes share the -data directory (the same shared
+// filesystem the workers already exchange checkpoints through),
+// arbitrate leadership on <data>/ha, and replicate the leader's state
+// to the standbys, which take over dispatch when the leader dies or is
+// partitioned past the lease TTL.
+func runCoordinator(logger *log.Logger, addr, dataDir string, lease, retryAfter time.Duration, maxJobs int, peers string, standby bool) {
 	if err := os.MkdirAll(dataDir, 0o755); err != nil {
-		logger.Fatalf("dsasimd: %v", err)
-	}
-	c, err := cluster.NewCoordinator(cluster.Config{
-		LeaseTTL:   lease,
-		MaxJobs:    maxJobs,
-		RetryAfter: retryAfter,
-		StateFile:  filepath.Join(dataDir, "cluster.dsnp"),
-		Logf:       logger.Printf,
-	})
-	if err != nil {
 		logger.Fatalf("dsasimd: %v", err)
 	}
 
@@ -41,7 +40,57 @@ func runCoordinator(logger *log.Logger, addr, dataDir string, lease, retryAfter 
 	// scripts using -addr :0 scrape the resolved port from it.
 	logger.Printf("dsasimd: listening on %s", ln.Addr())
 
-	hs := &http.Server{Handler: c.Handler()}
+	var handler http.Handler
+	var shutdown func()
+	if peers == "" && !standby {
+		c, err := cluster.NewCoordinator(cluster.Config{
+			LeaseTTL:   lease,
+			MaxJobs:    maxJobs,
+			RetryAfter: retryAfter,
+			StateFile:  filepath.Join(dataDir, "cluster.dsnp"),
+			Logf:       logger.Printf,
+		})
+		if err != nil {
+			logger.Fatalf("dsasimd: %v", err)
+		}
+		// Close persists the job and lease tables; a restarted
+		// coordinator picks both up, so worker leases (and their
+		// fencing epochs) survive a control-plane bounce.
+		handler, shutdown = c.Handler(), c.Close
+	} else {
+		tcp, ok := ln.Addr().(*net.TCPAddr)
+		if !ok {
+			logger.Fatalf("dsasimd: HA mode needs a TCP listener, got %s", ln.Addr())
+		}
+		// Each node keeps its state under a per-port file in the shared
+		// directory; claims live beside them under <data>/ha.
+		self := "http://" + net.JoinHostPort(reachableHost(tcp.IP), fmt.Sprintf("%d", tcp.Port))
+		var peerList []string
+		for _, p := range strings.Split(peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		node, err := cluster.NewNode(cluster.Config{
+			LeaseTTL:   lease,
+			MaxJobs:    maxJobs,
+			RetryAfter: retryAfter,
+			StateFile:  filepath.Join(dataDir, fmt.Sprintf("cluster-%d.dsnp", tcp.Port)),
+			Logf:       logger.Printf,
+		}, cluster.HAConfig{
+			Self:     self,
+			Peers:    peerList,
+			ClaimDir: filepath.Join(dataDir, "ha"),
+			Standby:  standby,
+		})
+		if err != nil {
+			logger.Fatalf("dsasimd: %v", err)
+		}
+		logger.Printf("dsasimd: HA node %s (role %s, %d peer(s))", self, node.Role(), len(peerList))
+		handler, shutdown = node.Handler(), node.Close
+	}
+
+	hs := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
@@ -54,12 +103,19 @@ func runCoordinator(logger *log.Logger, addr, dataDir string, lease, retryAfter 
 		logger.Fatalf("dsasimd: serve: %v", err)
 	}
 
-	// Close persists the job and lease tables; a restarted coordinator
-	// picks both up, so worker leases (and their fencing epochs)
-	// survive a control-plane bounce.
-	c.Close()
+	shutdown()
 	_ = hs.Close()
 	logger.Printf("dsasimd: bye")
+}
+
+// reachableHost turns the listener's IP into something peers and
+// workers can dial: an unspecified bind (":8077") advertises the
+// loopback address — HA deployments should bind an explicit host.
+func reachableHost(ip net.IP) string {
+	if ip == nil || ip.IsUnspecified() {
+		return "127.0.0.1"
+	}
+	return ip.String()
 }
 
 // runWorker executes leased jobs for a coordinator. Workers have no

@@ -1,0 +1,479 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/netchaos"
+)
+
+// Coordinator-failover chaos knobs. The lease TTL doubles as the
+// failure-detection unit: a standby promotes after roughly one-to-two
+// TTLs of replication silence, so every hold below is phrased in TTLs.
+const (
+	haChaosLeaseTTL = 1500 * time.Millisecond
+	haChaosJobs     = 6
+	haCoordinators  = 3
+	// haClientChaosSpec puts the test's own submissions and polls under
+	// seeded ambiguity — what makes the Idempotency-Key retries across
+	// failovers load-bearing rather than decorative.
+	haClientChaosSpec = "delay=0.08,duplicate=0.06,reset=0.05,truncate=0.05,errcode=0.04,maxdelay=80ms"
+)
+
+// reserveAddr picks a free loopback address for a coordinator and
+// keeps it bound until the returned release is called. The HA
+// topology needs every node's URL before any node starts (peer lists
+// and the replication-link proxies are built from them) — and the
+// netchaos proxies bind ephemeral ports too, so a reservation freed
+// before the mesh exists can be snatched by a proxy. Each reservation
+// is released immediately before its coordinator process boots.
+func reserveAddr(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	release := func() { once.Do(func() { ln.Close() }) }
+	t.Cleanup(release)
+	return ln.Addr().String(), release
+}
+
+// waitBindable blocks until addr can be bound again — a SIGKILLed
+// coordinator's port being re-listened by its -standby replacement.
+func waitBindable(t *testing.T, addr string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if ln, err := net.Listen("tcp", addr); err == nil {
+			ln.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("port %s never became bindable again", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func startHACoordinatorProc(t *testing.T, bin, addr, dataDir, peers string, standby bool) *proc {
+	t.Helper()
+	args := []string{
+		"-coordinator", "-addr", addr, "-data", dataDir,
+		"-lease", haChaosLeaseTTL.String(), "-peers", peers,
+	}
+	if standby {
+		args = append(args, "-standby")
+	}
+	return startProc(t, bin, true, args...)
+}
+
+// roleOf probes one node's role header; "" when the node is down.
+func roleOf(base string) string {
+	hc := &http.Client{Timeout: time.Second}
+	resp, err := hc.Get(base + "/readyz")
+	if err != nil {
+		return ""
+	}
+	resp.Body.Close()
+	return resp.Header.Get("X-Dsasimd-Role")
+}
+
+// waitLeaderAmong polls until exactly the expected kind of leader
+// exists: some node other than `not` answers as leader. Returns its
+// base URL.
+func waitLeaderAmong(t *testing.T, bases []string, not string, timeout time.Duration) string {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, b := range bases {
+			if b != not && roleOf(b) == "leader" {
+				return b
+			}
+		}
+		if time.Now().After(deadline) {
+			var roles []string
+			for _, b := range bases {
+				roles = append(roles, fmt.Sprintf("%s=%s", b, roleOf(b)))
+			}
+			t.Fatalf("no successor leader within %v (excluding %s): %s", timeout, not, strings.Join(roles, " "))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// haJob tracks one submission: its stable Idempotency-Key and the job
+// ID the cluster currently knows it by. Replication is asynchronous,
+// so an admission acked just before a leader died can be lost in the
+// failover window — the documented contract is that the client's
+// idempotent retry reconverges, and re-submitting on 404 under the
+// same key is exactly that retry.
+type haJob struct {
+	key string
+	id  string
+}
+
+// TestCoordinatorFailoverChaos is the coordinator-HA gate (make
+// ha-chaos): three replicated coordinators (leader + two warm
+// standbys, replication links through commanded netchaos proxies),
+// three workers joined with the full endpoint list, six idempotent
+// jobs in flight — then the leader is SIGKILLed mid-dispatch, its
+// replacement rejoins as -standby, and the successor leader is
+// partitioned off its peers past the lease TTL. After both failovers a
+// standby must be leading, every job must complete exactly once with
+// the single-process digest, and a write under any deposed term must
+// bounce off the 409 fence. The whole schedule derives from one seed;
+// a failure logs the replay line.
+func TestCoordinatorFailoverChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("coordinator failover chaos skipped in -short")
+	}
+	bin := buildDaemon(t)
+	base := chaosBaseSeed(t)
+	for _, seed := range []int64{base, base + 101, base + 202} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runFailoverChaos(t, bin, seed)
+		})
+	}
+}
+
+func runFailoverChaos(t *testing.T, bin string, seed int64) {
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("replay this exact fault schedule with: DSASIMD_CHAOS_SEED=%d make ha-chaos", seed)
+		}
+	})
+	dir := t.TempDir()
+	source := clusterSource(2_500_000)
+	want := referenceDigest(t, source)
+	rng := rand.New(rand.NewSource(seed))
+
+	// One shared directory for everything — exactly the deployment
+	// shape: coordinator state files and the leadership-claim directory
+	// live beside the workers' checkpoints, and a CI failure uploads
+	// all of it together with the proxy command log.
+	shared := sharedDataDir(t, dir)
+	if err := os.MkdirAll(shared, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	logFile, err := os.Create(filepath.Join(shared, "ha-netchaos-proxy.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = logFile.Close() })
+	var logMu sync.Mutex
+	plogf := func(format string, args ...any) {
+		logMu.Lock()
+		fmt.Fprintf(logFile, format+"\n", args...)
+		logMu.Unlock()
+		t.Logf(format, args...)
+	}
+
+	// Reserve every coordinator's address, then build the replication
+	// mesh: node i reaches node j through proxy[i][j], so any node's
+	// outbound replication links can be cut on command. Workers and
+	// clients use the real addresses — a coordinator partition must not
+	// conveniently sever the data plane too.
+	addrs := make([]string, haCoordinators)
+	bases := make([]string, haCoordinators)
+	releases := make([]func(), haCoordinators)
+	for i := range addrs {
+		addrs[i], releases[i] = reserveAddr(t)
+		bases[i] = "http://" + addrs[i]
+	}
+	proxies := make([][]*netchaos.Proxy, haCoordinators)
+	peerList := make([]string, haCoordinators)
+	for i := range proxies {
+		proxies[i] = make([]*netchaos.Proxy, haCoordinators)
+		var peers []string
+		for j := range addrs {
+			if j == i {
+				continue
+			}
+			p, err := netchaos.NewProxy(addrs[j], plogf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(p.Close)
+			proxies[i][j] = p
+			peers = append(peers, "http://"+p.Addr())
+		}
+		peerList[i] = strings.Join(peers, ",")
+	}
+	// isolate cuts every outbound replication link of one node; heal
+	// restores them.
+	cutOutbound := func(i int) {
+		for j, p := range proxies[i] {
+			if p != nil {
+				plogf("netchaos: cutting replication link %d -> %d", i, j)
+				p.Partition(netchaos.PartitionBoth)
+			}
+		}
+	}
+	healOutbound := func(i int) {
+		for _, p := range proxies[i] {
+			if p != nil {
+				p.Heal()
+			}
+		}
+	}
+	idxOf := func(base string) int {
+		for i, b := range bases {
+			if b == base {
+				return i
+			}
+		}
+		t.Fatalf("unknown base %s", base)
+		return -1
+	}
+
+	// Boot the set: node 0 leads, the rest start as warm standbys.
+	coords := make([]*proc, haCoordinators)
+	releases[0]()
+	coords[0] = startHACoordinatorProc(t, bin, addrs[0], shared, peerList[0], false)
+	for i := 1; i < haCoordinators; i++ {
+		releases[i]()
+		coords[i] = startHACoordinatorProc(t, bin, addrs[i], shared, peerList[i], true)
+	}
+	if got := roleOf(bases[0]); got != "leader" {
+		t.Fatalf("node 0 role = %q, want leader", got)
+	}
+
+	// Three workers, each joined with the full endpoint list: failover
+	// is client-side rotation, not reconfiguration.
+	endpoints := strings.Join(bases, ",")
+	for i := 0; i < 3; i++ {
+		startWorkerProc(t, bin, endpoints, shared)
+	}
+	waitClusterReady(t, bases[0], 30*time.Second)
+
+	// Submissions and polls run through a seeded fault injector: every
+	// attempt is ambiguous, and the Idempotency-Key is what keeps
+	// retries — including post-failover ones — from minting twins.
+	rates, err := netchaos.ParseRates(haClientChaosSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injector := netchaos.NewInjector(seed+1000, rates, nil, plogf)
+	chaotic := &http.Client{Transport: injector, Timeout: 5 * time.Second}
+
+	jobs := make([]*haJob, 0, haChaosJobs)
+	for i := 0; i < haChaosJobs; i++ {
+		j := &haJob{key: fmt.Sprintf("ha-%d-%d", seed, i)}
+		j.id = submitHA(t, chaotic, bases, source, j.key)
+		jobs = append(jobs, j)
+	}
+	waitAnyRunningHA(t, chaotic, bases, jobs, 30*time.Second)
+
+	// ── Failover 1: SIGKILL the leader mid-dispatch. ──
+	leader := waitLeaderAmong(t, bases, "", 10*time.Second)
+	li := idxOf(leader)
+	coords[li].kill9()
+	plogf("chaos: SIGKILLed leader %s mid-dispatch", leader)
+
+	leader2 := waitLeaderAmong(t, bases, leader, 30*time.Second)
+	plogf("chaos: %s took over", leader2)
+
+	// The killed node rejoins as a warm standby on its old address.
+	waitBindable(t, addrs[li], 15*time.Second)
+	coords[li] = startHACoordinatorProc(t, bin, addrs[li], shared, peerList[li], true)
+	if got := roleOf(bases[li]); got != "standby" {
+		t.Fatalf("restarted node role = %q, want standby", got)
+	}
+
+	// ── Failover 2: partition the new leader off its peers past the
+	// lease TTL. Workers still reach it; only replication is cut, so
+	// the standbys' silence detector — not a dead socket — must drive
+	// the takeover, and the deposed leader must notice the successor's
+	// claim on the shared directory and step down on its own. ──
+	l2 := idxOf(leader2)
+	cutOutbound(l2)
+	hold := 2*haChaosLeaseTTL + time.Duration(rng.Int63n(int64(haChaosLeaseTTL)))
+	plogf("chaos: partitioning leader %s for %v", leader2, hold)
+	time.Sleep(hold)
+	leader3 := waitLeaderAmong(t, bases, leader2, 30*time.Second)
+	plogf("chaos: %s took over from the partitioned leader", leader3)
+	healOutbound(l2)
+
+	// The deposed leader steps down (claim-directory scan), never
+	// splitting the brain once the successor exists.
+	deadline := time.Now().Add(20 * time.Second)
+	for roleOf(leader2) != "standby" {
+		if time.Now().After(deadline) {
+			t.Fatalf("deposed leader %s never stepped down (role %q)", leader2, roleOf(leader2))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// Deposed terms are fenced: a replication write under term 1 — what
+	// the first dead leader would send if it were still alive — bounces
+	// off the current leader with 409.
+	code, err := cluster.PostReplicate(nil, leader3, 1, leader)
+	if err != nil {
+		t.Fatalf("stale-term replicate: %v", err)
+	}
+	if code != http.StatusConflict {
+		t.Errorf("deposed term's replication write: code %d, want 409", code)
+	}
+
+	// Convergence: zero lost jobs, every digest bit-identical to the
+	// single-process reference, exactly one job per key.
+	waitAllOKHA(t, chaotic, bases, jobs, source, want, 420*time.Second)
+
+	final := waitLeaderAmong(t, bases, "", 10*time.Second)
+	if n := countJobs(t, final); n != haChaosJobs {
+		t.Errorf("job table holds %d jobs, want %d (idempotent retries must dedup across failovers)", n, haChaosJobs)
+	}
+	// The idempotency index survived two failovers: a replay of the
+	// first key still answers with the original job, marked as such.
+	id, replayed := resubmitIdem(t, final, source, jobs[0].key)
+	if id != jobs[0].id || !replayed {
+		t.Errorf("post-failover replay of %s: id %s replayed %v, want %s true", jobs[0].key, id, replayed, jobs[0].id)
+	}
+
+	m := fetchMetrics(t, final)
+	for _, counter := range []string{
+		"dsasimd_cluster_failovers_total",            // this node promoted itself
+		"dsasimd_cluster_replication_rejected_total", // the forged stale write above
+	} {
+		if n := parseMetric(t, m, counter); n < 1 {
+			t.Errorf("%s = %d, want >= 1", counter, n)
+		}
+	}
+	if n := parseMetric(t, m, "dsasimd_cluster_role"); n != 1 {
+		t.Errorf("leader's role gauge = %d, want 1", n)
+	}
+	for _, b := range bases {
+		if b != final && roleOf(b) == "standby" {
+			if n := parseMetric(t, fetchMetrics(t, b), "dsasimd_cluster_role"); n != 0 {
+				t.Errorf("standby %s role gauge = %d, want 0", b, n)
+			}
+			break
+		}
+	}
+	plogf("netchaos: client injector counts: %s", injector.CountsLine())
+}
+
+// submitHA submits one idempotent job through the chaotic client,
+// rotating across every coordinator: standbys proxy to the leader, so
+// any live node can confirm the admission.
+func submitHA(t *testing.T, client *http.Client, bases []string, source, key string) string {
+	t.Helper()
+	for attempt := 0; attempt < 60; attempt++ {
+		if id := trySubmitIdem(client, bases[attempt%len(bases)], source, key); id != "" {
+			return id
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("job %s: no submission attempt ever confirmed", key)
+	return ""
+}
+
+// tryFetchJob reads one job via one node; the bool reports a usable
+// 200 (anything else — standby refusal mid-transition, dead node,
+// injected fault — means try elsewhere).
+func tryFetchJob(client *http.Client, base, id string) (jobView, int) {
+	resp, err := client.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		return jobView{}, 0
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			return jobView{}, 0
+		}
+	}
+	return v, resp.StatusCode
+}
+
+// waitAnyRunningHA blocks until at least one job is leased and
+// running on some reachable node, so the leader kill lands
+// mid-dispatch.
+func waitAnyRunningHA(t *testing.T, client *http.Client, bases []string, jobs []*haJob, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		for i, j := range jobs {
+			v, code := tryFetchJob(client, bases[i%len(bases)], j.id)
+			if code == http.StatusOK && v.Status == "running" && v.Owner != "" {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no job ever started running")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// waitAllOKHA polls every job across every node until all are
+// terminal, re-submitting under the same Idempotency-Key on 404 —
+// replication is asynchronous, and an admission acked in a doomed
+// leader's final moments is allowed to be lost as long as the
+// idempotent retry reconverges. Then asserts every job finished ok
+// with the reference digest.
+func waitAllOKHA(t *testing.T, client *http.Client, bases []string, jobs []*haJob, source, wantDigest string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for round := 0; ; round++ {
+		done := 0
+		for _, j := range jobs {
+			v, code := tryFetchJob(client, bases[round%len(bases)], j.id)
+			switch {
+			case code == http.StatusNotFound:
+				// Lost in a failover window: the idempotent retry either
+				// finds the job under its new identity or recreates it.
+				if id := trySubmitIdem(client, bases[round%len(bases)], source, j.key); id != "" {
+					t.Logf("job %s lost in failover; idempotent retry reconverged as %s", j.id, id)
+					j.id = id
+				}
+			case code == http.StatusOK && (v.Status == "ok" || v.Status == "degraded" || v.Status == "failed"):
+				done++
+			}
+		}
+		if done == len(jobs) {
+			break
+		}
+		if time.Now().After(deadline) {
+			var states []string
+			for _, j := range jobs {
+				v, code := tryFetchJob(client, bases[round%len(bases)], j.id)
+				states = append(states, fmt.Sprintf("%s=%s(code %d)", j.id, v.Status, code))
+			}
+			t.Fatalf("jobs not terminal after %v: %s", timeout, strings.Join(states, " "))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, j := range jobs {
+		var v jobView
+		code := 0
+		for _, b := range bases {
+			if v, code = tryFetchJob(client, b, j.id); code == http.StatusOK {
+				break
+			}
+		}
+		if code != http.StatusOK {
+			t.Errorf("job %s unreadable at the end (code %d)", j.id, code)
+			continue
+		}
+		if v.Status != "ok" {
+			t.Errorf("job %s: status %s, want ok", j.id, v.Status)
+			continue
+		}
+		if v.Result == nil || v.Result.MemDigest != wantDigest {
+			t.Errorf("job %s diverged from the single-process reference: %+v", j.id, v.Result)
+		}
+	}
+}

@@ -63,6 +63,8 @@ func main() {
 	worker := flag.Bool("worker", false, "run as cluster worker (requires -join; no HTTP listener)")
 	join := flag.String("join", "", "coordinator base URL a -worker joins (e.g. http://host:8077)")
 	lease := flag.Duration("lease", cluster.DefaultLeaseTTL, "coordinator: worker lease TTL (missed heartbeats past this trigger takeover)")
+	peers := flag.String("peers", "", "coordinator: comma-separated base URLs of the other coordinators (enables replicated HA mode)")
+	standby := flag.Bool("standby", false, "coordinator: start as a warm standby, promoting on leader failure (HA mode)")
 	capacity := flag.Int("capacity", 1, "worker: jobs to run concurrently")
 	maxJobs := flag.Int("max-jobs", cluster.DefaultMaxJobs, "coordinator: open-job admission limit (full table answers 429)")
 	chaos := flag.String("chaos", "", `worker: inject faults into coordinator RPCs, e.g. "drop=0.05,delay=0.1,maxdelay=200ms" (classes: drop timeout delay duplicate reset truncate errcode)`)
@@ -92,11 +94,13 @@ func main() {
 
 	switch {
 	case *coordinator:
-		runCoordinator(logger, *addr, *dataDir, *lease, *retryAfter, *maxJobs)
+		runCoordinator(logger, *addr, *dataDir, *lease, *retryAfter, *maxJobs, *peers, *standby)
 		return
 	case *worker:
 		runWorker(logger, *join, *dataDir, *capacity, ropts, *chaos, *chaosSeed)
 		return
+	case *standby:
+		logger.Fatalf("dsasimd: -standby requires -coordinator")
 	}
 
 	srv, err := server.New(server.Config{

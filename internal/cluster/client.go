@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+)
+
+// clientAttempts is the submit/poll retry budget — same shape as the
+// workers' complete budget: bounded, full-jitter backoff between
+// attempts.
+const clientAttempts = 8
+
+// ErrNoJob is Job's answer for an ID the cluster does not know.
+var ErrNoJob = errors.New("cluster: no such job")
+
+// Client is the failover-aware job client: it submits and polls
+// against a list of coordinator endpoints, rotating on connect
+// failures and standby refusals (502/503) under a bounded full-jitter
+// retry budget — the client half of coordinator failover. Submissions
+// should carry an Idempotency-Key: a retry after an ambiguous failure
+// (response lost on the wire, leader died after committing) then
+// replays the job it already created instead of minting a twin;
+// without a key, such a retry may duplicate.
+type Client struct {
+	endpoints []string
+	hc        *http.Client
+	logf      func(format string, args ...any)
+	idx       atomic.Uint32
+}
+
+// NewClient builds a client for a comma-separated coordinator endpoint
+// list. transport is the netchaos seam (nil = default); logf may be
+// nil.
+func NewClient(endpoints string, transport http.RoundTripper, logf func(format string, args ...any)) *Client {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Client{
+		endpoints: splitEndpoints(endpoints),
+		hc:        &http.Client{Transport: transport},
+		logf:      logf,
+	}
+}
+
+// rotate advances past a dead or standby endpoint (CAS: one step per
+// observed failure generation).
+func (cl *Client) rotate(from uint32) {
+	if len(cl.endpoints) < 2 {
+		return
+	}
+	cl.idx.CompareAndSwap(from, from+1)
+}
+
+// Submit admits spec under idemKey and returns the job view plus
+// whether the cluster replayed an earlier submission with the same key
+// (the Idempotency-Replayed header).
+func (cl *Client) Submit(spec server.JobSpec, idemKey string) (*server.JobView, bool, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	hdr := map[string]string{"Content-Type": "application/json"}
+	if idemKey != "" {
+		hdr["Idempotency-Key"] = idemKey
+	}
+	var view server.JobView
+	resp, err := cl.do(http.MethodPost, "/v1/jobs", body, hdr, &view)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.code != http.StatusAccepted {
+		return nil, false, fmt.Errorf("cluster: submit: HTTP %d: %s", resp.code, resp.errMsg)
+	}
+	return &view, resp.replayed, nil
+}
+
+// Job fetches one job's view; ErrNoJob when the ID is unknown.
+func (cl *Client) Job(id string) (*server.JobView, error) {
+	var view server.JobView
+	resp, err := cl.do(http.MethodGet, "/v1/jobs/"+id, nil, nil, &view)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.code {
+	case http.StatusOK:
+		return &view, nil
+	case http.StatusNotFound:
+		return nil, ErrNoJob
+	}
+	return nil, fmt.Errorf("cluster: job %s: HTTP %d: %s", id, resp.code, resp.errMsg)
+}
+
+type clientResp struct {
+	code     int
+	replayed bool
+	errMsg   string
+}
+
+// do runs one request under the rotation/retry policy: transport
+// errors and 502/503 rotate and retry, 429 retries in place, anything
+// else is the cluster's answer and returns as-is.
+func (cl *Client) do(method, path string, body []byte, hdr map[string]string, out any) (clientResp, error) {
+	backoff := 2 * backoffBase
+	var lastErr error
+	for attempt := 0; attempt < clientAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(fullJitter(backoff))
+			if backoff < backoffCap {
+				backoff *= 2
+			}
+		}
+		idx := cl.idx.Load()
+		base := cl.endpoints[int(idx%uint32(len(cl.endpoints)))]
+		ctx, cancel := context.WithTimeout(context.Background(), rpcTimeout)
+		req, err := http.NewRequestWithContext(ctx, method, base+path, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return clientResp{}, err
+		}
+		for k, v := range hdr {
+			req.Header.Set(k, v)
+		}
+		resp, err := cl.hc.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err
+			cl.rotate(idx)
+			cl.logf("dsasimd-client: %s %s: %v (rotating)", method, path, err)
+			continue
+		}
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable, http.StatusBadGateway:
+			resp.Body.Close()
+			cancel()
+			lastErr = fmt.Errorf("HTTP %d from %s", resp.StatusCode, base)
+			cl.rotate(idx)
+			continue
+		case http.StatusTooManyRequests:
+			resp.Body.Close()
+			cancel()
+			lastErr = fmt.Errorf("HTTP 429 from %s", base)
+			continue
+		}
+		out2 := clientResp{code: resp.StatusCode, replayed: resp.Header.Get("Idempotency-Replayed") == "true"}
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+			if out != nil {
+				if derr := json.NewDecoder(resp.Body).Decode(out); derr != nil {
+					resp.Body.Close()
+					cancel()
+					lastErr = fmt.Errorf("decoding %s response: %w", path, derr)
+					continue // truncated response: ambiguous, retry (idem key dedups)
+				}
+			}
+		} else {
+			var em struct {
+				Error string `json:"error"`
+			}
+			_ = json.NewDecoder(resp.Body).Decode(&em)
+			out2.errMsg = em.Error
+		}
+		resp.Body.Close()
+		cancel()
+		return out2, nil
+	}
+	return clientResp{}, fmt.Errorf("cluster: %s %s: retry budget exhausted: %w", method, path, lastErr)
+}

@@ -749,6 +749,11 @@ func TestClusterMetricsNames(t *testing.T) {
 		"dsasimd_cluster_jobs_deduped_total",
 		"dsasimd_cluster_rpc_retries_total",
 		"dsasimd_cluster_rpc_timeouts_total",
+		"dsasimd_cluster_role",
+		"dsasimd_cluster_failovers_total",
+		"dsasimd_cluster_replication_seq",
+		"dsasimd_cluster_replication_lag_seconds",
+		"dsasimd_cluster_replication_rejected_total",
 		`dsasimd_cluster_jobs_completed_total{status="ok"}`,
 		`dsasimd_cluster_jobs_completed_total{status="degraded"}`,
 		`dsasimd_cluster_jobs_completed_total{status="failed"}`,

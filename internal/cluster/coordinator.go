@@ -31,6 +31,27 @@ type Config struct {
 	StateFile string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
+
+	// The fields below are in-package seams the HA node threads through
+	// when it runs a coordinator as the leader of a replicated set.
+	// Solo mode leaves them zero.
+
+	// metrics, when non-nil, is a shared registry: counters like
+	// failovers must survive the node's role flips, so the node owns
+	// one registry across every coordinator it promotes.
+	metrics *clusterMetrics
+	// leaderEpoch is the leadership term. Non-zero, it occupies the
+	// high 32 bits of every assignment epoch this coordinator mints, so
+	// a newer leader's assignments fence above everything any deposed
+	// leader ever issued. Zero (solo mode) leaves assignment epochs as
+	// the raw counter, bit-compatible with single-coordinator operation.
+	leaderEpoch uint64
+	// preload, when non-nil, replaces the state-file restore: the
+	// replicated mirror a promoted standby adopts.
+	preload *clusterState
+	// repl, when non-nil, receives a delta record for every state
+	// mutation — the feed the leader pushes to its standbys.
+	repl *replicator
 }
 
 // Coordinator defaults.
@@ -104,16 +125,22 @@ type Coordinator struct {
 	stopOnce sync.Once
 	draining atomic.Bool
 
+	// leaderEpoch/repl mirror Config: the leadership term composed into
+	// assignment epochs, and the replication log fed on every mutation.
+	leaderEpoch uint64
+	repl        *replicator
+
 	mu      sync.Mutex
 	jobs    map[string]*cjob
 	order   []string
 	workers map[string]*workerEntry
 	// idem maps Idempotency-Key → job ID for replaying duplicate
-	// submissions. Persisted with the jobs, so the dedup survives a
-	// coordinator restart.
+	// submissions. Persisted with the jobs (and replicated), so the
+	// dedup survives a coordinator restart and a failover.
 	idem map[string]string
 	// nextEpoch is the fencing-token counter: every assignment gets
-	// epoch ++nextEpoch, globally monotonic across jobs, workers, and
+	// epoch stampEpochLocked() — ++nextEpoch composed under the
+	// leadership term — globally monotonic across jobs, workers, and
 	// (via the state file) coordinator restarts.
 	nextJob, nextWorker, nextEpoch uint64
 }
@@ -133,15 +160,29 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	c := &Coordinator{
-		cfg:     cfg,
-		metrics: newClusterMetrics(),
-		stopCh:  make(chan struct{}),
-		jobs:    map[string]*cjob{},
-		workers: map[string]*workerEntry{},
-		idem:    map[string]string{},
+	metrics := cfg.metrics
+	if metrics == nil {
+		metrics = newClusterMetrics()
 	}
-	if err := c.restore(); err != nil {
+	c := &Coordinator{
+		cfg:         cfg,
+		metrics:     metrics,
+		leaderEpoch: cfg.leaderEpoch,
+		repl:        cfg.repl,
+		stopCh:      make(chan struct{}),
+		jobs:        map[string]*cjob{},
+		workers:     map[string]*workerEntry{},
+		idem:        map[string]string{},
+	}
+	if cfg.preload != nil {
+		// A promoted standby adopts its replicated mirror instead of
+		// the state file — and persists it at once, so the file matches
+		// the term it now leads.
+		c.mu.Lock()
+		c.adoptStateLocked(cfg.preload)
+		c.saveStateLocked()
+		c.mu.Unlock()
+	} else if err := c.restore(); err != nil {
 		// A bad state file is quarantined, not fatal — same policy as
 		// the standalone daemon.
 		cfg.Logf("dsasimd: %v", err)
@@ -188,6 +229,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			continue
 		}
 		delete(c.workers, id)
+		c.repWorkerDelLocked(id)
 		c.metrics.onLeaseExpire()
 		released := 0
 		for jid := range w.jobs {
@@ -198,6 +240,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			j.owner = ""
 			j.resume = true
 			j.status = server.StatusQueued
+			c.repJobLocked(j)
 			released++
 		}
 		c.metrics.onTakeover(released)
@@ -232,15 +275,76 @@ func (c *Coordinator) assignLocked() {
 		if w == "" {
 			break // every worker is at capacity; later jobs can't do better
 		}
-		c.nextEpoch++
 		j.owner = w
-		j.epoch = c.nextEpoch
+		j.epoch = c.stampEpochLocked()
 		c.workers[w].jobs[jid] = struct{}{}
+		c.repJobLocked(j)
 		changed = true
 	}
 	if changed {
+		c.repCountersLocked()
 		c.saveStateLocked()
 	}
+}
+
+// stampEpochLocked mints the next assignment fencing epoch. Solo mode
+// (leaderEpoch 0) issues the raw counter — bit-compatible with
+// single-coordinator operation. Under HA the leadership term occupies
+// the high 32 bits: every assignment minted by a newer leader compares
+// strictly above every epoch any deposed leader ever issued, whatever
+// their counters did, which is what keeps checkpoint preference
+// (highest epoch ≤ the assignment's) and 409 write fencing correct
+// across failovers.
+func (c *Coordinator) stampEpochLocked() uint64 {
+	c.nextEpoch++
+	return c.leaderEpoch<<32 | c.nextEpoch
+}
+
+// repJobLocked / repWorkerLocked / repWorkerDelLocked / repCountersLocked
+// tee one mutation into the replication log (no-ops without one). The
+// caller must hold c.mu — that ordering is what makes the log replay
+// deterministic.
+func (c *Coordinator) repJobLocked(j *cjob) {
+	if c.repl == nil {
+		return
+	}
+	pj := c.persistJobLocked(j)
+	c.repl.append(repRecord{Kind: recJob, Job: &pj})
+}
+
+func (c *Coordinator) repWorkerLocked(we *workerEntry) {
+	if c.repl == nil {
+		return
+	}
+	c.repl.append(repRecord{Kind: recWorker, Worker: &persistedWorker{ID: we.id, Capacity: we.capacity, Session: we.session}})
+}
+
+func (c *Coordinator) repWorkerDelLocked(id string) {
+	if c.repl == nil {
+		return
+	}
+	c.repl.append(repRecord{Kind: recWorkerDel, WorkerDel: id})
+}
+
+func (c *Coordinator) repCountersLocked() {
+	if c.repl == nil {
+		return
+	}
+	c.repl.append(repRecord{Kind: recCounters, Counters: &repCounters{NextJob: c.nextJob, NextWorker: c.nextWorker, NextEpoch: c.nextEpoch}})
+}
+
+// replicaSnapshot renders a full-state catch-up record, consistent
+// with the log: appends happen under c.mu, so reading the sequence
+// here pins exactly which deltas the snapshot subsumes.
+func (c *Coordinator) replicaSnapshot() repRecord {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.exportStateLocked()
+	var seq uint64
+	if c.repl != nil {
+		seq = c.repl.last()
+	}
+	return repRecord{Seq: seq, Kind: recSnapshot, State: &st}
 }
 
 // Submit admits a job into the cluster table. Admission mirrors the
@@ -299,6 +403,11 @@ func (c *Coordinator) Submit(spec server.JobSpec, idemKey string) (view *server.
 		c.idem[idemKey] = j.id
 	}
 	c.assignLocked()
+	// Replicate the admission even when no worker could take it yet
+	// (assignLocked only records jobs it assigned). The upsert is
+	// idempotent on the standby, so the duplicate is harmless.
+	c.repJobLocked(j)
+	c.repCountersLocked()
 	c.saveStateLocked()
 	v := c.viewLocked(j)
 	c.mu.Unlock()
@@ -344,8 +453,10 @@ func (c *Coordinator) viewLocked(j *cjob) server.JobView {
 	}
 }
 
-// Metrics renders the Prometheus exposition.
-func (c *Coordinator) Metrics() string {
+// gaugesSnapshot samples the point-in-time gauges. The HA node reuses
+// it when it scrapes a leader, overriding the replication fields with
+// its push-loop view.
+func (c *Coordinator) gaugesSnapshot() clusterGauges {
 	c.mu.Lock()
 	inflight := make(map[string]int, len(c.workers))
 	for id, w := range c.workers {
@@ -358,9 +469,18 @@ func (c *Coordinator) Metrics() string {
 			pending++
 		}
 	}
-	g := clusterGauges{workersLive: len(c.workers), jobsPending: pending, inflight: inflight}
+	g := clusterGauges{workersLive: len(c.workers), jobsPending: pending, inflight: inflight, role: 1}
+	if c.repl != nil {
+		g.replSeq = c.repl.last()
+	}
 	c.mu.Unlock()
-	return c.metrics.render(g)
+	return g
+}
+
+// Metrics renders the Prometheus exposition. A solo coordinator is its
+// own (only) leader: role 1, replication idle.
+func (c *Coordinator) Metrics() string {
+	return c.metrics.render(c.gaugesSnapshot())
 }
 
 // Close stops the expiry loop, marks the coordinator draining, and

@@ -1,0 +1,427 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// haTestNode is one replicated coordinator under test: the Node, its
+// real TCP listener (peers and workers dial it by URL), and a kill
+// switch that takes both down the way a crash does.
+type haTestNode struct {
+	n   *Node
+	url string
+	hs  *http.Server
+}
+
+func (h *haTestNode) kill() {
+	h.hs.Close()
+	h.n.Close()
+}
+
+// startHANode boots one HA coordinator on ln. Listeners are reserved
+// before any node exists because peer URLs go into every node's
+// config up front — the replication stream is push-based, so a leader
+// only ever reaches standbys it was told about.
+func startHANode(t *testing.T, ln net.Listener, claimDir, stateFile string, peers []string, standby bool, ttl time.Duration) *haTestNode {
+	t.Helper()
+	self := "http://" + ln.Addr().String()
+	n, err := NewNode(
+		Config{LeaseTTL: ttl, StateFile: stateFile, Logf: t.Logf},
+		HAConfig{Self: self, Peers: peers, ClaimDir: claimDir, Standby: standby},
+	)
+	if err != nil {
+		t.Fatalf("NewNode(%s): %v", self, err)
+	}
+	hs := &http.Server{Handler: n.Handler()}
+	go hs.Serve(ln)
+	h := &haTestNode{n: n, url: self, hs: hs}
+	t.Cleanup(h.kill)
+	return h
+}
+
+func haListen(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// haPair boots a leader plus a warm standby sharing one claim
+// directory — what the README's 2-coordinator quickstart deploys.
+func haPair(t *testing.T, ttl time.Duration) (leader, standby *haTestNode) {
+	t.Helper()
+	dir := t.TempDir()
+	claims := filepath.Join(dir, "ha")
+	lnA, lnB := haListen(t), haListen(t)
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+
+	a := startHANode(t, lnA, claims, filepath.Join(dir, "a.dsnp"), []string{urlB}, false, ttl)
+	b := startHANode(t, lnB, claims, filepath.Join(dir, "b.dsnp"), []string{urlA}, true, ttl)
+	if got := a.n.Role(); got != "leader" {
+		t.Fatalf("first node role = %s, want leader", got)
+	}
+	if got := b.n.Role(); got != "standby" {
+		t.Fatalf("second node role = %s, want standby", got)
+	}
+	return a, b
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !ok() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+}
+
+func scrapeURL(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET %s/metrics: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading %s/metrics: %v", url, err)
+	}
+	return string(b)
+}
+
+// probeURL fetches one endpoint and returns the code, the role header,
+// and the decoded JSON body.
+func probeURL(t *testing.T, url, path string) (int, string, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(url + path)
+	if err != nil {
+		t.Fatalf("GET %s%s: %v", url, path, err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	return resp.StatusCode, resp.Header.Get(roleHeader), body
+}
+
+// postJob submits a keyless job straight at one node's URL.
+func postJob(t *testing.T, url string, spec server.JobSpec) server.JobView {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s/v1/jobs: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST %s/v1/jobs: code %d", url, resp.StatusCode)
+	}
+	var view server.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// TestHAFailoverContinuity is the tentpole scenario in-process: a
+// 2-coordinator pair with a real worker loses its leader mid-job. The
+// standby promotes from its replicated mirror, the worker and the
+// failover-aware client rotate to it, the interrupted job completes
+// bit-identically to the single-process reference (exactly once —
+// resumed from its checkpoint, never restarted blind), a replayed
+// idempotent submission still deduplicates after the failover, new
+// assignments carry the new term in their composed fencing epochs, and
+// the deposed leader's term can never write again.
+func TestHAFailoverContinuity(t *testing.T) {
+	ttl := time.Second
+	a, b := haPair(t, ttl)
+	snaps := t.TempDir()
+
+	spec := server.JobSpec{Name: "failover", Source: longSource(300_000)}
+	ref := referenceResult(t, spec)
+
+	startWorker(t, a.url+","+b.url, snaps, 1)
+	cl := NewClient(a.url+","+b.url, nil, t.Logf)
+
+	v, replayed, err := cl.Submit(spec, "failover-key")
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if replayed {
+		t.Fatal("first submission marked as a replay")
+	}
+
+	// Let the leader die only once the job is demonstrably mid-run.
+	waitFor(t, 30*time.Second, "job running", func() bool {
+		j, err := cl.Job(v.ID)
+		return err == nil && j.Status == server.StatusRunning
+	})
+	a.kill()
+
+	waitFor(t, 20*time.Second, "standby promotion", func() bool {
+		return b.n.Role() == "leader"
+	})
+
+	// The idempotency index survived the failover: the retried
+	// submission replays the existing job instead of minting a twin.
+	again, replayed, err := cl.Submit(spec, "failover-key")
+	if err != nil {
+		t.Fatalf("resubmit after failover: %v", err)
+	}
+	if again.ID != v.ID || !replayed {
+		t.Fatalf("post-failover resubmission: id %s replayed %v, want %s true", again.ID, replayed, v.ID)
+	}
+
+	var final server.JobView
+	waitFor(t, 120*time.Second, "job terminal after failover", func() bool {
+		j, err := cl.Job(v.ID)
+		if err != nil || !server.Terminal(j.Status) {
+			return false
+		}
+		final = *j
+		return true
+	})
+	if final.Status != "ok" {
+		t.Fatalf("job after failover: %+v", final)
+	}
+	checkMatchesReference(t, final, ref)
+
+	// A fresh assignment under the new leader carries the composed
+	// epoch: term 2 in the high half, so it compares strictly above
+	// every epoch the deposed leader ever minted.
+	v2, _, err := cl.Submit(server.JobSpec{Name: "post-failover", Source: longSource(20_000)}, "")
+	if err != nil {
+		t.Fatalf("submit after failover: %v", err)
+	}
+	var final2 server.JobView
+	waitFor(t, 60*time.Second, "post-failover job terminal", func() bool {
+		j, err := cl.Job(v2.ID)
+		if err != nil || !server.Terminal(j.Status) {
+			return false
+		}
+		final2 = *j
+		return true
+	})
+	if final2.Status != "ok" {
+		t.Fatalf("post-failover job: %+v", final2)
+	}
+	if term := final2.Epoch >> 32; term != 2 {
+		t.Errorf("post-failover assignment epoch %#x carries term %d, want 2", final2.Epoch, term)
+	}
+
+	// The deposed leader's era is fenced: a replication write under its
+	// term bounces off the new leader with 409.
+	code, err := PostReplicate(nil, b.url, 1, a.url)
+	if err != nil {
+		t.Fatalf("stale replicate: %v", err)
+	}
+	if code != http.StatusConflict {
+		t.Errorf("deposed leader's replication write: code %d, want 409", code)
+	}
+
+	m := scrapeURL(t, b.url)
+	if got := metricValue(t, m, "dsasimd_cluster_role"); got != 1 {
+		t.Errorf("new leader's role gauge = %d, want 1", got)
+	}
+	if got := metricValue(t, m, "dsasimd_cluster_failovers_total"); got < 1 {
+		t.Errorf("failovers_total = %d, want >= 1", got)
+	}
+	if got := metricValue(t, m, "dsasimd_cluster_replication_rejected_total"); got < 1 {
+		t.Errorf("replication_rejected_total = %d, want >= 1", got)
+	}
+}
+
+// TestHARoleEndpoints pins the role surface: a standby is alive but
+// never ready, labels itself via X-Dsasimd-Role, refuses the worker
+// lease protocol with 503 (rotate — not 409, which would self-fence a
+// healthy worker), and reverse-proxies the public job API to the
+// leader so a client that landed on the wrong node still gets service.
+func TestHARoleEndpoints(t *testing.T) {
+	a, b := haPair(t, 5*time.Second) // generous TTL: no takeover mid-test
+
+	if code, role, body := probeURL(t, b.url, "/readyz"); code != http.StatusServiceUnavailable || role != "standby" || body["leader"] != a.url {
+		t.Errorf("standby readyz: code %d role %q leader %q, want 503/standby/%s", code, role, body["leader"], a.url)
+	}
+	if code, _, _ := probeURL(t, b.url, "/healthz"); code != http.StatusOK {
+		t.Errorf("standby healthz: code %d, want 200 (liveness is role-blind)", code)
+	}
+	if _, role, _ := probeURL(t, a.url, "/readyz"); role != "leader" {
+		t.Errorf("leader readyz role header = %q, want leader", role)
+	}
+
+	// The lease protocol on a standby: 503 + role, so workers rotate.
+	resp, err := http.Post(b.url+"/cluster/v1/join", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST join to standby: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get(roleHeader) != "standby" {
+		t.Errorf("standby join: code %d role %q, want 503 standby", resp.StatusCode, resp.Header.Get(roleHeader))
+	}
+
+	// Public API through the standby: proxied to the leader.
+	v, replayed := submitIdem(t, b.url, server.JobSpec{Name: "proxied", Source: longSource(10_000)}, "proxy-key")
+	if replayed {
+		t.Fatal("proxied first submission marked as a replay")
+	}
+	direct, replayed := submitIdem(t, a.url, server.JobSpec{Name: "proxied", Source: longSource(10_000)}, "proxy-key")
+	if direct.ID != v.ID || !replayed {
+		t.Errorf("proxied submission did not land on the leader: %s vs %s (replayed %v)", v.ID, direct.ID, replayed)
+	}
+	cl := NewClient(b.url, nil, t.Logf)
+	if _, err := cl.Job(v.ID); err != nil {
+		t.Errorf("GET proxied job via standby: %v", err)
+	}
+}
+
+// TestHADeposition drives the leader's deposition paths — a higher
+// claim on the shared directory, and a successor term's fence — and
+// checks a deposed term can never write again: the cluster converges
+// on a single newer leader and 409s the old term's replication pushes.
+func TestHADeposition(t *testing.T) {
+	ttl := 400 * time.Millisecond
+	a, b := haPair(t, ttl)
+
+	// Forged stale writes are fenced on both roles before anything
+	// fails over: term 0 is below everyone, and the leader's own term
+	// presented by anyone else is a forgery too.
+	if code, err := PostReplicate(nil, b.url, 0, "http://imposter.invalid"); err != nil || code != http.StatusConflict {
+		t.Errorf("stale replicate to standby: code %d err %v, want 409", code, err)
+	}
+	if code, err := PostReplicate(nil, a.url, 1, "http://imposter.invalid"); err != nil || code != http.StatusConflict {
+		t.Errorf("equal-term replicate to the leader itself: code %d err %v, want 409", code, err)
+	}
+
+	// A higher claim appears on the shared directory (an operator's
+	// forced failover, say): the leader must notice and step down even
+	// though its network is fine.
+	if !tryClaim(a.n.ha.ClaimDir, 5, "http://imposter.invalid:1") {
+		t.Fatal("forged claim lost the O_EXCL race in an empty term")
+	}
+	waitFor(t, 10*time.Second, "leader deposed by higher claim", func() bool {
+		return a.n.Role() == "standby"
+	})
+
+	// The named leader never speaks, so a real node times out on it and
+	// takes over at a yet-higher term.
+	var winner *haTestNode
+	waitFor(t, 15*time.Second, "a successor leader", func() bool {
+		switch {
+		case a.n.Role() == "leader":
+			winner = a
+		case b.n.Role() == "leader":
+			winner = b
+		}
+		return winner != nil
+	})
+	if code, err := PostReplicate(nil, winner.url, 5, "http://imposter.invalid:1"); err != nil || code != http.StatusConflict {
+		t.Errorf("imposter-term replicate after takeover: code %d err %v, want 409", code, err)
+	}
+	if got := metricValue(t, scrapeURL(t, winner.url), "dsasimd_cluster_replication_rejected_total"); got < 1 {
+		t.Errorf("replication_rejected_total = %d, want >= 1", got)
+	}
+}
+
+// TestHAWorkerEndpointRotation: a worker given a dead endpoint first in
+// its -join list rotates onto the live coordinator under its normal
+// retry budget and serves jobs — no error, no restart.
+func TestHAWorkerEndpointRotation(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newTestCoordinator(t, Config{LeaseTTL: 3 * time.Second})
+
+	// 127.0.0.1:1 refuses instantly; the worker's first join rotates.
+	startWorker(t, "http://127.0.0.1:1,"+ts.URL, dir, 1)
+	waitReady(t, ts, 10*time.Second)
+
+	spec := server.JobSpec{Name: "rotated", Source: longSource(20_000)}
+	ref := referenceResult(t, spec)
+	id := submit(t, ts, spec, http.StatusAccepted).ID
+	v := waitTerminal(t, ts, id, 60*time.Second)
+	if v.Status != "ok" {
+		t.Fatalf("job via rotated worker: %+v", v)
+	}
+	checkMatchesReference(t, v, ref)
+}
+
+// TestHAStandbyCatchUp: a standby that joins (well, boots) after the
+// leader already accumulated state converges via a snapshot record —
+// its mirror reaches the leader's replication watermark — and a
+// promotion from that mirror serves every job the leader knew.
+func TestHAStandbyCatchUp(t *testing.T) {
+	ttl := time.Second
+	a, b := haPairStaggered(t, ttl, func(leaderURL string) []server.JobView {
+		// Backlog accrues while the standby does not exist yet.
+		views := make([]server.JobView, 0, 8)
+		for i := 0; i < 8; i++ {
+			views = append(views, postJob(t, leaderURL, server.JobSpec{Name: "backlog", Source: longSource(10_000)}))
+		}
+		return views
+	})
+	backlog := a.pre
+
+	// The late standby catches up: its mirror's watermark reaches the
+	// leader's stream position.
+	waitFor(t, 10*time.Second, "standby catch-up", func() bool {
+		return metricValue(t, scrapeURL(t, b.url), "dsasimd_cluster_replication_seq") >= 1 &&
+			metricValue(t, scrapeURL(t, b.url), "dsasimd_cluster_jobs_pending") == int64(len(backlog))
+	})
+
+	// Promote it and check nothing was lost in transit.
+	a.kill()
+	waitFor(t, 20*time.Second, "standby promotion", func() bool {
+		return b.n.Role() == "leader"
+	})
+	cl := NewClient(b.url, nil, t.Logf)
+	for _, v := range backlog {
+		got, err := cl.Job(v.ID)
+		if err != nil {
+			t.Fatalf("job %s after promotion: %v", v.ID, err)
+		}
+		if got.Status != server.StatusQueued {
+			t.Errorf("job %s after promotion: status %s, want queued", v.ID, got.Status)
+		}
+	}
+}
+
+// staggeredPair is haPairStaggered's leader handle plus whatever the
+// between-boots callback produced.
+type staggeredPair struct {
+	*haTestNode
+	pre []server.JobView
+}
+
+// haPairStaggered boots the leader, runs pre against it, and only then
+// boots the standby — the late-joiner topology. Both nodes know each
+// other's URL from birth (listeners are reserved up front).
+func haPairStaggered(t *testing.T, ttl time.Duration, pre func(leaderURL string) []server.JobView) (*staggeredPair, *haTestNode) {
+	t.Helper()
+	dir := t.TempDir()
+	claims := filepath.Join(dir, "ha")
+	lnA, lnB := haListen(t), haListen(t)
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+
+	a := startHANode(t, lnA, claims, filepath.Join(dir, "a.dsnp"), []string{urlB}, false, ttl)
+	if got := a.n.Role(); got != "leader" {
+		t.Fatalf("first node role = %s, want leader", got)
+	}
+	views := pre(a.url)
+	b := startHANode(t, lnB, claims, filepath.Join(dir, "b.dsnp"), []string{urlA}, true, ttl)
+	return &staggeredPair{haTestNode: a, pre: views}, b
+}

@@ -103,6 +103,9 @@ func (c *Coordinator) handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleReady: the cluster can usefully accept a submission only when
 // it is not draining and at least one worker holds a current lease.
 func (c *Coordinator) handleReady(w http.ResponseWriter, r *http.Request) {
+	// A coordinator answering readiness itself is the leader (the HA
+	// node answers for its standbys); clients and probes key off this.
+	w.Header().Set(roleHeader, "leader")
 	reason := ""
 	if c.draining.Load() {
 		reason = "draining"
@@ -152,7 +155,9 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 		jobs:     map[string]struct{}{},
 	}
 	c.workers[we.id] = we
+	c.repWorkerLocked(we)
 	c.assignLocked()
+	c.repCountersLocked()
 	c.saveStateLocked()
 	c.mu.Unlock()
 	c.metrics.onLeaseGrant()
@@ -214,6 +219,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		if j.status == server.StatusQueued {
 			j.status = server.StatusRunning
 			j.started = time.Now()
+			c.repJobLocked(j)
 			statusEvents = append(statusEvents,
 				server.Event{Type: "status", Job: j.id, Status: server.StatusRunning})
 		}
@@ -269,6 +275,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if we := c.workers[req.Worker]; we != nil {
 		delete(we.jobs, req.Job)
 	}
+	c.repJobLocked(j)
 	c.assignLocked() // a capacity slot just freed
 	c.saveStateLocked()
 	c.mu.Unlock()

@@ -24,6 +24,12 @@ type clusterMetrics struct {
 	deduped       uint64
 	rpcRetries    uint64
 	rpcTimeouts   uint64
+	// failovers counts this node's promotions from standby to leader;
+	// replRejected counts replication pushes fenced with 409 (a deposed
+	// or forged leader term). Both live here — not on the coordinator —
+	// because they must survive the node's role flips.
+	failovers    uint64
+	replRejected uint64
 }
 
 func newClusterMetrics() *clusterMetrics {
@@ -46,6 +52,9 @@ func (m *clusterMetrics) onFencedWrite() { m.inc(&m.fencedWrites) }
 
 func (m *clusterMetrics) onHeartbeatReject() { m.inc(&m.hbRejected) }
 func (m *clusterMetrics) onDedup()           { m.inc(&m.deduped) }
+
+func (m *clusterMetrics) onFailover()          { m.inc(&m.failovers) }
+func (m *clusterMetrics) onReplicationReject() { m.inc(&m.replRejected) }
 
 // onRPCReport folds one accepted heartbeat's client-side fault deltas
 // into the registry (workers have no scrape endpoint of their own).
@@ -83,6 +92,16 @@ type clusterGauges struct {
 	jobsPending int
 	// inflight maps live worker ID → leased job count.
 	inflight map[string]int
+	// role is 1 on the leader (a solo coordinator is its own leader),
+	// 0 on a warm standby.
+	role int
+	// replSeq is the replication watermark: the leader's last appended
+	// delta sequence, or a standby's last applied one.
+	replSeq uint64
+	// replLag is staleness in seconds: on a standby, time since the
+	// leader's last accepted push; on a leader, its most lagging
+	// standby's time since last acknowledgment (0 with no peers).
+	replLag float64
 }
 
 // render writes the registry in Prometheus text exposition format,
@@ -99,8 +118,12 @@ func (m *clusterMetrics) render(g clusterGauges) string {
 		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 
+	gauge("dsasimd_cluster_role", "Coordinator role: 1 leader, 0 warm standby.", int64(g.role))
 	gauge("dsasimd_cluster_workers_live", "Workers holding a current lease.", int64(g.workersLive))
 	gauge("dsasimd_cluster_jobs_pending", "Jobs waiting for a worker assignment.", int64(g.jobsPending))
+	gauge("dsasimd_cluster_replication_seq", "Replication watermark: last delta appended (leader) or applied (standby).", int64(g.replSeq))
+	fmt.Fprintf(&b, "# HELP dsasimd_cluster_replication_lag_seconds Replication staleness: seconds since the last accepted push (standby) or the most lagging standby's last ack (leader).\n"+
+		"# TYPE dsasimd_cluster_replication_lag_seconds gauge\ndsasimd_cluster_replication_lag_seconds %g\n", g.replLag)
 
 	fmt.Fprintf(&b, "# HELP dsasimd_cluster_worker_inflight Jobs currently leased, per live worker.\n# TYPE dsasimd_cluster_worker_inflight gauge\n")
 	workers := make([]string, 0, len(g.inflight))
@@ -123,6 +146,8 @@ func (m *clusterMetrics) render(g clusterGauges) string {
 	counter("dsasimd_cluster_jobs_deduped_total", "Submissions replayed from an earlier job via Idempotency-Key.", m.deduped)
 	counter("dsasimd_cluster_rpc_retries_total", "Failed worker RPC attempts (any cause), reported via heartbeats.", m.rpcRetries)
 	counter("dsasimd_cluster_rpc_timeouts_total", "Worker RPC attempts that hit their context deadline, reported via heartbeats.", m.rpcTimeouts)
+	counter("dsasimd_cluster_failovers_total", "Promotions of this node from standby to leader.", m.failovers)
+	counter("dsasimd_cluster_replication_rejected_total", "Replication pushes fenced with 409: a deposed or forged leadership term.", m.replRejected)
 
 	fmt.Fprintf(&b, "# HELP dsasimd_cluster_jobs_completed_total Jobs finished, by terminal status.\n# TYPE dsasimd_cluster_jobs_completed_total counter\n")
 	statuses := make([]string, 0, len(m.completed))

@@ -18,6 +18,11 @@ import (
 // restarted coordinator never re-issues an epoch a zombie still holds.
 const stateSection = "dsasimd.cluster"
 
+// haSection is the extra section a standby's state file carries: which
+// leadership term the mirror belongs to and its applied replication
+// watermark, encoded with the snapshot codec.
+const haSection = "dsasimd.cluster.ha"
+
 type persistedJob struct {
 	ID      string             `json:"id"`
 	Spec    server.JobSpec     `json:"spec"`
@@ -35,7 +40,8 @@ type persistedWorker struct {
 	Capacity int    `json:"capacity"`
 	// Session is the lease's nonce: it must survive a coordinator
 	// restart so a still-live worker's next heartbeat renews its lease
-	// instead of being rejected as a replay.
+	// instead of being rejected as a replay. It is replicated for the
+	// same reason: a worker must survive a *failover* without rejoining.
 	Session string `json:"session,omitempty"`
 }
 
@@ -47,82 +53,113 @@ type clusterState struct {
 	Workers    []persistedWorker `json:"workers,omitempty"`
 }
 
+// persistJobLocked renders one job as its persisted (and replicated)
+// form. The caller must hold c.mu.
+func (c *Coordinator) persistJobLocked(j *cjob) persistedJob {
+	return persistedJob{
+		ID:      j.id,
+		Spec:    j.spec,
+		Status:  j.status,
+		Owner:   j.owner,
+		Epoch:   j.epoch,
+		Resume:  j.resume,
+		IdemKey: j.idemKey,
+		Queued:  fmtTime(j.queued),
+		Result:  j.result,
+	}
+}
+
+// exportStateLocked renders the coordinator's whole persisted state —
+// the payload of both the state file and replication snapshot records.
+// The caller must hold c.mu.
+func (c *Coordinator) exportStateLocked() clusterState {
+	st := clusterState{NextJob: c.nextJob, NextWorker: c.nextWorker, NextEpoch: c.nextEpoch}
+	for _, jid := range c.order {
+		st.Jobs = append(st.Jobs, c.persistJobLocked(c.jobs[jid]))
+	}
+	for _, we := range c.workers {
+		st.Workers = append(st.Workers, persistedWorker{ID: we.id, Capacity: we.capacity, Session: we.session})
+	}
+	return st
+}
+
 // saveStateLocked writes the coordinator's tables crash-consistently.
 // The caller must hold c.mu. Failures are logged, never fatal.
 func (c *Coordinator) saveStateLocked() {
 	if c.cfg.StateFile == "" {
 		return
 	}
-	st := clusterState{NextJob: c.nextJob, NextWorker: c.nextWorker, NextEpoch: c.nextEpoch}
-	for _, jid := range c.order {
-		j := c.jobs[jid]
-		st.Jobs = append(st.Jobs, persistedJob{
-			ID:      j.id,
-			Spec:    j.spec,
-			Status:  j.status,
-			Owner:   j.owner,
-			Epoch:   j.epoch,
-			Resume:  j.resume,
-			IdemKey: j.idemKey,
-			Queued:  fmtTime(j.queued),
-			Result:  j.result,
-		})
-	}
-	for _, we := range c.workers {
-		st.Workers = append(st.Workers, persistedWorker{ID: we.id, Capacity: we.capacity, Session: we.session})
-	}
+	st := c.exportStateLocked()
 	payload, err := json.Marshal(st)
 	if err != nil {
 		c.cfg.Logf("dsasimd: saving cluster state: %v", err)
 		return
 	}
-	var w snapshot.Writer
+	w := snapshot.Writer{Epoch: c.leaderEpoch}
 	w.Add(stateSection, payload)
 	if err := w.WriteFile(c.cfg.StateFile); err != nil {
 		c.cfg.Logf("dsasimd: saving cluster state: %v", err)
 	}
 }
 
-// restore loads a previous coordinator's tables. Restored workers get
-// a fresh grace deadline: if they are still alive their next heartbeat
-// renews the same lease (their in-flight epochs stay valid); if they
-// died during the outage, the grace TTL expires and takeover proceeds
-// normally. A missing file is a fresh start; a corrupt one is renamed
+// loadStateFile reads and decodes a coordinator state file. A missing
+// file returns (nil, nil) — a fresh start. A corrupt one is renamed
 // aside and reported.
-func (c *Coordinator) restore() error {
-	path := c.cfg.StateFile
-	if path == "" {
-		return nil
-	}
+func loadStateFile(path string) (*clusterState, error) {
 	rd, err := snapshot.ReadFile(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return nil
+			return nil, nil
 		}
 		quarantine := path + ".bad"
 		_ = os.Rename(path, quarantine)
-		return fmt.Errorf("cluster state %s unreadable (%w); moved to %s, starting fresh", path, err, quarantine)
+		return nil, fmt.Errorf("cluster state %s unreadable (%w); moved to %s, starting fresh", path, err, quarantine)
 	}
 	payload, err := rd.Section(stateSection)
 	if err != nil {
-		return fmt.Errorf("cluster state %s: %w", path, err)
+		return nil, fmt.Errorf("cluster state %s: %w", path, err)
 	}
 	var st clusterState
 	if err := json.Unmarshal(payload, &st); err != nil {
-		return fmt.Errorf("cluster state %s: %w", path, err)
+		return nil, fmt.Errorf("cluster state %s: %w", path, err)
 	}
+	return &st, nil
+}
 
+// restore loads a previous coordinator's tables from the state file.
+func (c *Coordinator) restore() error {
+	if c.cfg.StateFile == "" {
+		return nil
+	}
+	st, err := loadStateFile(c.cfg.StateFile)
+	if err != nil || st == nil {
+		return err
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.adoptStateLocked(st)
+	c.cfg.Logf("dsasimd: restored %d job(s), %d worker lease(s) from %s (epoch counter %d)",
+		len(st.Jobs), len(st.Workers), c.cfg.StateFile, st.NextEpoch)
+	return nil
+}
+
+// adoptStateLocked installs a persisted state wholesale — from the
+// state file on restart, or from the replicated mirror on a standby's
+// promotion. Restored workers get a fresh grace deadline: if they are
+// still alive their next heartbeat renews the same lease (their
+// in-flight epochs stay valid); if they died during the outage, the
+// grace TTL expires and takeover proceeds normally. The caller must
+// hold c.mu.
+func (c *Coordinator) adoptStateLocked(st *clusterState) {
 	c.nextJob, c.nextWorker, c.nextEpoch = st.NextJob, st.NextWorker, st.NextEpoch
 	grace := time.Now().Add(c.cfg.LeaseTTL)
 	for _, pw := range st.Workers {
-		// The sequence watermark is deliberately NOT persisted: the
-		// state file is not written per heartbeat, so a restored
-		// watermark would be stale anyway. Accepting one replayed
-		// renewal inside the restart grace window is harmless — replay
-		// rejection matters for *fenced* sessions, whose nonces are gone
-		// from the table entirely.
+		// The sequence watermark is deliberately NOT carried over: the
+		// state is not written per heartbeat, so a restored watermark
+		// would be stale anyway. Accepting one replayed renewal inside
+		// the grace window is harmless — replay rejection matters for
+		// *fenced* sessions, whose nonces are gone from the table
+		// entirely.
 		c.workers[pw.ID] = &workerEntry{
 			id:       pw.ID,
 			capacity: pw.Capacity,
@@ -173,7 +210,25 @@ func (c *Coordinator) restore() error {
 			}
 		}
 	}
-	c.cfg.Logf("dsasimd: restored %d job(s), %d worker lease(s) from %s (epoch counter %d)",
-		len(st.Jobs), len(st.Workers), path, st.NextEpoch)
-	return nil
+}
+
+// saveStandbyState persists a standby's mirror next to where the same
+// node would keep its leader state, tagged with the term and watermark
+// it reflects — the best available starting point if the whole cluster
+// restarts cold.
+func saveStandbyState(path string, st *clusterState, leaderEpoch, lastSeq uint64) error {
+	if path == "" {
+		return nil
+	}
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	var e snapshot.Enc
+	e.U64(leaderEpoch)
+	e.U64(lastSeq)
+	w := snapshot.Writer{Epoch: leaderEpoch}
+	w.Add(stateSection, payload)
+	w.Add(haSection, e.Bytes())
+	return w.WriteFile(path)
 }

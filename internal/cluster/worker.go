@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,7 +39,12 @@ const (
 
 // WorkerConfig parameterizes one worker process.
 type WorkerConfig struct {
-	// Coordinator is the coordinator's base URL.
+	// Coordinator is the coordinator's base URL — or a comma-separated
+	// list of them under replicated-coordinator HA. The worker talks to
+	// one endpoint at a time and rotates to the next on connect
+	// failures and standby refusals (502/503), under the same jittered
+	// retry budgets as before; fences (409) and refusals that mean the
+	// *cluster* said no (400/404/429) never rotate.
 	Coordinator string
 	// Capacity is how many jobs to run concurrently (0 = 1).
 	Capacity int
@@ -78,6 +84,12 @@ type Worker struct {
 	once   sync.Once
 	jobWG  sync.WaitGroup
 
+	// endpoints is the coordinator endpoint list; epIdx mod len is the
+	// one currently in use (a monotonic index so concurrent failures
+	// rotate once, not once each).
+	endpoints []string
+	epIdx     atomic.Uint32
+
 	// rpcRetries/rpcTimeouts accumulate client-side RPC failures since
 	// the last delivered heartbeat; the next accepted heartbeat ships
 	// them to the coordinator's metrics and subtracts what it shipped.
@@ -101,10 +113,38 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cfg.Logf = func(string, ...any) {}
 	}
 	return &Worker{
-		cfg:     cfg,
-		client:  &http.Client{Transport: cfg.Transport},
-		stopCh:  make(chan struct{}),
-		running: map[string]assignment{},
+		cfg:       cfg,
+		client:    &http.Client{Transport: cfg.Transport},
+		stopCh:    make(chan struct{}),
+		running:   map[string]assignment{},
+		endpoints: splitEndpoints(cfg.Coordinator),
+	}
+}
+
+// splitEndpoints parses a comma-separated coordinator endpoint list.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimRight(strings.TrimSpace(e), "/"); e != "" {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{""}
+	}
+	return out
+}
+
+// rotate advances to the next endpoint, if the caller's view (from) is
+// still current — so a burst of failures against one endpoint moves
+// one step, not past the live coordinator.
+func (w *Worker) rotate(from uint32) {
+	if len(w.endpoints) < 2 {
+		return
+	}
+	if w.epIdx.CompareAndSwap(from, from+1) {
+		w.cfg.Logf("dsasimd-worker: rotating coordinator endpoint to %s",
+			w.endpoints[int((from+1)%uint32(len(w.endpoints)))])
 	}
 }
 
@@ -421,18 +461,29 @@ func (w *Worker) post(timeout time.Duration, path string, in, out any) (int, err
 	if err != nil {
 		return 0, err
 	}
+	idx := w.epIdx.Load()
+	base := w.endpoints[int(idx%uint32(len(w.endpoints)))]
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := w.client.Do(req)
 	if err != nil {
+		// Unreachable endpoint: the caller's existing backoff retries
+		// the next one.
+		w.rotate(idx)
 		return 0, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusBadGateway {
+		// A standby (or a draining/booting coordinator): rotate. Never
+		// on 409/404/400/429 — those are the cluster's answer, not the
+		// wrong endpoint's.
+		w.rotate(idx)
+	}
 	if out != nil && resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 			return resp.StatusCode, fmt.Errorf("decoding %s response: %w", path, err)

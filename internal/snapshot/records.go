@@ -1,0 +1,62 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Record streams.
+//
+// The replication stream between coordinators ships batches of state
+// delta records over HTTP. The container format above is the wrong
+// shape for that — sections are named and unique, records are ordered
+// and repeated — so batches use a flat framing with the same
+// corruption guarantees:
+//
+//	record := payLen u32 | payload [payLen]byte | crc u32
+//
+// where crc is CRC32-C over the payload alone. A stream is zero or
+// more records back to back with nothing after the last one. Like the
+// container, a framing or checksum failure surfaces as ErrCorrupt /
+// ErrTruncated: a receiver can never half-apply a batch that was
+// truncated or bit-flipped on the wire — it rejects the whole body and
+// the sender retries.
+
+// maxRecordBytes bounds what one record's length field can claim, so a
+// corrupted length cannot drive a huge allocation.
+const maxRecordBytes = 1 << 30
+
+// AppendRecord appends one framed record holding payload to dst and
+// returns the extended slice.
+func AppendRecord(dst, payload []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, sectionCRC("", payload))
+}
+
+// SplitRecords validates b as a record stream and returns the payload
+// of every record, in order. Payloads alias b. An empty stream is
+// valid and returns nil.
+func SplitRecords(b []byte) ([][]byte, error) {
+	var out [][]byte
+	off := 0
+	for off < len(b) {
+		rest := b[off:]
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: record %d header (%d bytes)", ErrTruncated, len(out), len(rest))
+		}
+		payLen := binary.LittleEndian.Uint32(rest)
+		if payLen > maxRecordBytes || int(payLen) > len(rest)-8 {
+			return nil, fmt.Errorf("%w: record %d payload (%d bytes claimed, %d available)",
+				ErrTruncated, len(out), payLen, len(rest)-8)
+		}
+		payload := rest[4 : 4+int(payLen)]
+		crc := binary.LittleEndian.Uint32(rest[4+int(payLen):])
+		if got := sectionCRC("", payload); got != crc {
+			return nil, fmt.Errorf("%w: record %d CRC32C %08x, want %08x", ErrCorrupt, len(out), got, crc)
+		}
+		out = append(out, payload)
+		off += 8 + int(payLen)
+	}
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRecordStreamRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("first"),
+		{}, // empty records are legal (replication heartbeats)
+		bytes.Repeat([]byte{0xA5}, 4096),
+		[]byte(`{"kind":"job","seq":7}`),
+	}
+	var b []byte
+	for _, p := range payloads {
+		b = AppendRecord(b, p)
+	}
+	got, err := SplitRecords(b)
+	if err != nil {
+		t.Fatalf("SplitRecords: %v", err)
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("got %d records, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("record %d: got %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+func TestRecordStreamEmpty(t *testing.T) {
+	got, err := SplitRecords(nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream: got %d records, err %v", len(got), err)
+	}
+}
+
+// Every proper prefix of a valid stream that does not end on a record
+// boundary must be rejected — a truncated batch is never half-applied.
+func TestRecordStreamTruncation(t *testing.T) {
+	var b []byte
+	b = AppendRecord(b, []byte("hello"))
+	b = AppendRecord(b, []byte("world, this is record two"))
+	boundaries := map[int]bool{0: true, 4 + 5 + 4: true, len(b): true}
+	for cut := 0; cut <= len(b); cut++ {
+		_, err := SplitRecords(b[:cut])
+		if boundaries[cut] {
+			if err != nil {
+				t.Errorf("cut %d (boundary): unexpected error %v", cut, err)
+			}
+			continue
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("cut %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// Any single bit flip anywhere in the stream must be detected (either
+// as a checksum mismatch or as framing damage).
+func TestRecordStreamBitFlip(t *testing.T) {
+	var orig []byte
+	orig = AppendRecord(orig, []byte("payload A"))
+	orig = AppendRecord(orig, []byte("payload B"))
+	for i := 0; i < len(orig)*8; i++ {
+		b := bytes.Clone(orig)
+		b[i/8] ^= 1 << (i % 8)
+		recs, err := SplitRecords(b)
+		if err != nil {
+			continue
+		}
+		// A flip in a length field can reframe the stream; the CRCs
+		// must still refuse the altered payloads.
+		if len(recs) == 2 && bytes.Equal(recs[0], []byte("payload A")) && bytes.Equal(recs[1], []byte("payload B")) {
+			t.Fatalf("bit %d: flip accepted with payloads intact", i)
+		}
+		if err == nil {
+			t.Fatalf("bit %d: corrupted stream accepted (%d records)", i, len(recs))
+		}
+	}
+}
+
+func TestRecordStreamOversizedClaim(t *testing.T) {
+	b := AppendRecord(nil, []byte("x"))
+	b[0], b[1], b[2], b[3] = 0xFF, 0xFF, 0xFF, 0x7F // claim ~2 GiB
+	if _, err := SplitRecords(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized claim: got %v, want ErrCorrupt", err)
+	}
+}
