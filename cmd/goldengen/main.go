@@ -39,6 +39,10 @@ type DSAStats struct {
 	VectorizedIters  uint64 `json:"vectorized_iters"`
 	LeftoverElements uint64 `json:"leftover_elements"`
 	OverheadTicks    int64  `json:"overhead_ticks"`
+	// Adaptive-policy counters (schema v3); zero in every other mode.
+	PolicyKept      uint64 `json:"policy_kept,omitempty"`
+	PolicySuspended uint64 `json:"policy_suspended,omitempty"`
+	PolicyTrialed   uint64 `json:"policy_trialed,omitempty"`
 }
 
 // Golden is one workload/mode observation.
@@ -60,7 +64,7 @@ type File struct {
 
 var modes = []experiments.Mode{
 	experiments.ModeScalar, experiments.ModeAutoVec, experiments.ModeHand,
-	experiments.ModeDSAOrig, experiments.ModeDSAExt,
+	experiments.ModeDSAOrig, experiments.ModeDSAExt, experiments.ModeDSAAdaptive,
 }
 
 func runOne(w *workloads.Workload, mode experiments.Mode) (*Golden, error) {
@@ -81,10 +85,13 @@ func runOne(w *workloads.Workload, mode experiments.Mode) (*Golden, error) {
 			prog = w.Hand()
 		}
 		m = cpu.MustNew(prog, cpu.DefaultConfig())
-	case experiments.ModeDSAOrig, experiments.ModeDSAExt:
+	case experiments.ModeDSAOrig, experiments.ModeDSAExt, experiments.ModeDSAAdaptive:
 		cfg := dsa.DefaultConfig()
-		if mode == experiments.ModeDSAOrig {
+		switch mode {
+		case experiments.ModeDSAOrig:
 			cfg = dsa.OriginalConfig()
+		case experiments.ModeDSAAdaptive:
+			cfg = dsa.AdaptiveConfig()
 		}
 		s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), cfg)
 		if err != nil {
@@ -112,6 +119,9 @@ func runOne(w *workloads.Workload, mode experiments.Mode) (*Golden, error) {
 			VectorizedIters:  st.VectorizedIters,
 			LeftoverElements: st.LeftoverElements,
 			OverheadTicks:    st.OverheadTicks,
+			PolicyKept:       st.PolicyKept,
+			PolicySuspended:  st.PolicySuspended,
+			PolicyTrialed:    st.PolicyTrialed,
 		}
 		g.MemDigest = fmt.Sprintf("%016x", s.M.Mem.Sum64())
 		g.Ticks = s.M.Ticks
@@ -134,7 +144,7 @@ func runOne(w *workloads.Workload, mode experiments.Mode) (*Golden, error) {
 func main() {
 	out := flag.String("out", "internal/experiments/testdata/golden_digests.json", "output path")
 	flag.Parse()
-	f := File{Schema: "golden_digests/v2"}
+	f := File{Schema: "golden_digests/v3"}
 	for _, w := range workloads.All() {
 		for _, mode := range modes {
 			g, err := runOne(w, mode)

@@ -272,6 +272,56 @@ func (m *Machine) runQuiet() error {
 	return nil
 }
 
+// RunToBackBranch runs the machine until a taken backward branch (a
+// conditional or unconditional B whose target precedes it) is about to
+// retire; it retires that branch and returns its target and address
+// with hit=true. The machine halting first returns hit=false.
+//
+// This is the DSA watch-mode fast path: with no analysis in flight the
+// engine's Observe is a no-op for every record except a taken backward
+// branch (the only event that can start a loop detection), so the
+// driver can skip per-step record filling and the observer call
+// entirely. Architectural state, timing and counters advance exactly
+// as Step does; callers account the skipped observations in bulk from
+// the Steps delta. The branch test reads the predecoded form and the
+// current flags before execution — semantically identical to checking
+// Record.Taken after retirement, since a B never modifies flags.
+func (m *Machine) RunToBackBranch() (target, branchPC int, hit bool, err error) {
+	var rec Record
+	for !m.Halted {
+		if m.runHook != nil {
+			if err := m.runHook(); err != nil {
+				return 0, 0, false, err
+			}
+		}
+		if m.cancelFn != nil {
+			if m.cancelLeft--; m.cancelLeft == 0 {
+				m.cancelLeft = m.cancelEvery
+				if err := m.cancelFn(); err != nil {
+					return 0, 0, false, fmt.Errorf("%w at pc=%d after %d steps: %w", ErrCanceled, m.PC, m.Steps, err)
+				}
+			}
+		}
+		if m.Steps >= m.cfg.MaxSteps {
+			return 0, 0, false, fmt.Errorf("%w: %d steps at pc=%d (runaway loop?)", ErrMaxSteps, m.cfg.MaxSteps, m.PC)
+		}
+		pc := m.PC
+		if uint(pc) >= uint(len(m.pcode)) {
+			return 0, 0, false, fmt.Errorf("%w: pc %d outside program", ErrInvalidPC, pc)
+		}
+		u := &m.pcode[pc]
+		surface := u.kind == pB && int(u.target) < pc && u.cond.Holds(m.F)
+		m.Steps++
+		if err := m.exec(u, &rec); err != nil {
+			return 0, 0, false, fmt.Errorf("cpu: pc=%d %q: %w", pc, m.Prog.Code[pc].String(), err)
+		}
+		if surface {
+			return int(u.target), pc, true, nil
+		}
+	}
+	return 0, 0, false, nil
+}
+
 // Step retires one instruction, filling rec in place (to avoid a
 // per-instruction allocation on the hot path). Dispatch runs over the
 // predecoded program; rec.Instr points at the armlite source of the

@@ -1,0 +1,84 @@
+package cpu
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/armlite"
+	"repro/internal/asm"
+)
+
+// TestRunToBackBranchEquivalence proves the watch-mode loop retires the
+// same instruction stream as the observed Run loop: identical final
+// architectural state and the identical sequence of taken backward
+// branches, surfaced at the same step counts.
+func TestRunToBackBranchEquivalence(t *testing.T) {
+	src := `
+        mov r0, #0
+        mov r1, #0
+    outer:
+        mov r2, #0
+    inner:
+        add r0, r0, r2
+        add r2, r2, #1
+        cmp r2, #5
+        blt inner
+        add r1, r1, #1
+        cmp r1, #4
+        blt outer
+        b done
+    done:
+        halt`
+	p, err := asm.Assemble("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type hit struct {
+		target, pc int
+		steps      uint64
+	}
+
+	// Reference: observed run, recording taken backward branches.
+	ref := MustNew(p, DefaultConfig())
+	var want []hit
+	err = ref.Run(ObserverFunc(func(r *Record) {
+		if r.Instr.Op == armlite.OpB && r.Taken && r.Instr.Target < r.PC {
+			want = append(want, hit{r.Instr.Target, r.PC, ref.Steps})
+		}
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Watch mode: same program, surfacing branches directly.
+	m := MustNew(p, DefaultConfig())
+	var got []hit
+	for {
+		target, bpc, ok, err := m.RunToBackBranch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, hit{target, bpc, m.Steps})
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("branch streams differ:\n got %v\nwant %v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("test program surfaced no backward branches")
+	}
+	if m.Steps != ref.Steps || m.Ticks != ref.Ticks {
+		t.Fatalf("steps/ticks diverged: watch %d/%d, observed %d/%d",
+			m.Steps, m.Ticks, ref.Steps, ref.Ticks)
+	}
+	if m.R != ref.R || m.Counts != ref.Counts {
+		t.Fatalf("architectural state diverged")
+	}
+	if !m.Halted {
+		t.Fatal("watch machine did not halt")
+	}
+}

@@ -55,13 +55,36 @@ func NewSystem(prog *armlite.Program, cpuCfg cpu.Config, dsaCfg Config) (*System
 }
 
 // Run executes the program to completion with DSA detection active.
+//
+// Two driving regimes, bit-identical in every counter and decision:
+//
+//   - Watch mode (no analysis in flight): the engine's Observe is a
+//     no-op for every record except a taken backward branch, so the
+//     machine runs its quiescent fast loop (cpu.RunToBackBranch) and
+//     only surfaces those branches. The skipped observations are
+//     accounted in bulk from the step delta; detection fires through
+//     the same detectLoop the step path uses.
+//   - Step mode (live tracks): every retired instruction is fed to
+//     Observe so the per-loop state machines see the full stream.
 func (s *System) Run() error {
 	var rec cpu.Record
 	for !s.M.Halted {
-		if err := s.M.Step(&rec); err != nil {
-			return err
+		if len(s.E.live) == 0 {
+			before := s.M.Steps
+			target, bpc, hit, err := s.M.RunToBackBranch()
+			s.E.stats.Observations += s.M.Steps - before
+			if err != nil {
+				return err
+			}
+			if hit {
+				s.E.detectLoop(target, bpc)
+			}
+		} else {
+			if err := s.M.Step(&rec); err != nil {
+				return err
+			}
+			s.E.Observe(&rec)
 		}
-		s.E.Observe(&rec)
 		if req := s.E.TakeRequest(); req != nil {
 			if err := s.guarded(req); err != nil {
 				return fmt.Errorf("dsa takeover at loop %d: %w", req.Analysis.LoopID, err)
@@ -94,11 +117,13 @@ func (s *System) Faults() *FaultInjector { return s.faults }
 // hard-verify mode).
 func (s *System) guarded(req *Request) error {
 	label := s.faults.Arm(req)
+	mark := s.policyBegin()
 	cp := s.M.Checkpoint()
 	err := s.handle(req)
 	if err == nil {
 		if !s.cfg.Verify.Enabled {
 			s.M.Release(cp)
+			s.policySettle(req, mark)
 			return nil
 		}
 		div, verr := s.verify(req, cp)
@@ -106,7 +131,11 @@ func (s *System) guarded(req *Request) error {
 			return verr
 		}
 		if div == nil {
-			return nil // oracle agreed; speculative outcome committed
+			// Oracle agreed; the speculative outcome (ticks, steps,
+			// counters) is architecturally in place, so the deltas
+			// across the takeover are the takeover's own cost.
+			s.policySettle(req, mark)
+			return nil
 		}
 		// The oracle's scalar state is already architecturally in
 		// place; record the divergence and pin the loop scalar.
@@ -126,6 +155,53 @@ func (s *System) guarded(req *Request) error {
 	s.E.stats.OverheadTicks += s.cfg.Latencies.PipelineFlush
 	s.fallbackTo(req, errorCause(err, label))
 	return nil
+}
+
+// policyMark captures the cumulative counters entering a takeover so
+// policySettle can measure what the takeover actually cost.
+type policyMark struct {
+	on       bool
+	ticks    int64
+	vecIters uint64
+	energyNJ float64
+}
+
+func (s *System) policyBegin() policyMark {
+	if s.E.policy == nil {
+		return policyMark{}
+	}
+	return policyMark{
+		on:       true,
+		ticks:    s.M.Ticks,
+		vecIters: s.E.stats.VectorizedIters,
+		energyNJ: s.E.energyNow(),
+	}
+}
+
+// policySettle folds one committed takeover's measured outcome into the
+// adaptive ledger: estimated scalar cost (the loop's own sampled
+// per-iteration baseline × iterations vectorized) minus the measured
+// takeover cost. Rolled-back takeovers never settle — the loop is
+// blacklisted structurally, which removes the arm from play entirely.
+func (s *System) policySettle(req *Request, mark policyMark) {
+	if !mark.on {
+		return
+	}
+	pc := req.Analysis.LoopID
+	baseTicks, baseEnergy, ok := s.E.policy.Baseline(pc)
+	if !ok {
+		return // no sampled baseline (nothing to compare against)
+	}
+	iters := int64(s.E.stats.VectorizedIters - mark.vecIters)
+	tickGain := baseTicks*iters - (s.M.Ticks - mark.ticks)
+	energyGain := baseEnergy*float64(iters) - (s.E.energyNow() - mark.energyNJ)
+	win, suspended := s.E.policy.RecordTakeover(pc, tickGain, energyGain)
+	if win {
+		s.E.stats.PolicyKept++
+	}
+	if suspended {
+		s.E.stats.PolicySuspended++
+	}
 }
 
 // fallbackTo blacklists the loop and counts the fallback.

@@ -69,10 +69,13 @@ func buildSim(w *workloads.Workload, mode Mode) (*sim, error) {
 		m := cpu.MustNew(prog, cpu.DefaultConfig())
 		w.Setup(m)
 		return &sim{m: m}, nil
-	case ModeDSAOrig, ModeDSAExt:
+	case ModeDSAOrig, ModeDSAExt, ModeDSAAdaptive:
 		cfg := dsa.DefaultConfig()
-		if mode == ModeDSAOrig {
+		switch mode {
+		case ModeDSAOrig:
 			cfg = dsa.OriginalConfig()
+		case ModeDSAAdaptive:
+			cfg = dsa.AdaptiveConfig()
 		}
 		s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), cfg)
 		if err != nil {
@@ -166,7 +169,7 @@ func resumeSeed() int64 {
 
 func TestInterruptResumeOracle(t *testing.T) {
 	seed := resumeSeed()
-	modes := []Mode{ModeScalar, ModeAutoVec, ModeHand, ModeDSAOrig, ModeDSAExt}
+	modes := []Mode{ModeScalar, ModeAutoVec, ModeHand, ModeDSAOrig, ModeDSAExt, ModeDSAAdaptive}
 	for _, w := range resumeWorkloads(t) {
 		for _, mode := range modes {
 			w, mode := w, mode

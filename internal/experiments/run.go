@@ -21,11 +21,12 @@ type Mode string
 
 // The system setups.
 const (
-	ModeScalar  Mode = "arm-original"
-	ModeAutoVec Mode = "neon-autovec"
-	ModeHand    Mode = "neon-hand"
-	ModeDSAOrig Mode = "neon-dsa-original"
-	ModeDSAExt  Mode = "neon-dsa-extended"
+	ModeScalar      Mode = "arm-original"
+	ModeAutoVec     Mode = "neon-autovec"
+	ModeHand        Mode = "neon-hand"
+	ModeDSAOrig     Mode = "neon-dsa-original"
+	ModeDSAExt      Mode = "neon-dsa-extended"
+	ModeDSAAdaptive Mode = "neon-dsa-adaptive"
 )
 
 // Result is one verified run.
@@ -80,10 +81,13 @@ func Run(w *workloads.Workload, mode Mode) (*Result, error) {
 			return nil, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
 		}
 
-	case ModeDSAOrig, ModeDSAExt:
+	case ModeDSAOrig, ModeDSAExt, ModeDSAAdaptive:
 		cfg := dsa.DefaultConfig()
-		if mode == ModeDSAOrig {
+		switch mode {
+		case ModeDSAOrig:
 			cfg = dsa.OriginalConfig()
+		case ModeDSAAdaptive:
+			cfg = dsa.AdaptiveConfig()
 		}
 		s, err := dsa.NewSystem(w.Scalar(), cpu.DefaultConfig(), cfg)
 		if err != nil {

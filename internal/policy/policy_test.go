@@ -1,0 +1,200 @@
+package policy
+
+import (
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+func TestSuspendAfterLosses(t *testing.T) {
+	c := New(Params{SuspendAfter: 3, TrialEvery: 4})
+	pc := 100
+	if d := c.OnEntry(pc); d != Allow {
+		t.Fatalf("unknown arm: got %v, want Allow", d)
+	}
+	for i := 0; i < 2; i++ {
+		if susp := c.RecordLoss(pc); susp {
+			t.Fatalf("suspended after %d losses (SuspendAfter=3)", i+1)
+		}
+		if d := c.OnEntry(pc); d != Allow {
+			t.Fatalf("loss %d: got %v, want Allow", i+1, d)
+		}
+	}
+	if susp := c.RecordLoss(pc); !susp {
+		t.Fatalf("third loss did not suspend")
+	}
+	if got := c.Arm(pc).State; got != StateSuspended {
+		t.Fatalf("state = %v, want suspended", got)
+	}
+	for i := 0; i < 3; i++ {
+		if d := c.OnEntry(pc); d != Deny {
+			t.Fatalf("suspended entry %d: got %v, want Deny", i+1, d)
+		}
+	}
+}
+
+func TestTrialReentryAndBackoff(t *testing.T) {
+	c := New(Params{SuspendAfter: 1, TrialEvery: 2, TrialBackoffMax: 8})
+	pc := 7
+	c.RecordLoss(pc) // suspends immediately
+
+	// Entry 1 denied, entry 2 opens a trial.
+	if d := c.OnEntry(pc); d != Deny {
+		t.Fatalf("entry 1: got %v, want Deny", d)
+	}
+	if d := c.OnEntry(pc); d != AllowTrial {
+		t.Fatalf("entry 2: got %v, want AllowTrial", d)
+	}
+	// Mid-trial entries proceed until the outcome lands.
+	if d := c.OnEntry(pc); d != Allow {
+		t.Fatalf("mid-trial: got %v, want Allow", d)
+	}
+	// Failed trial doubles the interval.
+	c.RecordLoss(pc)
+	a := c.Arm(pc)
+	if a.State != StateSuspended || a.TrialInterval != 4 {
+		t.Fatalf("after failed trial: state=%v interval=%d, want suspended/4", a.State, a.TrialInterval)
+	}
+	for i := 0; i < 3; i++ {
+		if d := c.OnEntry(pc); d != Deny {
+			t.Fatalf("backoff entry %d: got %v, want Deny", i+1, d)
+		}
+	}
+	if d := c.OnEntry(pc); d != AllowTrial {
+		t.Fatalf("backoff entry 4: want AllowTrial")
+	}
+	// Winning trial restores Keep and resets the interval.
+	if win, _ := c.RecordTakeover(pc, 500, 12.5); !win {
+		t.Fatalf("gain 500 not a win")
+	}
+	a = c.Arm(pc)
+	if a.State != StateKeep || a.TrialInterval != 2 || a.LossStreak != 0 {
+		t.Fatalf("after winning trial: %+v", a)
+	}
+	if a.TickGain != 500 || a.EnergyGainNJ != 12.5 {
+		t.Fatalf("ledger: gain=%d energy=%v", a.TickGain, a.EnergyGainNJ)
+	}
+}
+
+func TestBackoffCap(t *testing.T) {
+	c := New(Params{SuspendAfter: 1, TrialEvery: 2, TrialBackoffMax: 4})
+	pc := 1
+	c.RecordLoss(pc)
+	for trial := 0; trial < 5; trial++ {
+		for c.OnEntry(pc) == Deny {
+		}
+		c.RecordLoss(pc) // fail every trial
+	}
+	if got := c.Arm(pc).TrialInterval; got != 4 {
+		t.Fatalf("interval = %d, want capped at 4", got)
+	}
+}
+
+func TestLosingTakeoverSuspends(t *testing.T) {
+	c := New(Params{SuspendAfter: 2, MinTickGain: 10})
+	pc := 42
+	c.SetBaseline(pc, 100, 3.0)
+	if win, susp := c.RecordTakeover(pc, 9, -1); win || susp {
+		t.Fatalf("gain 9 < MinTickGain 10: win=%v susp=%v", win, susp)
+	}
+	if win, susp := c.RecordTakeover(pc, -50, -2); win || !susp {
+		t.Fatalf("second loss should suspend: win=%v susp=%v", win, susp)
+	}
+	l := c.Totals()
+	if l.Wins != 0 || l.Losses != 2 || l.TickGain != -41 || l.Suspended != 1 {
+		t.Fatalf("totals: %+v", l)
+	}
+}
+
+func TestWinResetsStreak(t *testing.T) {
+	c := New(Params{SuspendAfter: 2, MinTickGain: 1})
+	pc := 5
+	c.RecordLoss(pc)
+	c.RecordTakeover(pc, 100, 1)
+	c.RecordLoss(pc)
+	if a := c.Arm(pc); a.State != StateKeep {
+		t.Fatalf("one loss after a win must not suspend (streak reset): %+v", a)
+	}
+}
+
+// TestSnapshotRoundTrip proves decision replay from a snapshot: a
+// controller restored mid-run makes byte-for-byte the same decisions as
+// the original on the same subsequent outcome stream.
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := New(DefaultParams())
+	c.SetBaseline(10, 120, 4.5)
+	c.RecordTakeover(10, 300, 9.25)
+	for i := 0; i < 4; i++ {
+		c.RecordLoss(20)
+	}
+	for i := 0; i < 7; i++ {
+		c.OnEntry(20)
+	}
+	c.RecordLoss(30)
+
+	var enc snapshot.Enc
+	c.Encode(&enc)
+
+	r := New(DefaultParams())
+	d := snapshot.NewDec(enc.Bytes())
+	if err := r.Decode(d); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatalf("trailing bytes: %v", err)
+	}
+
+	// Same state bytes...
+	var enc2 snapshot.Enc
+	r.Encode(&enc2)
+	if string(enc.Bytes()) != string(enc2.Bytes()) {
+		t.Fatalf("re-encode differs from original")
+	}
+	// ...and the same decisions on the same future.
+	for step := 0; step < 200; step++ {
+		for _, pc := range []int{10, 20, 30, 40} {
+			want := c.OnEntry(pc)
+			got := r.OnEntry(pc)
+			if want != got {
+				t.Fatalf("step %d pc %d: original %v, restored %v", step, pc, want, got)
+			}
+			if step%17 == 3 && want != Deny {
+				w1, s1 := c.RecordTakeover(pc, int64(step%5)-2, 0.5)
+				w2, s2 := r.RecordTakeover(pc, int64(step%5)-2, 0.5)
+				if w1 != w2 || s1 != s2 {
+					t.Fatalf("step %d pc %d outcome diverged", step, pc)
+				}
+			}
+		}
+	}
+	var endA, endB snapshot.Enc
+	c.Encode(&endA)
+	r.Encode(&endB)
+	if string(endA.Bytes()) != string(endB.Bytes()) {
+		t.Fatalf("final states diverged after identical outcome streams")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	// Duplicate arm.
+	var e snapshot.Enc
+	e.U32(2)
+	for i := 0; i < 2; i++ {
+		e.Int(9)
+		e.U8(0)
+		e.Int(0)
+		e.U64(0)
+		e.U64(0)
+		e.U64(0)
+		e.Int(0)
+		e.Int(2)
+		e.I64(0)
+		e.U64(0)
+		e.I64(0)
+		e.U64(0)
+		e.Bool(false)
+	}
+	if err := New(DefaultParams()).Decode(snapshot.NewDec(e.Bytes())); err == nil {
+		t.Fatalf("duplicate arm decoded without error")
+	}
+}

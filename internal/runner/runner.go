@@ -35,6 +35,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/dsa"
+	"repro/internal/energy"
 	"repro/internal/workloads"
 )
 
@@ -172,6 +173,9 @@ type Result struct {
 	// Stats is a deep snapshot of the successful run's DSA counters
 	// (nil for DSA-off and failed runs).
 	Stats *dsa.Stats
+	// Energy is the paper's energy-model breakdown for the successful
+	// run (zero when failed).
+	Energy energy.Breakdown
 	// MemSum digests the successful run's final memory image; equal
 	// digests mean byte-identical images.
 	MemSum uint64
@@ -328,6 +332,7 @@ type outcome struct {
 	ticks  int64
 	steps  uint64
 	stats  *dsa.Stats
+	energy energy.Breakdown
 	memSum uint64
 }
 
@@ -336,6 +341,7 @@ type outcome struct {
 // checkpoint, and a stale one would poison a future -resume batch.
 func fillOutcome(res *Result, out *outcome, ck *checkpointer, notes []string) {
 	res.Ticks, res.Steps, res.Stats, res.MemSum = out.ticks, out.steps, out.stats, out.memSum
+	res.Energy = out.energy
 	res.ResumeNote = joinNotes(notes, ck)
 	if ck != nil {
 		ck.cleanup()
@@ -428,7 +434,9 @@ func attempt(ctx context.Context, job Job, opts Options, p *Pool, dsaOff bool, c
 		if err := job.Workload.Check(m); err != nil {
 			return nil, resumedFrom, note, fmt.Errorf("%w: %v", ErrCheckFailed, err)
 		}
-		return &outcome{ticks: m.Ticks, steps: m.Steps, memSum: m.Mem.Sum64()}, resumedFrom, note, nil
+		return &outcome{ticks: m.Ticks, steps: m.Steps, memSum: m.Mem.Sum64(),
+		energy: energy.Compute(energy.DefaultParams(), m.Counts,
+			m.Caches.L1Stats(), m.Caches.L2Stats(), energy.DSAEvents{})}, resumedFrom, note, nil
 	}
 
 	newSys := func() (*dsa.System, error) {
@@ -470,7 +478,9 @@ func attempt(ctx context.Context, job Job, opts Options, p *Pool, dsaOff bool, c
 	if err := job.Workload.Check(sys.M); err != nil {
 		return nil, resumedFrom, note, fmt.Errorf("%w: %v", ErrCheckFailed, err)
 	}
-	return &outcome{ticks: sys.M.Ticks, steps: sys.M.Steps, stats: sys.Stats().Snapshot(), memSum: sys.M.Mem.Sum64()}, resumedFrom, note, nil
+	return &outcome{ticks: sys.M.Ticks, steps: sys.M.Steps, stats: sys.Stats().Snapshot(), memSum: sys.M.Mem.Sum64(),
+		energy: energy.Compute(energy.DefaultParams(), sys.M.Counts,
+			sys.M.Caches.L1Stats(), sys.M.Caches.L2Stats(), sys.Stats().EnergyEvents())}, resumedFrom, note, nil
 }
 
 // sleepCtx sleeps for d unless ctx is canceled first; it reports

@@ -23,6 +23,15 @@ type metrics struct {
 	retries     uint64
 	duration    *histogram // job wall time, seconds
 	throughput  *histogram // retired steps per wall second
+
+	// Adaptive-policy counters, summed over terminal jobs run with the
+	// "adaptive" config (zero otherwise).
+	policyKept      uint64
+	policySuspended uint64
+	policyTrialed   uint64
+	// Modeled energy in nanojoules by component, summed over successful
+	// terminal jobs.
+	energyNJ map[string]float64 // component → nJ
 }
 
 func newMetrics() *metrics {
@@ -32,6 +41,9 @@ func newMetrics() *metrics {
 		duration: newHistogram(0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 120),
 		// Step-throughput buckets: 100k/s to 200M/s.
 		throughput: newHistogram(1e5, 1e6, 5e6, 1e7, 5e7, 1e8, 2e8),
+		energyNJ: map[string]float64{
+			"front_end": 0, "scalar": 0, "caches": 0, "neon": 0, "dsa": 0,
+		},
 	}
 }
 
@@ -66,17 +78,27 @@ func (m *metrics) onResume() {
 }
 
 // onDone folds one terminal result into the counters and histograms.
-func (m *metrics) onDone(status string, attempts int, wall time.Duration, steps uint64) {
+func (m *metrics) onDone(r ResultJSON, wall time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.completed[status]++
-	if attempts > 1 {
-		m.retries += uint64(attempts - 1)
+	m.completed[r.Status]++
+	if r.Attempts > 1 {
+		m.retries += uint64(r.Attempts - 1)
 	}
 	sec := wall.Seconds()
 	m.duration.observe(sec)
-	if sec > 0 && steps > 0 {
-		m.throughput.observe(float64(steps) / sec)
+	if sec > 0 && r.Steps > 0 {
+		m.throughput.observe(float64(r.Steps) / sec)
+	}
+	m.policyKept += r.PolicyKept
+	m.policySuspended += r.PolicySuspended
+	m.policyTrialed += r.PolicyTrialed
+	if r.Energy != nil {
+		m.energyNJ["front_end"] += r.Energy.FrontEndNJ
+		m.energyNJ["scalar"] += r.Energy.ScalarNJ
+		m.energyNJ["caches"] += r.Energy.CachesNJ
+		m.energyNJ["neon"] += r.Energy.NEONNJ
+		m.energyNJ["dsa"] += r.Energy.DSANJ
 	}
 }
 
@@ -126,6 +148,20 @@ func (m *metrics) render(g gauges) string {
 	counter("dsasimd_jobs_interrupted_total", "Jobs checkpointed and unwound by a drain.", m.interrupted)
 	counter("dsasimd_jobs_resumed_total", "Jobs restored from a checkpoint after a restart.", m.resumed)
 	counter("dsasimd_job_retries_total", "Extra attempts across all jobs (degradation reruns included).", m.retries)
+
+	counter("dsasimd_policy_takeovers_kept_total", "Adaptive-policy takeovers judged a win by the per-loop ledger.", m.policyKept)
+	counter("dsasimd_policy_takeovers_suspended_total", "Adaptive-policy suspensions (loops benched after repeated losses).", m.policySuspended)
+	counter("dsasimd_policy_takeovers_trialed_total", "Adaptive-policy trial entries granted to suspended loops.", m.policyTrialed)
+
+	fmt.Fprintf(&b, "# HELP dsasimd_energy_nanojoules_total Modeled energy over successful jobs, by component.\n# TYPE dsasimd_energy_nanojoules_total counter\n")
+	comps := make([]string, 0, len(m.energyNJ))
+	for c := range m.energyNJ {
+		comps = append(comps, c)
+	}
+	sort.Strings(comps)
+	for _, c := range comps {
+		fmt.Fprintf(&b, "dsasimd_energy_nanojoules_total{component=%q} %g\n", c, m.energyNJ[c])
+	}
 
 	m.duration.render(&b, "dsasimd_job_duration_seconds", "Terminal job wall time in seconds.")
 	m.throughput.render(&b, "dsasimd_job_steps_per_second", "Retired simulation steps per wall second, per terminal job.")

@@ -261,7 +261,7 @@ func (s *Server) finish(js *jobState, r ResultJSON) {
 		s.cfg.Logf("dsasimd: saving state: %v", err)
 	}
 	s.mu.Unlock()
-	s.metrics.onDone(r.Status, r.Attempts, wall, r.Steps)
+	s.metrics.onDone(r, wall)
 	js.events.Publish(Event{Type: "done", Job: js.id, Status: r.Status, Result: &r})
 	s.cfg.Logf("dsasimd: job %s %s (attempts=%d wall=%s)", js.id, r.Status, r.Attempts, wall.Round(time.Millisecond))
 }

@@ -507,6 +507,14 @@ func TestServiceMetricsNames(t *testing.T) {
 		"dsasimd_jobs_interrupted_total",
 		"dsasimd_jobs_resumed_total",
 		"dsasimd_job_retries_total",
+		"dsasimd_policy_takeovers_kept_total",
+		"dsasimd_policy_takeovers_suspended_total",
+		"dsasimd_policy_takeovers_trialed_total",
+		"dsasimd_energy_nanojoules_total{component=\"front_end\"}",
+		"dsasimd_energy_nanojoules_total{component=\"scalar\"}",
+		"dsasimd_energy_nanojoules_total{component=\"caches\"}",
+		"dsasimd_energy_nanojoules_total{component=\"neon\"}",
+		"dsasimd_energy_nanojoules_total{component=\"dsa\"}",
 		"dsasimd_job_duration_seconds_bucket",
 		"dsasimd_job_duration_seconds_sum",
 		"dsasimd_job_duration_seconds_count",
